@@ -1,0 +1,16 @@
+//! E2 bench: the agent-splitting sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_sim::experiments::e02_agent_load;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_agent_load");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| {
+        b.iter(|| black_box(e02_agent_load::run(1, 23)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E1 bench: warm lookups through the full Fig. 17 path, plus the sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_core::value::LegionValue;
+use legion_naming::protocol::GET_BINDING;
+use legion_sim::experiments::e01_binding_path;
+use legion_sim::system::{agent_loid, LegionSystem, SystemConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_binding_path");
+    g.bench_function("warm_agent_lookup", |b| {
+        let mut sys = LegionSystem::build(SystemConfig::default());
+        let (obj, _) = sys.objects[0];
+        let agent = sys.leaf_agent_for(0);
+        // Warm the caches once.
+        sys.call_for_binding(
+            agent.element(),
+            agent_loid(0),
+            GET_BINDING,
+            vec![LegionValue::Loid(obj)],
+        )
+        .unwrap();
+        b.iter(|| {
+            black_box(
+                sys.call_for_binding(
+                    agent.element(),
+                    agent_loid(0),
+                    GET_BINDING,
+                    vec![LegionValue::Loid(obj)],
+                )
+                .unwrap(),
+            )
+        });
+    });
+    g.sample_size(10);
+    g.bench_function("full_sweep", |b| {
+        b.iter(|| black_box(e01_binding_path::run(1, 13)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

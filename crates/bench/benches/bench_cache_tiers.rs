@@ -1,0 +1,34 @@
+//! E3 bench: BindingCache operations and the full cache-tier ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_core::address::{ObjectAddress, ObjectAddressElement};
+use legion_core::binding::Binding;
+use legion_core::loid::Loid;
+use legion_core::time::SimTime;
+use legion_naming::cache::BindingCache;
+use legion_sim::experiments::e03_cache_tiers;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_cache_tiers");
+    g.bench_function("cache_insert_get", |b| {
+        let mut cache = BindingCache::new(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let loid = Loid::instance(16, i % 2048 + 1);
+            cache.insert(Binding::forever(
+                loid,
+                ObjectAddress::single(ObjectAddressElement::sim(i)),
+            ));
+            black_box(cache.get(&loid, SimTime::ZERO))
+        });
+    });
+    g.sample_size(10);
+    g.bench_function("full_ablation_sweep", |b| {
+        b.iter(|| black_box(e03_cache_tiers::run(1, 33)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E6 bench: model-level clone dispatch and the live cloning sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_core::class::ClassKind;
+use legion_core::clone::CloneSet;
+use legion_core::model::ObjectModel;
+use legion_core::wellknown::LEGION_CLASS;
+use legion_sim::experiments::e06_class_cloning;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_class_cloning");
+    g.bench_function("cloneset_create", |b| {
+        let mut m = ObjectModel::bootstrap();
+        let hot = m.derive(LEGION_CLASS, "Hot", ClassKind::NORMAL).unwrap();
+        let mut set = CloneSet::new(hot);
+        for _ in 0..3 {
+            set.grow(&mut m).unwrap();
+        }
+        b.iter(|| black_box(set.create(&mut m).unwrap()));
+    });
+    g.sample_size(10);
+    g.bench_function("live_sweep", |b| {
+        b.iter(|| black_box(e06_class_cloning::run(16, 63)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! E4 bench: forest vs k-ary combining tree.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_sim::experiments::e04_combining_tree;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_combining_tree");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| {
+        b.iter(|| black_box(e04_combining_tree::run(1, 43)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E5 bench: responsible-class location vs derivation depth.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_core::metaclass::LegionClassAuthority;
+use legion_core::wellknown::LEGION_CLASS;
+use legion_sim::experiments::e05_find_class;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_find_class");
+    g.bench_function("responsibility_chain", |b| {
+        let mut auth = LegionClassAuthority::new();
+        let mut cur = LEGION_CLASS;
+        for _ in 0..10 {
+            let (_, next) = auth.issue_class_id(cur).unwrap();
+            cur = next;
+        }
+        b.iter(|| black_box(auth.responsibility_chain(&cur).unwrap()));
+    });
+    g.sample_size(10);
+    g.bench_function("live_sweep", |b| {
+        b.iter(|| black_box(e05_find_class::run(3, 53)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E7 bench: OPR encode/decode/storage micro-ops and the live lifecycle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_core::loid::Loid;
+use legion_persist::opr::Opr;
+use legion_persist::storage::JurisdictionStorage;
+use legion_sim::experiments::e07_lifecycle;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_lifecycle");
+    let opr = Opr::new(
+        Loid::instance(16, 1),
+        Loid::class_object(16),
+        7,
+        vec![0xAB; 4096],
+    );
+    g.bench_function("opr_encode", |b| b.iter(|| black_box(opr.encode())));
+    let bytes = opr.encode();
+    g.bench_function("opr_decode_verify", |b| {
+        b.iter(|| black_box(Opr::decode(&bytes).unwrap()))
+    });
+    g.bench_function("storage_roundtrip", |b| {
+        let mut s = JurisdictionStorage::new(0, 2, 1 << 30);
+        b.iter(|| {
+            let addr = s.store_opr(&opr).unwrap();
+            let got = s.load_opr(&addr).unwrap();
+            s.delete(&addr).unwrap();
+            black_box(got)
+        });
+    });
+    g.sample_size(10);
+    g.bench_function("live_transitions", |b| {
+        b.iter(|| black_box(e07_lifecycle::run(2, 73)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

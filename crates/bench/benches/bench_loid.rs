@@ -1,0 +1,28 @@
+//! E9 bench: LOID allocation, responsible-class derivation, parse.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_core::loid::{ClassId, Loid, LoidAllocator};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_loid");
+    g.bench_function("allocate", |b| {
+        let mut alloc = LoidAllocator::new(ClassId(7));
+        b.iter(|| black_box(alloc.next().unwrap()));
+    });
+    g.bench_function("class_loid", |b| {
+        let l = Loid::instance(123, 456);
+        b.iter(|| black_box(l.class_loid()));
+    });
+    g.bench_function("display_parse", |b| {
+        let l = Loid::instance(123, 456);
+        b.iter(|| {
+            let s = l.to_string();
+            let back: Loid = s.parse().unwrap();
+            black_box(back)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E11 bench: Create/Derive/InheritFrom at the model layer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_core::class::ClassKind;
+use legion_core::interface::{MethodSignature, ParamType};
+use legion_core::model::ObjectModel;
+use legion_core::wellknown::LEGION_CLASS;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_object_model");
+    g.bench_function("create", |b| {
+        let mut m = ObjectModel::bootstrap();
+        let cl = m.derive(LEGION_CLASS, "C", ClassKind::NORMAL).unwrap();
+        b.iter(|| black_box(m.create(cl).unwrap()));
+    });
+    g.bench_function("derive_plus_method", |b| {
+        let mut m = ObjectModel::bootstrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let cl = m
+                .derive(LEGION_CLASS, format!("C{i}"), ClassKind::NORMAL)
+                .unwrap();
+            m.define_method(
+                cl,
+                MethodSignature::new(format!("m{i}"), vec![], ParamType::Void),
+            )
+            .unwrap();
+            black_box(cl)
+        });
+    });
+    g.bench_function("inherit_from", |b| {
+        let mut m = ObjectModel::bootstrap();
+        let base = m.derive(LEGION_CLASS, "Base", ClassKind::NORMAL).unwrap();
+        m.define_method(base, MethodSignature::new("f", vec![], ParamType::Void))
+            .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let cl = m
+                .derive(LEGION_CLASS, format!("S{i}"), ClassKind::NORMAL)
+                .unwrap();
+            m.inherit_from(cl, base).unwrap();
+            black_box(cl)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E14 bench: threaded actor-runtime throughput at 1/2/4 workers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use legion_sim::parallel::run_workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_parallel_runtime");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| black_box(run_workload(w, 16, 200, 128, 4)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

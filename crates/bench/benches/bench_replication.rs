@@ -1,0 +1,16 @@
+//! E10 bench: replication semantics under crashes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_sim::experiments::e10_replication;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_replication");
+    g.sample_size(10);
+    g.bench_function("semantics_sweep", |b| {
+        b.iter(|| black_box(e10_replication::run(4, 10, 93)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

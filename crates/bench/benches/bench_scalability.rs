@@ -1,0 +1,16 @@
+//! E12 bench: the distributed-systems-principle sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_sim::experiments::e12_scalability;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_scalability");
+    g.sample_size(10);
+    g.bench_function("legion_vs_central", |b| {
+        b.iter(|| black_box(e12_scalability::run(&[1, 2], 103)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

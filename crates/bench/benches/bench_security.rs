@@ -1,0 +1,34 @@
+//! E13 bench: MayI decision costs across the policy ladder.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_core::env::InvocationEnv;
+use legion_core::loid::Loid;
+use legion_security::mayi::{AllOf, AllowAll, MayIPolicy, MethodAcl, ResponsibleAgentSet};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_security");
+    let alice = Loid::instance(20, 1);
+    let env = InvocationEnv::solo(alice);
+    g.bench_function("allow_all", |b| {
+        let p = AllowAll;
+        b.iter(|| black_box(p.may_i(&env, "Ping").is_allowed()));
+    });
+    g.bench_function("method_acl", |b| {
+        let mut p = MethodAcl::deny_by_default();
+        p.grant("Ping", alice);
+        b.iter(|| black_box(p.may_i(&env, "Ping").is_allowed()));
+    });
+    g.bench_function("composite", |b| {
+        let mut acl = MethodAcl::deny_by_default();
+        acl.grant("Ping", alice);
+        let p = AllOf::new(vec![
+            Box::new(acl),
+            Box::new(ResponsibleAgentSet::new([alice])),
+        ]);
+        b.iter(|| black_box(p.may_i(&env, "Ping").is_allowed()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! E8 bench: the churn sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_sim::experiments::e08_stale_bindings;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_stale_bindings");
+    g.sample_size(10);
+    g.bench_function("churn_sweep", |b| {
+        b.iter(|| black_box(e08_stale_bindings::run(1, 83)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

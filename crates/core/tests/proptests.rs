@@ -1,0 +1,184 @@
+//! Property-based tests for the core object model invariants.
+
+use legion_core::class::ClassKind;
+use legion_core::idl;
+use legion_core::interface::{Interface, MethodSignature, Param, ParamType};
+use legion_core::loid::{ClassId, Loid, LoidAllocator};
+use legion_core::model::ObjectModel;
+use legion_core::time::{Expiry, SimTime};
+use legion_core::wellknown::LEGION_CLASS;
+use proptest::prelude::*;
+
+fn arb_param_type() -> impl Strategy<Value = ParamType> {
+    prop_oneof![
+        Just(ParamType::Bool),
+        Just(ParamType::Int),
+        Just(ParamType::Uint),
+        Just(ParamType::Float),
+        Just(ParamType::Str),
+        Just(ParamType::Bytes),
+        Just(ParamType::Loid),
+        Just(ParamType::Address),
+        Just(ParamType::Binding),
+        Just(ParamType::List),
+    ]
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_]{0,12}"
+}
+
+fn arb_signature() -> impl Strategy<Value = MethodSignature> {
+    (
+        arb_ident(),
+        proptest::collection::vec((arb_ident(), arb_param_type()), 0..4),
+        prop_oneof![Just(ParamType::Void), arb_param_type()],
+    )
+        .prop_map(|(name, params, returns)| MethodSignature {
+            name,
+            params: params
+                .into_iter()
+                .map(|(name, ty)| Param { name, ty })
+                .collect(),
+            returns,
+        })
+}
+
+proptest! {
+    /// LOID display → parse is the identity.
+    #[test]
+    fn loid_display_parse_roundtrip(class_id in 0u64.., specific in 0u64..) {
+        let loid = Loid::instance(class_id, specific);
+        let parsed: Loid = loid.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, loid);
+    }
+
+    /// The responsible-class rule: class_loid zeroes the specific field and
+    /// preserves the class id, and is idempotent.
+    #[test]
+    fn class_loid_idempotent(class_id in 0u64.., specific in 0u64..) {
+        let loid = Loid::instance(class_id, specific);
+        let c = loid.class_loid();
+        prop_assert!(c.is_class());
+        prop_assert_eq!(c.class_id, loid.class_id);
+        prop_assert_eq!(c.class_loid(), c);
+    }
+
+    /// Allocators never repeat a LOID and never emit a class LOID.
+    #[test]
+    fn allocator_unique(n in 1usize..200, class_id in 1u64..1_000_000) {
+        let mut alloc = LoidAllocator::new(ClassId(class_id));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            let l = alloc.next().unwrap();
+            prop_assert!(!l.is_class());
+            prop_assert!(seen.insert(l));
+        }
+    }
+
+    /// Expiry::is_valid_at agrees with plain comparison.
+    #[test]
+    fn expiry_matches_comparison(at in 0u64.., now in 0u64..) {
+        let e = Expiry::At(SimTime(at));
+        prop_assert_eq!(e.is_valid_at(SimTime(now)), now < at);
+        prop_assert!(Expiry::Never.is_valid_at(SimTime(now)));
+    }
+
+    /// Interface merge: merged set is the union of names; merging is
+    /// idempotent; self definitions survive.
+    #[test]
+    fn interface_merge_union(
+        sigs_a in proptest::collection::vec(arb_signature(), 0..8),
+        sigs_b in proptest::collection::vec(arb_signature(), 0..8),
+    ) {
+        let ca = Loid::class_object(100);
+        let cb = Loid::class_object(101);
+        let mut a = Interface::new();
+        for s in &sigs_a { a.define(s.clone(), ca); }
+        let mut b = Interface::new();
+        for s in &sigs_b { b.define(s.clone(), cb); }
+        let before: Vec<String> = a.iter().map(|s| s.name.clone()).collect();
+        if a.clone().merge_from(&b).is_ok() {
+            let mut merged = a.clone();
+            merged.merge_from(&b).unwrap();
+            // Union of names.
+            for s in a.iter() {
+                prop_assert!(merged.contains(&s.name));
+            }
+            for s in b.iter() {
+                prop_assert!(merged.contains(&s.name));
+            }
+            // Names that were in `a` keep `a`'s signature (shadowing).
+            for name in &before {
+                prop_assert_eq!(merged.get(name), a.get(name));
+            }
+            // Idempotent.
+            let mut again = merged.clone();
+            again.merge_from(&b).unwrap();
+            prop_assert_eq!(&again, &merged);
+        }
+    }
+
+    /// IDL render → parse roundtrips any generated interface.
+    #[test]
+    fn idl_render_parse_roundtrip(
+        sigs in proptest::collection::vec(arb_signature(), 0..8),
+    ) {
+        let owner = Loid::class_object(42);
+        let mut iface = Interface::new();
+        for s in sigs {
+            iface.define(s, owner);
+        }
+        let text = idl::render("Gen", &iface);
+        let parsed = idl::parse_one(&text).unwrap().into_interface(owner);
+        prop_assert_eq!(parsed, iface);
+    }
+
+    /// Random derive/create/inherit sequences keep the model consistent:
+    /// incremental interfaces equal from-scratch composition and the
+    /// kind-of graph keeps its single sink.
+    #[test]
+    fn model_stays_consistent(ops in proptest::collection::vec((0u8..3, 0usize..8, 0usize..8), 1..40)) {
+        let mut m = ObjectModel::bootstrap();
+        let mut classes = vec![LEGION_CLASS];
+        let mut method_n = 0u32;
+        for (op, i, j) in ops {
+            let a = classes[i % classes.len()];
+            let b = classes[j % classes.len()];
+            match op {
+                0 => {
+                    if let Ok(c) = m.derive(a, "P", ClassKind::NORMAL) {
+                        classes.push(c);
+                    }
+                }
+                1 => {
+                    method_n += 1;
+                    let _ = m.define_method(
+                        a,
+                        MethodSignature::new(format!("m{method_n}"), vec![], ParamType::Void),
+                    );
+                }
+                _ => {
+                    let _ = m.inherit_from(a, b); // cycles/conflicts may be rejected
+                }
+            }
+        }
+        prop_assert!(m.verify().is_ok());
+    }
+
+    /// Instances created through the model always have exactly one class,
+    /// and their LOIDs never collide.
+    #[test]
+    fn created_instances_unique(counts in proptest::collection::vec(1usize..20, 1..5)) {
+        let mut m = ObjectModel::bootstrap();
+        let mut all = std::collections::HashSet::new();
+        for (k, n) in counts.iter().enumerate() {
+            let c = m.derive(LEGION_CLASS, format!("C{k}"), ClassKind::NORMAL).unwrap();
+            for _ in 0..*n {
+                let o = m.create(c).unwrap();
+                prop_assert!(all.insert(o));
+                prop_assert_eq!(m.graph().class_of(&o), Some(c));
+            }
+        }
+    }
+}

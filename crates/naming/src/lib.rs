@@ -1,0 +1,36 @@
+//! # legion-naming — bindings, Binding Agents, and the resolution protocol
+//!
+//! The paper's single persistent name space: LOIDs are bound to Object
+//! Addresses through first-class binding triples (§3.5), cached at three
+//! tiers (client, Binding Agent, class — Fig. 17), resolved through the
+//! §4.1 protocol, and kept honest by the stale-binding rules of §4.1.4.
+//!
+//! * [`cache`] — the LRU + TTL [`cache::BindingCache`] used at all tiers;
+//! * [`protocol`] — method names and the `GetBinding` overloads;
+//! * [`agent`] — the Binding Agent endpoint (caching, combining,
+//!   class consultation, refresh, retries);
+//! * [`resolver`] — the client-side communication layer;
+//! * [`tree`] — k-ary combining-tree topology (§5.2.2);
+//! * [`stale`] — eager invalidation/propagation helpers (§4.1.4);
+//! * [`stubs`] — static class/LegionClass endpoints for tests and
+//!   naming-only benchmarks (the live ones are in `legion-runtime`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agent;
+pub mod cache;
+pub mod protocol;
+pub mod resolver;
+pub mod stale;
+pub mod stubs;
+pub mod tree;
+
+pub use agent::{AgentConfig, BindingAgentEndpoint};
+pub use cache::{BindingCache, CacheStats};
+pub use resolver::{ClientResolver, Lookup, ResolverStats};
+pub use tree::TreeShape;
+
+// Re-export the binding triple: it is defined in `legion-core` (it is
+// core model vocabulary) but naming is where users look for it.
+pub use legion_core::binding::Binding;

@@ -1,0 +1,143 @@
+//! The naming wire protocol: method names and argument helpers.
+//!
+//! Method names follow the paper exactly. `GetBinding` is *overloaded* —
+//! "passed an LOID or a binding" (§3.6) — so the wire dispatch inspects
+//! the argument type rather than the name, mirroring the paper's
+//! overloading.
+
+use legion_core::binding::Binding;
+use legion_core::loid::Loid;
+use legion_core::value::LegionValue;
+use legion_net::message::Message;
+
+/// `binding GetBinding(LOID)` / `binding GetBinding(binding)` (§3.6).
+pub const GET_BINDING: &str = "GetBinding";
+/// `InvalidateBinding(LOID)` / `InvalidateBinding(binding)` (§3.6).
+pub const INVALIDATE_BINDING: &str = "InvalidateBinding";
+/// `AddBinding(binding)` (§3.6).
+pub const ADD_BINDING: &str = "AddBinding";
+/// LegionClass: issue a Class Identifier to a deriving class (§3.2).
+pub const ISSUE_CLASS_ID: &str = "IssueClassId";
+/// LegionClass: who is responsible for locating this LOID? (§4.1.3).
+pub const FIND_RESPONSIBLE: &str = "FindResponsible";
+
+/// The argument forms of the overloaded `GetBinding`/`InvalidateBinding`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindingArg {
+    /// The LOID overload.
+    Loid(Loid),
+    /// The binding overload (refresh / exact-invalidate).
+    Binding(Binding),
+}
+
+impl BindingArg {
+    /// The LOID the argument is about, whichever overload.
+    pub fn loid(&self) -> Loid {
+        match self {
+            BindingArg::Loid(l) => *l,
+            BindingArg::Binding(b) => b.loid,
+        }
+    }
+}
+
+/// Parse the single argument of an overloaded binding method.
+pub fn parse_binding_arg(msg: &Message) -> Option<BindingArg> {
+    match msg.args() {
+        [LegionValue::Loid(l)] => Some(BindingArg::Loid(*l)),
+        [LegionValue::Binding(b)] => Some(BindingArg::Binding((**b).clone())),
+        _ => None,
+    }
+}
+
+/// Parse a single-LOID argument list.
+pub fn parse_loid_arg(msg: &Message) -> Option<Loid> {
+    match msg.args() {
+        [LegionValue::Loid(l)] => Some(*l),
+        _ => None,
+    }
+}
+
+/// Parse a single-binding argument list.
+pub fn parse_binding(msg: &Message) -> Option<Binding> {
+    match msg.args() {
+        [LegionValue::Binding(b)] => Some((**b).clone()),
+        _ => None,
+    }
+}
+
+/// Extract a binding from a reply payload.
+pub fn binding_from_result(result: &Result<LegionValue, String>) -> Option<Binding> {
+    match result {
+        Ok(LegionValue::Binding(b)) => Some((**b).clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::address::{ObjectAddress, ObjectAddressElement};
+    use legion_core::env::InvocationEnv;
+    use legion_net::message::CallId;
+
+    fn call_with(args: Vec<LegionValue>) -> Message {
+        Message::call(
+            CallId(1),
+            Loid::class_object(5),
+            GET_BINDING,
+            args,
+            InvocationEnv::anonymous(),
+        )
+    }
+
+    fn binding() -> Binding {
+        Binding::forever(
+            Loid::instance(16, 2),
+            ObjectAddress::single(ObjectAddressElement::sim(4)),
+        )
+    }
+
+    #[test]
+    fn loid_overload_parses() {
+        let m = call_with(vec![LegionValue::Loid(Loid::instance(16, 2))]);
+        match parse_binding_arg(&m) {
+            Some(BindingArg::Loid(l)) => assert_eq!(l, Loid::instance(16, 2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse_loid_arg(&m), Some(Loid::instance(16, 2)));
+        assert_eq!(parse_binding(&m), None);
+    }
+
+    #[test]
+    fn binding_overload_parses() {
+        let b = binding();
+        let m = call_with(vec![LegionValue::from(b.clone())]);
+        match parse_binding_arg(&m) {
+            Some(BindingArg::Binding(got)) => assert_eq!(got, b),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse_binding_arg(&m).unwrap().loid(), b.loid);
+        assert_eq!(parse_loid_arg(&m), None);
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let m = call_with(vec![]);
+        assert_eq!(parse_binding_arg(&m), None);
+        let m2 = call_with(vec![LegionValue::Uint(1), LegionValue::Uint(2)]);
+        assert_eq!(parse_binding_arg(&m2), None);
+        let m3 = call_with(vec![LegionValue::Str("x".into())]);
+        assert_eq!(parse_binding_arg(&m3), None);
+    }
+
+    #[test]
+    fn binding_from_result_extracts() {
+        let b = binding();
+        assert_eq!(
+            binding_from_result(&Ok(LegionValue::from(b.clone()))),
+            Some(b)
+        );
+        assert_eq!(binding_from_result(&Ok(LegionValue::Void)), None);
+        assert_eq!(binding_from_result(&Err("x".into())), None);
+    }
+}

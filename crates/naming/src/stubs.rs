@@ -1,0 +1,165 @@
+//! Static protocol stubs: minimal class and LegionClass endpoints that
+//! answer the naming protocol from fixed tables.
+//!
+//! The *real* class and LegionClass endpoints live in `legion-runtime`
+//! (they cooperate with Magistrates to activate Inert objects). These
+//! stubs serve the naming crate's tests and the naming-only benchmarks,
+//! where every object is permanently Active and the interesting variable
+//! is the resolution path itself.
+
+use crate::protocol::{self, BindingArg, FIND_RESPONSIBLE, GET_BINDING};
+use legion_core::binding::Binding;
+use legion_core::loid::Loid;
+use legion_core::value::LegionValue;
+use legion_core::wellknown::{is_core_class, LEGION_CLASS};
+use legion_net::message::Message;
+use legion_net::sim::{Ctx, Endpoint};
+use std::collections::HashMap;
+
+/// A class endpoint that answers `GetBinding` from a fixed table.
+pub struct StaticClassEndpoint {
+    /// The class object's own LOID.
+    pub loid: Loid,
+    /// The (frozen) logical-table view: object → binding.
+    pub table: HashMap<Loid, Binding>,
+    /// `GetBinding` requests served (per-component load, §5.2).
+    pub requests: u64,
+}
+
+impl StaticClassEndpoint {
+    /// A class endpoint with an empty table.
+    pub fn new(loid: Loid) -> Self {
+        StaticClassEndpoint {
+            loid,
+            table: HashMap::new(),
+            requests: 0,
+        }
+    }
+
+    /// Add a row.
+    pub fn with(mut self, binding: Binding) -> Self {
+        self.table.insert(binding.loid, binding);
+        self
+    }
+}
+
+impl Endpoint for StaticClassEndpoint {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is_reply() {
+            return;
+        }
+        match msg.method() {
+            Some(GET_BINDING) => {
+                self.requests += 1;
+                ctx.count("class.get_binding");
+                let result = match protocol::parse_binding_arg(&msg) {
+                    Some(arg) => match self.table.get(&arg.loid()) {
+                        Some(b) => Ok(LegionValue::from(b.clone())),
+                        None => Err(format!("{}: unknown object {}", self.loid, arg.loid())),
+                    },
+                    None => Err("GetBinding: bad argument".into()),
+                };
+                ctx.reply(&msg, result);
+            }
+            Some(other) => {
+                ctx.reply(&msg, Err(format!("StaticClass: no method {other}")));
+            }
+            None => {}
+        }
+    }
+}
+
+/// A LegionClass endpoint answering `FindResponsible` and `GetBinding`
+/// (for core classes and chain ends) from fixed tables.
+pub struct StaticLegionClassEndpoint {
+    /// created-class → creating-class responsibility pairs (§4.1.3).
+    pub responsible: HashMap<Loid, Loid>,
+    /// Bindings LegionClass itself maintains (core classes, and any class
+    /// whose chain ends here).
+    pub class_bindings: HashMap<Loid, Binding>,
+    /// `FindResponsible` requests served.
+    pub find_requests: u64,
+    /// `GetBinding` requests served.
+    pub binding_requests: u64,
+}
+
+impl Default for StaticLegionClassEndpoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StaticLegionClassEndpoint {
+    /// Empty tables.
+    pub fn new() -> Self {
+        StaticLegionClassEndpoint {
+            responsible: HashMap::new(),
+            class_bindings: HashMap::new(),
+            find_requests: 0,
+            binding_requests: 0,
+        }
+    }
+
+    /// Record ⟨creator responsible-for created⟩.
+    pub fn with_pair(mut self, created: Loid, creator: Loid) -> Self {
+        self.responsible.insert(created, creator);
+        self
+    }
+
+    /// Record a class binding LegionClass maintains itself.
+    pub fn with_binding(mut self, b: Binding) -> Self {
+        self.class_bindings.insert(b.loid, b);
+        self
+    }
+
+    /// Total requests of both kinds (the §5.2.2 bottleneck measure).
+    pub fn total_requests(&self) -> u64 {
+        self.find_requests + self.binding_requests
+    }
+}
+
+impl Endpoint for StaticLegionClassEndpoint {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is_reply() {
+            return;
+        }
+        match msg.method() {
+            Some(FIND_RESPONSIBLE) => {
+                self.find_requests += 1;
+                ctx.count("legion_class.find");
+                let result = match protocol::parse_loid_arg(&msg) {
+                    Some(target) if !target.is_class() => {
+                        Ok(LegionValue::Loid(target.class_loid()))
+                    }
+                    Some(target) => match self.responsible.get(&target) {
+                        Some(creator) => Ok(LegionValue::Loid(*creator)),
+                        None if is_core_class(&target) || target == LEGION_CLASS => {
+                            Ok(LegionValue::Loid(LEGION_CLASS))
+                        }
+                        None => Err(format!("no responsibility pair for {target}")),
+                    },
+                    None => Err("FindResponsible: expected a loid".into()),
+                };
+                ctx.reply(&msg, result);
+            }
+            Some(GET_BINDING) => {
+                self.binding_requests += 1;
+                ctx.count("legion_class.get_binding");
+                let result = match protocol::parse_binding_arg(&msg) {
+                    Some(BindingArg::Loid(l)) | Some(BindingArg::Binding(Binding { loid: l, .. })) => {
+                        match self.class_bindings.get(&l) {
+                            Some(b) => Ok(LegionValue::from(b.clone())),
+                            None => Err(format!("LegionClass has no binding for {l}")),
+                        }
+                    }
+                    None => Err("GetBinding: bad argument".into()),
+                };
+                ctx.reply(&msg, result);
+            }
+            Some(other) => {
+                ctx.reply(&msg, Err(format!("LegionClass: no method {other}")));
+            }
+            None => {}
+        }
+    }
+}

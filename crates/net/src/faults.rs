@@ -1,0 +1,156 @@
+//! Fault injection for the simulated network.
+//!
+//! The stale-binding mechanism (§4.1.4) and address-semantics replication
+//! (§4.3) only matter in the presence of failures. The fault plan supports:
+//!
+//! * **message drops** — a global loss probability (silent: the sender
+//!   does not learn of the loss, as with a datagram network);
+//! * **partitions** — pairs of jurisdictions whose traffic is silently
+//!   discarded;
+//! * **endpoint crashes** — deliveries to crashed endpoints fail
+//!   *detectably*, modelling a connection refused (the paper's
+//!   communication layer "is expected to detect" a dead Object Address).
+
+use crate::topology::Location;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// What happened to an attempted delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver normally.
+    Deliver,
+    /// Silently lose the message (drop or partition).
+    DropSilently,
+}
+
+/// The active fault plan.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that any message is silently lost.
+    drop_probability: f64,
+    /// Unordered jurisdiction pairs whose traffic is discarded.
+    partitions: BTreeSet<(u32, u32)>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Set the global message-loss probability (clamped to `[0, 1]`).
+    pub fn set_drop_probability(&mut self, p: f64) {
+        self.drop_probability = p.clamp(0.0, 1.0);
+    }
+
+    /// The current loss probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Partition two jurisdictions (idempotent; order-insensitive).
+    pub fn partition(&mut self, a: u32, b: u32) {
+        self.partitions.insert((a.min(b), a.max(b)));
+    }
+
+    /// Heal a partition.
+    pub fn heal(&mut self, a: u32, b: u32) {
+        self.partitions.remove(&(a.min(b), a.max(b)));
+    }
+
+    /// Are two jurisdictions partitioned from each other?
+    pub fn is_partitioned(&self, a: u32, b: u32) -> bool {
+        self.partitions.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Decide the fate of a message from `from` to `to`.
+    pub fn judge<R: Rng>(&self, from: Location, to: Location, rng: &mut R) -> Verdict {
+        if self.is_partitioned(from.jurisdiction, to.jurisdiction) {
+            return Verdict::DropSilently;
+        }
+        if self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability) {
+            return Verdict::DropSilently;
+        }
+        Verdict::Deliver
+    }
+
+    /// Any partitions currently active?
+    pub fn has_partitions(&self) -> bool {
+        !self.partitions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn loc(j: u32) -> Location {
+        Location::new(j, 0)
+    }
+
+    #[test]
+    fn no_faults_always_delivers() {
+        let plan = FaultPlan::none();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(plan.judge(loc(0), loc(1), &mut rng), Verdict::Deliver);
+        }
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut plan = FaultPlan::none();
+        plan.partition(2, 5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(plan.judge(loc(2), loc(5), &mut rng), Verdict::DropSilently);
+        assert_eq!(plan.judge(loc(5), loc(2), &mut rng), Verdict::DropSilently);
+        assert_eq!(plan.judge(loc(2), loc(3), &mut rng), Verdict::Deliver);
+        assert!(plan.is_partitioned(5, 2));
+        assert!(plan.has_partitions());
+    }
+
+    #[test]
+    fn heal_restores_traffic() {
+        let mut plan = FaultPlan::none();
+        plan.partition(0, 1);
+        plan.heal(1, 0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(plan.judge(loc(0), loc(1), &mut rng), Verdict::Deliver);
+        assert!(!plan.has_partitions());
+    }
+
+    #[test]
+    fn drop_probability_is_respected_statistically() {
+        let mut plan = FaultPlan::none();
+        plan.set_drop_probability(0.3);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let drops = (0..10_000)
+            .filter(|_| plan.judge(loc(0), loc(0), &mut rng) == Verdict::DropSilently)
+            .count();
+        assert!((2_700..3_300).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn drop_probability_clamps() {
+        let mut plan = FaultPlan::none();
+        plan.set_drop_probability(7.0);
+        assert_eq!(plan.drop_probability(), 1.0);
+        plan.set_drop_probability(-1.0);
+        assert_eq!(plan.drop_probability(), 0.0);
+    }
+
+    #[test]
+    fn intra_jurisdiction_traffic_ignores_partitions() {
+        let mut plan = FaultPlan::none();
+        plan.partition(0, 1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(
+            plan.judge(Location::new(0, 0), Location::new(0, 7), &mut rng),
+            Verdict::Deliver
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Lightweight metrics for the simulation substrate.
+//!
+//! The paper's scalability argument (§5.2) is entirely about *request
+//! counts to components* — "the number of requests to any particular
+//! system component must not be an increasing function of the number of
+//! hosts in the system". The kernel therefore counts messages per
+//! endpoint automatically, and components bump named counters for
+//! protocol-level events (cache hits, class consultations, activations).
+//! Latency distributions use a log₂-bucketed [`Histogram`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A log₂-bucketed histogram of `u64` samples (nanoseconds, counts, …).
+///
+/// Bucket `i` holds samples in `[2^(i-1), 2^i)` (bucket 0 holds zero).
+/// Quantiles are approximate (bucket upper bound), which is plenty for
+/// order-of-magnitude latency comparisons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// containing the q-th sample. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50≈{} p99≈{} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+/// A named-counter registry (string → u64), deterministic iteration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    map: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Add `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        match self.map.get_mut(name) {
+            Some(v) => *v += n,
+            None => {
+                self.map.insert(name.to_owned(), n);
+            }
+        }
+    }
+
+    /// Increment counter `name` by one.
+    pub fn bump(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (0 if never bumped).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Reset all counters to zero (drops names).
+    pub fn reset(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of distinct counter names.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn record_updates_aggregates() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 26.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_goes_to_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounding() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        // Each quantile over-estimates by at most 2x (bucket upper bound).
+        assert!((500..=1024).contains(&p50), "p50={p50}");
+        assert!((990..=2048).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(4);
+        let mut b = Histogram::new();
+        b.record(1024);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 4);
+        assert_eq!(a.max(), 1024);
+    }
+
+    #[test]
+    fn counters_bump_add_get() {
+        let mut c = Counters::new();
+        assert!(c.is_empty());
+        c.bump("hits");
+        c.add("hits", 4);
+        c.add("misses", 2);
+        assert_eq!(c.get("hits"), 5);
+        assert_eq!(c.get("misses"), 2);
+        assert_eq!(c.get("absent"), 0);
+        assert_eq!(c.len(), 2);
+        let names: Vec<_> = c.iter().map(|(n, _)| n.to_owned()).collect();
+        assert_eq!(names, vec!["hits", "misses"]);
+        c.reset();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        let s = h.to_string();
+        assert!(s.contains("n=1"));
+    }
+}

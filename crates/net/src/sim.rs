@@ -1,0 +1,1087 @@
+//! The deterministic discrete-event kernel.
+//!
+//! Every Active Legion object (and every Host Object, Magistrate, Binding
+//! Agent, and class object) runs as an **endpoint** attached to the
+//! kernel. Endpoints interact only through messages — the paper's
+//! "independent, address space disjoint objects" — and through timers.
+//! The kernel:
+//!
+//! * delivers messages with topology-sampled latency ([`crate::topology`]),
+//! * applies the fault plan ([`crate::faults`]),
+//! * counts traffic per endpoint (the §5.2 "distributed systems principle"
+//!   measurements) and globally,
+//! * is fully deterministic for a given seed (events are ordered by
+//!   `(time, sequence)`),
+//! * lets handlers spawn and remove endpoints (activation/deactivation).
+//!
+//! Sends to a *dead or unknown* endpoint fail **detectably** at the sender
+//! (connection refused) — this is the §4.1.4 signal that a cached binding
+//! has gone stale. Random drops and partitions are *silent*.
+
+use crate::faults::{FaultPlan, Verdict};
+use crate::message::{CallId, Message};
+use crate::metrics::{Counters, Histogram};
+use crate::topology::{Location, Topology};
+use legion_core::address::{AddressSemantics, ObjectAddress, ObjectAddressElement};
+use legion_core::env::InvocationEnv;
+use legion_core::loid::Loid;
+use legion_core::time::SimTime;
+use legion_core::value::LegionValue;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Identifies an endpoint attached to the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EndpointId(pub u64);
+
+impl EndpointId {
+    /// The address element for this endpoint.
+    pub fn element(self) -> ObjectAddressElement {
+        ObjectAddressElement::sim(self.0)
+    }
+
+    /// A single-element Object Address for this endpoint.
+    pub fn address(self) -> ObjectAddress {
+        ObjectAddress::single(self.element())
+    }
+}
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// A simulated process: receives messages and timer ticks.
+///
+/// `Any` is a supertrait so tests and drivers can downcast endpoints for
+/// inspection (`SimKernel::endpoint::<T>`).
+pub trait Endpoint: Any {
+    /// Called once, right after the endpoint is attached.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// A message arrived.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message);
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {}
+}
+
+/// Descriptive and accounting data for one endpoint.
+#[derive(Debug, Clone)]
+pub struct EndpointMeta {
+    /// Where the endpoint lives (latency tiers, partitions).
+    pub location: Location,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Messages delivered to this endpoint.
+    pub received: u64,
+    /// Messages this endpoint attempted to send.
+    pub sent: u64,
+    /// Is the endpoint alive? Dead endpoints refuse sends detectably.
+    pub alive: bool,
+}
+
+struct Slot {
+    ep: Option<Box<dyn Endpoint>>,
+    meta: EndpointMeta,
+}
+
+enum EventKind {
+    Start,
+    Deliver(Box<Message>),
+    Timer(u64),
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    to: EndpointId,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Global kernel statistics.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStats {
+    /// Messages accepted into the network.
+    pub sent: u64,
+    /// Messages delivered to a live endpoint.
+    pub delivered: u64,
+    /// Messages silently lost (drops, partitions).
+    pub lost: u64,
+    /// Sends refused detectably (dead/unknown endpoint).
+    pub refused: u64,
+    /// Deliveries that found the endpoint dead on arrival.
+    pub dead_letters: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+struct Inner {
+    now: SimTime,
+    seq: u64,
+    next_call: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    topology: Topology,
+    faults: FaultPlan,
+    rng: SmallRng,
+    counters: Counters,
+    latency: Histogram,
+    stats: KernelStats,
+}
+
+/// The outcome of sending through an [`ObjectAddress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SendReport {
+    /// Elements the semantics selected for this send.
+    pub attempted: usize,
+    /// Sends accepted into the network (silent loss may still occur).
+    pub accepted: usize,
+}
+
+impl SendReport {
+    /// Did at least one send get accepted?
+    pub fn any_accepted(&self) -> bool {
+        self.accepted > 0
+    }
+}
+
+/// The deterministic discrete-event kernel.
+pub struct SimKernel {
+    slots: Vec<Slot>,
+    inner: Inner,
+}
+
+impl SimKernel {
+    /// A kernel with the given topology, fault plan, and RNG seed.
+    pub fn new(topology: Topology, faults: FaultPlan, seed: u64) -> Self {
+        SimKernel {
+            slots: Vec::new(),
+            inner: Inner {
+                now: SimTime::ZERO,
+                seq: 0,
+                next_call: 1,
+                queue: BinaryHeap::new(),
+                topology,
+                faults,
+                rng: SmallRng::seed_from_u64(seed),
+                counters: Counters::new(),
+                latency: Histogram::new(),
+                stats: KernelStats::default(),
+            },
+        }
+    }
+
+    /// A default-topology, fault-free kernel.
+    pub fn with_seed(seed: u64) -> Self {
+        SimKernel::new(Topology::default(), FaultPlan::none(), seed)
+    }
+
+    /// Attach an endpoint; its `on_start` runs at the current time.
+    pub fn add_endpoint(
+        &mut self,
+        ep: Box<dyn Endpoint>,
+        location: Location,
+        name: impl Into<String>,
+    ) -> EndpointId {
+        let id = EndpointId(self.slots.len() as u64);
+        self.slots.push(Slot {
+            ep: Some(ep),
+            meta: EndpointMeta {
+                location,
+                name: name.into(),
+                received: 0,
+                sent: 0,
+                alive: true,
+            },
+        });
+        let seq = self.inner.bump_seq();
+        self.inner.queue.push(Reverse(Event {
+            at: self.inner.now,
+            seq,
+            to: id,
+            kind: EventKind::Start,
+        }));
+        id
+    }
+
+    /// Remove (kill) an endpoint. Future sends to it are refused; queued
+    /// deliveries become dead letters.
+    pub fn remove_endpoint(&mut self, id: EndpointId) {
+        if let Some(slot) = self.slots.get_mut(id.0 as usize) {
+            slot.meta.alive = false;
+            slot.ep = None;
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// Global statistics.
+    pub fn stats(&self) -> &KernelStats {
+        &self.inner.stats
+    }
+
+    /// Named protocol counters bumped by endpoints.
+    pub fn counters(&self) -> &Counters {
+        &self.inner.counters
+    }
+
+    /// Reset named counters and per-endpoint traffic (not the clock).
+    pub fn reset_metrics(&mut self) {
+        self.inner.counters.reset();
+        self.inner.latency = Histogram::new();
+        self.inner.stats = KernelStats::default();
+        for slot in &mut self.slots {
+            slot.meta.received = 0;
+            slot.meta.sent = 0;
+        }
+    }
+
+    /// Delivered-message latency distribution.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.inner.latency
+    }
+
+    /// Metadata for an endpoint.
+    pub fn meta(&self, id: EndpointId) -> Option<&EndpointMeta> {
+        self.slots.get(id.0 as usize).map(|s| &s.meta)
+    }
+
+    /// Metadata for every endpoint, in id order.
+    pub fn all_meta(&self) -> impl Iterator<Item = (EndpointId, &EndpointMeta)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (EndpointId(i as u64), &s.meta))
+    }
+
+    /// Mutable fault plan (inject faults mid-run).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.inner.faults
+    }
+
+    /// Downcast a live endpoint for inspection.
+    pub fn endpoint<T: Endpoint>(&self, id: EndpointId) -> Option<&T> {
+        let slot = self.slots.get(id.0 as usize)?;
+        let ep = slot.ep.as_deref()?;
+        (ep as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Downcast a live endpoint for mutation (test setup only; production
+    /// interaction goes through messages).
+    pub fn endpoint_mut<T: Endpoint>(&mut self, id: EndpointId) -> Option<&mut T> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        let ep = slot.ep.as_deref_mut()?;
+        (ep as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Send a message from "outside Legion" (bootstrap, drivers, tests).
+    /// Delivered at `now + latency from `from_location``.
+    pub fn inject(
+        &mut self,
+        from_location: Location,
+        to: ObjectAddressElement,
+        msg: Message,
+    ) -> bool {
+        let inner = &mut self.inner;
+        send_one(inner, &mut self.slots, from_location, None, to, msg)
+    }
+
+    /// A fresh call id for drivers injecting calls from outside.
+    pub fn fresh_call_id(&mut self) -> CallId {
+        self.inner.fresh_call_id()
+    }
+
+    /// Process the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.inner.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.inner.now, "time must not run backwards");
+        self.inner.now = ev.at;
+        self.inner.stats.events += 1;
+        let idx = ev.to.0 as usize;
+        let alive = self
+            .slots
+            .get(idx)
+            .map(|s| s.meta.alive && s.ep.is_some())
+            .unwrap_or(false);
+        if !alive {
+            if matches!(ev.kind, EventKind::Deliver(_)) {
+                self.inner.stats.dead_letters += 1;
+            }
+            return true;
+        }
+        let mut ep = self.slots[idx].ep.take().expect("alive implies present");
+        {
+            let mut ctx = Ctx {
+                self_id: ev.to,
+                inner: &mut self.inner,
+                slots: &mut self.slots,
+                spawned: Vec::new(),
+            };
+            match ev.kind {
+                EventKind::Start => ep.on_start(&mut ctx),
+                EventKind::Deliver(msg) => {
+                    ctx.slots[idx].meta.received += 1;
+                    ctx.inner.stats.delivered += 1;
+                    ep.on_message(&mut ctx, *msg);
+                }
+                EventKind::Timer(tag) => ep.on_timer(&mut ctx, tag),
+            }
+            let spawned = std::mem::take(&mut ctx.spawned);
+            drop(ctx);
+            // Schedule Start events for endpoints spawned by the handler.
+            for id in spawned {
+                let seq = self.inner.bump_seq();
+                self.inner.queue.push(Reverse(Event {
+                    at: self.inner.now,
+                    seq,
+                    to: id,
+                    kind: EventKind::Start,
+                }));
+            }
+        }
+        // The handler may have killed its own endpoint.
+        if self.slots[idx].meta.alive {
+            self.slots[idx].ep = Some(ep);
+        }
+        true
+    }
+
+    /// Run until the event queue drains or `max_events` were processed.
+    /// Returns the number of events processed.
+    pub fn run_until_quiescent(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run until virtual time reaches `deadline` (events after it stay
+    /// queued) or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        loop {
+            match self.inner.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= deadline => {
+                    self.step();
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        self.inner.now = self.inner.now.max(deadline);
+        n
+    }
+
+    /// Number of endpoints ever attached (dead slots included).
+    pub fn endpoint_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Are there pending events?
+    pub fn is_quiescent(&self) -> bool {
+        self.inner.queue.is_empty()
+    }
+}
+
+impl Inner {
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn fresh_call_id(&mut self) -> CallId {
+        let id = CallId(self.next_call);
+        self.next_call += 1;
+        id
+    }
+}
+
+/// Attempt one physical send. Returns `true` if accepted (delivery still
+/// subject to silent loss); `false` for a detectable refusal.
+fn send_one(
+    inner: &mut Inner,
+    slots: &mut [Slot],
+    from_location: Location,
+    from_slot: Option<usize>,
+    to: ObjectAddressElement,
+    msg: Message,
+) -> bool {
+    if let Some(i) = from_slot {
+        slots[i].meta.sent += 1;
+    }
+    let Some(ep) = to.sim_endpoint() else {
+        inner.stats.refused += 1;
+        return false;
+    };
+    let Some(dest) = slots.get(ep as usize) else {
+        inner.stats.refused += 1;
+        return false;
+    };
+    if !dest.meta.alive {
+        inner.stats.refused += 1;
+        return false;
+    }
+    inner.stats.sent += 1;
+    match inner.faults.judge(from_location, dest.meta.location, &mut inner.rng) {
+        Verdict::DropSilently => {
+            inner.stats.lost += 1;
+            true
+        }
+        Verdict::Deliver => {
+            let delay = inner
+                .topology
+                .latency(from_location, dest.meta.location, &mut inner.rng);
+            inner.latency.record(delay.as_nanos());
+            let at = inner.now.saturating_add(delay.as_nanos());
+            let seq = inner.bump_seq();
+            inner.queue.push(Reverse(Event {
+                at,
+                seq,
+                to: EndpointId(ep),
+                kind: EventKind::Deliver(Box::new(msg)),
+            }));
+            true
+        }
+    }
+}
+
+/// The handler-side view of the kernel.
+pub struct Ctx<'a> {
+    self_id: EndpointId,
+    inner: &'a mut Inner,
+    slots: &'a mut Vec<Slot>,
+    spawned: Vec<EndpointId>,
+}
+
+impl Ctx<'_> {
+    /// This endpoint's id.
+    pub fn self_id(&self) -> EndpointId {
+        self.self_id
+    }
+
+    /// This endpoint's address element.
+    pub fn self_element(&self) -> ObjectAddressElement {
+        self.self_id.element()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// The kernel's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner.rng
+    }
+
+    /// A fresh call id.
+    pub fn fresh_call_id(&mut self) -> CallId {
+        self.inner.fresh_call_id()
+    }
+
+    /// Bump a named protocol counter.
+    pub fn count(&mut self, name: &str) {
+        self.inner.counters.bump(name);
+    }
+
+    /// Add to a named protocol counter.
+    pub fn count_n(&mut self, name: &str, n: u64) {
+        self.inner.counters.add(name, n);
+    }
+
+    /// This endpoint's location.
+    pub fn location(&self) -> Location {
+        self.slots[self.self_id.0 as usize].meta.location
+    }
+
+    /// Send to one address element. `true` = accepted (may still be lost
+    /// silently); `false` = detectably refused (stale address, §4.1.4).
+    pub fn send(&mut self, to: ObjectAddressElement, mut msg: Message) -> bool {
+        if msg.reply_to.is_none() {
+            msg.reply_to = Some(self.self_element());
+        }
+        let loc = self.location();
+        send_one(
+            self.inner,
+            self.slots,
+            loc,
+            Some(self.self_id.0 as usize),
+            to,
+            msg,
+        )
+    }
+
+    /// Send through a full [`ObjectAddress`], honouring its semantics
+    /// (§3.4, §4.3).
+    pub fn send_address(&mut self, addr: &ObjectAddress, msg: Message) -> SendReport {
+        let elements = &addr.elements;
+        if elements.is_empty() {
+            return SendReport::default();
+        }
+        let targets: Vec<ObjectAddressElement> = match addr.semantics {
+            AddressSemantics::Single | AddressSemantics::User(_) => vec![elements[0]],
+            AddressSemantics::SendToAll => elements.clone(),
+            AddressSemantics::PickRandom => {
+                let i = self.inner.rng.gen_range(0..elements.len());
+                vec![elements[i]]
+            }
+            AddressSemantics::KOfN(k) => {
+                let mut pool = elements.clone();
+                pool.shuffle(&mut self.inner.rng);
+                pool.truncate((k as usize).min(elements.len()));
+                pool
+            }
+            AddressSemantics::FirstReachable => {
+                // Try in order until a send is accepted.
+                let mut report = SendReport::default();
+                for e in elements {
+                    report.attempted += 1;
+                    if self.send(*e, msg.clone()) {
+                        report.accepted += 1;
+                        break;
+                    }
+                }
+                return report;
+            }
+        };
+        let mut report = SendReport::default();
+        for e in targets {
+            report.attempted += 1;
+            if self.send(e, msg.clone()) {
+                report.accepted += 1;
+            }
+        }
+        report
+    }
+
+    /// Issue a method call to `to`, returning the fresh [`CallId`] if the
+    /// send was accepted.
+    pub fn call(
+        &mut self,
+        to: ObjectAddressElement,
+        target: Loid,
+        method: impl Into<String>,
+        args: Vec<LegionValue>,
+        env: InvocationEnv,
+        sender: Option<Loid>,
+    ) -> Option<CallId> {
+        let id = self.fresh_call_id();
+        let mut msg = Message::call(id, target, method, args, env);
+        msg.sender = sender;
+        if self.send(to, msg) {
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Reply to `call` with `result`. Returns `false` if the caller's
+    /// address is unknown or refused.
+    pub fn reply(&mut self, call: &Message, result: Result<LegionValue, String>) -> bool {
+        let Some(dest) = call.reply_to else {
+            return false;
+        };
+        let id = self.fresh_call_id();
+        let reply = Message::reply_to(call, id, result);
+        self.send(dest, reply)
+    }
+
+    /// Fire `on_timer(tag)` on this endpoint after `delay_ns`.
+    pub fn set_timer(&mut self, delay_ns: u64, tag: u64) {
+        let at = self.inner.now.saturating_add(delay_ns);
+        let seq = self.inner.bump_seq();
+        self.inner.queue.push(Reverse(Event {
+            at,
+            seq,
+            to: self.self_id,
+            kind: EventKind::Timer(tag),
+        }));
+    }
+
+    /// Spawn a new endpoint (activation); its `on_start` runs right after
+    /// the current handler returns.
+    pub fn spawn(
+        &mut self,
+        ep: Box<dyn Endpoint>,
+        location: Location,
+        name: impl Into<String>,
+    ) -> EndpointId {
+        let id = EndpointId(self.slots.len() as u64);
+        self.slots.push(Slot {
+            ep: Some(ep),
+            meta: EndpointMeta {
+                location,
+                name: name.into(),
+                received: 0,
+                sent: 0,
+                alive: true,
+            },
+        });
+        self.spawned.push(id);
+        id
+    }
+
+    /// Kill an endpoint (deactivation). Killing `self` is allowed: the
+    /// current handler finishes, then the endpoint is dropped.
+    pub fn kill(&mut self, id: EndpointId) {
+        if let Some(slot) = self.slots.get_mut(id.0 as usize) {
+            slot.meta.alive = false;
+            if id != self.self_id {
+                slot.ep = None;
+            }
+        }
+    }
+
+    /// Metadata for any endpoint (alive or dead).
+    pub fn meta_of(&self, id: EndpointId) -> Option<&EndpointMeta> {
+        self.slots.get(id.0 as usize).map(|s| &s.meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Body;
+    use legion_core::address::AddressSemantics;
+
+    /// Echoes every call back as a reply carrying the same args.
+    struct Echo {
+        loid: Loid,
+        got: Vec<String>,
+    }
+
+    impl Echo {
+        fn new(loid: Loid) -> Self {
+            Echo {
+                loid,
+                got: Vec::new(),
+            }
+        }
+    }
+
+    impl Endpoint for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            if let Some(m) = msg.method() {
+                self.got.push(m.to_owned());
+                ctx.count("echo_calls");
+                let args = msg.args().to_vec();
+                ctx.reply(&msg, Ok(LegionValue::List(args)));
+            }
+            let _ = self.loid;
+        }
+    }
+
+    /// Records replies it receives.
+    #[derive(Default)]
+    struct Client {
+        replies: Vec<Result<LegionValue, String>>,
+    }
+
+    impl Endpoint for Client {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Message) {
+            if let Body::Reply { result, .. } = msg.body {
+                self.replies.push(result);
+            }
+        }
+    }
+
+    fn kernel() -> SimKernel {
+        SimKernel::new(Topology::fixed(1_000, 10_000, 1_000_000), FaultPlan::none(), 42)
+    }
+
+    #[test]
+    fn call_and_reply_roundtrip() {
+        let mut k = kernel();
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        let client = k.add_endpoint(Box::new(Client::default()), Location::new(0, 1), "client");
+        let id = k.fresh_call_id();
+        let mut msg = Message::call(
+            id,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![LegionValue::Uint(9)],
+            InvocationEnv::anonymous(),
+        );
+        msg.reply_to = Some(client.element());
+        assert!(k.inject(Location::new(0, 1), echo.element(), msg));
+        k.run_until_quiescent(100);
+        let c = k.endpoint::<Client>(client).unwrap();
+        assert_eq!(c.replies.len(), 1);
+        assert_eq!(
+            c.replies[0],
+            Ok(LegionValue::List(vec![LegionValue::Uint(9)]))
+        );
+        assert_eq!(k.counters().get("echo_calls"), 1);
+        assert_eq!(k.meta(echo).unwrap().received, 1);
+        assert_eq!(k.stats().delivered, 2); // call + reply
+    }
+
+    #[test]
+    fn latency_tiers_shape_virtual_time() {
+        let mut k = kernel();
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        // Same-jurisdiction call: 10µs there + 10µs back = 20µs.
+        let client = k.add_endpoint(Box::new(Client::default()), Location::new(0, 1), "client");
+        let id = k.fresh_call_id();
+        let mut msg = Message::call(
+            id,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous(),
+        );
+        msg.reply_to = Some(client.element());
+        k.inject(Location::new(0, 1), echo.element(), msg);
+        k.run_until_quiescent(100);
+        assert_eq!(k.now(), SimTime(20_000));
+    }
+
+    #[test]
+    fn send_to_dead_endpoint_is_refused() {
+        let mut k = kernel();
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        k.remove_endpoint(echo);
+        let id = k.fresh_call_id();
+        let msg = Message::call(
+            id,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous(),
+        );
+        assert!(!k.inject(Location::new(0, 0), echo.element(), msg));
+        assert_eq!(k.stats().refused, 1);
+    }
+
+    #[test]
+    fn send_to_unknown_endpoint_is_refused() {
+        let mut k = kernel();
+        let id = k.fresh_call_id();
+        let msg = Message::call(
+            id,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous(),
+        );
+        assert!(!k.inject(
+            Location::new(0, 0),
+            ObjectAddressElement::sim(999),
+            msg.clone()
+        ));
+        // Non-sim elements are refused too.
+        assert!(!k.inject(
+            Location::new(0, 0),
+            ObjectAddressElement::ipv4([127, 0, 0, 1], 80),
+            msg
+        ));
+        assert_eq!(k.stats().refused, 2);
+    }
+
+    /// An endpoint that forwards a call through a replicated address.
+    struct Fanout {
+        addr: ObjectAddress,
+    }
+
+    impl Endpoint for Fanout {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let id = ctx.fresh_call_id();
+            let msg = Message::call(
+                id,
+                Loid::instance(16, 1),
+                "Ping",
+                vec![],
+                InvocationEnv::anonymous(),
+            );
+            let report = ctx.send_address(&self.addr.clone(), msg);
+            ctx.count_n("fanout_accepted", report.accepted as u64);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+    }
+
+    fn replicated_kernel(
+        semantics: AddressSemantics,
+        replicas: usize,
+    ) -> (SimKernel, Vec<EndpointId>) {
+        let mut k = kernel();
+        let mut eps = Vec::new();
+        for i in 0..replicas {
+            eps.push(k.add_endpoint(
+                Box::new(Echo::new(Loid::instance(16, i as u64 + 1))),
+                Location::new(0, i as u32),
+                format!("replica{i}"),
+            ));
+        }
+        let addr = ObjectAddress::replicated(eps.iter().map(|e| e.element()).collect(), semantics);
+        k.add_endpoint(Box::new(Fanout { addr }), Location::new(0, 99), "fanout");
+        (k, eps)
+    }
+
+    #[test]
+    fn send_to_all_reaches_every_replica() {
+        let (mut k, eps) = replicated_kernel(AddressSemantics::SendToAll, 4);
+        k.run_until_quiescent(100);
+        for e in eps {
+            assert_eq!(k.meta(e).unwrap().received, 1);
+        }
+        assert_eq!(k.counters().get("fanout_accepted"), 4);
+    }
+
+    #[test]
+    fn pick_random_reaches_exactly_one() {
+        let (mut k, eps) = replicated_kernel(AddressSemantics::PickRandom, 4);
+        k.run_until_quiescent(100);
+        let total: u64 = eps.iter().map(|e| k.meta(*e).unwrap().received).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn k_of_n_reaches_k_distinct() {
+        let (mut k, eps) = replicated_kernel(AddressSemantics::KOfN(2), 5);
+        k.run_until_quiescent(100);
+        let hit: Vec<u64> = eps.iter().map(|e| k.meta(*e).unwrap().received).collect();
+        assert_eq!(hit.iter().sum::<u64>(), 2);
+        assert!(hit.iter().all(|&h| h <= 1), "distinct replicas: {hit:?}");
+    }
+
+    #[test]
+    fn first_reachable_skips_dead_replicas() {
+        let (mut k, eps) = replicated_kernel(AddressSemantics::FirstReachable, 3);
+        k.remove_endpoint(eps[0]);
+        k.run_until_quiescent(100);
+        assert_eq!(k.meta(eps[1]).unwrap().received, 1);
+        assert_eq!(k.meta(eps[2]).unwrap().received, 0);
+    }
+
+    #[test]
+    fn empty_address_sends_nothing() {
+        let mut k = kernel();
+        let addr = ObjectAddress {
+            elements: vec![],
+            semantics: AddressSemantics::SendToAll,
+        };
+        k.add_endpoint(Box::new(Fanout { addr }), Location::new(0, 0), "fanout");
+        k.run_until_quiescent(10);
+        assert_eq!(k.stats().sent, 0);
+    }
+
+    struct TimerBeat {
+        fired: Vec<u64>,
+    }
+
+    impl Endpoint for TimerBeat {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(500, 1);
+            ctx.set_timer(1500, 2);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+            self.fired.push(tag);
+            if tag == 2 {
+                ctx.set_timer(100, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut k = kernel();
+        let t = k.add_endpoint(
+            Box::new(TimerBeat { fired: vec![] }),
+            Location::new(0, 0),
+            "timer",
+        );
+        k.run_until_quiescent(100);
+        assert_eq!(k.endpoint::<TimerBeat>(t).unwrap().fired, vec![1, 2, 3]);
+        assert_eq!(k.now(), SimTime(1_600));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut k = kernel();
+        let t = k.add_endpoint(
+            Box::new(TimerBeat { fired: vec![] }),
+            Location::new(0, 0),
+            "timer",
+        );
+        k.run_until(SimTime(600));
+        assert_eq!(k.endpoint::<TimerBeat>(t).unwrap().fired, vec![1]);
+        assert_eq!(k.now(), SimTime(600));
+        k.run_until(SimTime(10_000));
+        assert_eq!(k.endpoint::<TimerBeat>(t).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    /// Spawner: on start, spawns a child and messages it.
+    struct Spawner;
+    struct Child {
+        started: bool,
+        got: u64,
+    }
+
+    impl Endpoint for Spawner {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let child = ctx.spawn(
+                Box::new(Child {
+                    started: false,
+                    got: 0,
+                }),
+                Location::new(0, 0),
+                "child",
+            );
+            let id = ctx.fresh_call_id();
+            let msg = Message::call(
+                id,
+                Loid::instance(16, 1),
+                "Hello",
+                vec![],
+                InvocationEnv::anonymous(),
+            );
+            assert!(ctx.send(child.element(), msg));
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+    }
+
+    impl Endpoint for Child {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {
+            self.started = true;
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {
+            self.got += 1;
+        }
+    }
+
+    #[test]
+    fn handlers_can_spawn_endpoints() {
+        let mut k = kernel();
+        k.add_endpoint(Box::new(Spawner), Location::new(0, 0), "spawner");
+        k.run_until_quiescent(100);
+        assert_eq!(k.endpoint_count(), 2);
+        let child_id = EndpointId(1);
+        let child = k.endpoint::<Child>(child_id).unwrap();
+        assert!(child.started);
+        assert_eq!(child.got, 1);
+    }
+
+    struct SelfKiller;
+    impl Endpoint for SelfKiller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let me = ctx.self_id();
+            ctx.kill(me);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {
+            panic!("dead endpoints receive nothing");
+        }
+    }
+
+    #[test]
+    fn self_kill_takes_effect_after_handler() {
+        let mut k = kernel();
+        let id = k.add_endpoint(Box::new(SelfKiller), Location::new(0, 0), "sk");
+        k.run_until_quiescent(10);
+        assert!(!k.meta(id).unwrap().alive);
+        // Deliveries to it are refused at send time.
+        let cid = k.fresh_call_id();
+        let msg = Message::call(
+            cid,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous(),
+        );
+        assert!(!k.inject(Location::new(0, 0), id.element(), msg));
+    }
+
+    #[test]
+    fn drops_are_silent_and_counted() {
+        let mut k = SimKernel::new(Topology::zero(), FaultPlan::none(), 7);
+        k.faults_mut().set_drop_probability(1.0);
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        let cid = k.fresh_call_id();
+        let msg = Message::call(
+            cid,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous(),
+        );
+        // Accepted (sender can't tell) but never delivered.
+        assert!(k.inject(Location::new(0, 0), echo.element(), msg));
+        k.run_until_quiescent(10);
+        assert_eq!(k.stats().lost, 1);
+        assert_eq!(k.meta(echo).unwrap().received, 0);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed: u64| {
+            let (mut k, _) = {
+                let mut k = SimKernel::new(Topology::default(), FaultPlan::none(), seed);
+                let mut eps = Vec::new();
+                for i in 0..5 {
+                    eps.push(k.add_endpoint(
+                        Box::new(Echo::new(Loid::instance(16, i + 1))),
+                        Location::new(i as u32 % 2, i as u32),
+                        format!("e{i}"),
+                    ));
+                }
+                let addr = ObjectAddress::replicated(
+                    eps.iter().map(|e| e.element()).collect(),
+                    AddressSemantics::KOfN(3),
+                );
+                k.add_endpoint(Box::new(Fanout { addr }), Location::new(0, 9), "f");
+                (k, eps)
+            };
+            k.run_until_quiescent(1000);
+            (
+                k.now(),
+                k.stats().delivered,
+                k.latency_histogram().sum(),
+            )
+        };
+        assert_eq!(run(123), run(123));
+    }
+}

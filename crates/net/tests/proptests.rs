@@ -1,0 +1,152 @@
+//! Property-based tests for the substrate: histogram quantiles against
+//! exact order statistics, fault-plan symmetry, and kernel determinism
+//! under randomized endpoint populations.
+
+use legion_core::env::InvocationEnv;
+use legion_core::loid::Loid;
+use legion_net::faults::{FaultPlan, Verdict};
+use legion_net::message::Message;
+use legion_net::metrics::Histogram;
+use legion_net::sim::{Ctx, Endpoint, SimKernel};
+use legion_net::topology::{LatencySpec, Location, Topology};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The log₂ histogram's quantile over-estimates the exact order
+    /// statistic by at most 2x and never under-estimates below the
+    /// bucket's lower bound.
+    #[test]
+    fn histogram_quantile_brackets_exact(
+        mut samples in proptest::collection::vec(0u64..1_000_000, 1..300),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let exact = samples[rank - 1];
+        let approx = h.quantile(q);
+        prop_assert!(approx >= exact, "approx {approx} < exact {exact}");
+        prop_assert!(
+            approx <= exact.saturating_mul(2).max(1),
+            "approx {approx} > 2*exact {exact}"
+        );
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), samples[0]);
+        prop_assert_eq!(h.max(), *samples.last().unwrap());
+    }
+
+    /// Histogram merge equals recording the concatenation.
+    #[test]
+    fn histogram_merge_is_concat(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        for &s in &a { ha.record(s); }
+        let mut hb = Histogram::new();
+        for &s in &b { hb.record(s); }
+        ha.merge(&hb);
+        let mut hc = Histogram::new();
+        for &s in a.iter().chain(b.iter()) { hc.record(s); }
+        prop_assert_eq!(ha, hc);
+    }
+
+    /// Partitions are symmetric and heal exactly.
+    #[test]
+    fn partitions_are_symmetric(pairs in proptest::collection::vec((0u32..8, 0u32..8), 0..16)) {
+        let mut plan = FaultPlan::none();
+        for (a, b) in &pairs {
+            plan.partition(*a, *b);
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let ab = plan.judge(Location::new(a, 0), Location::new(b, 0), &mut rng);
+                let ba = plan.judge(Location::new(b, 0), Location::new(a, 0), &mut rng);
+                prop_assert_eq!(ab, ba);
+                let expected = pairs.iter().any(|(x, y)| {
+                    (*x.min(y), *x.max(y)) == (a.min(b), a.max(b))
+                });
+                prop_assert_eq!(ab == Verdict::DropSilently, expected);
+            }
+        }
+        for (a, b) in &pairs {
+            plan.heal(*a, *b);
+        }
+        prop_assert!(!plan.has_partitions());
+    }
+
+    /// Latency sampling always lands in `[base, base+jitter]` and picks
+    /// the right tier.
+    #[test]
+    fn topology_samples_in_range(
+        base in 0u64..10_000,
+        jitter in 0u64..10_000,
+        aj in 0u32..4, ah in 0u32..4, bj in 0u32..4, bh in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = LatencySpec { base_ns: base, jitter_ns: jitter };
+        let t = Topology { same_host: spec, same_jurisdiction: spec, cross_jurisdiction: spec };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = Location::new(aj, ah);
+        let b = Location::new(bj, bh);
+        for _ in 0..20 {
+            let l = t.latency(a, b, &mut rng).as_nanos();
+            prop_assert!(l >= base && l <= base + jitter);
+        }
+    }
+
+    /// A randomized ping-pong population is deterministic per seed: the
+    /// same seed gives identical delivered counts and final time.
+    #[test]
+    fn kernel_deterministic_for_random_populations(
+        n in 1usize..10,
+        fanout in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        struct Pinger {
+            peers: Vec<u64>,
+            budget: u32,
+        }
+        impl Endpoint for Pinger {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for &p in &self.peers.clone() {
+                    let id = ctx.fresh_call_id();
+                    let msg = Message::call(
+                        id,
+                        Loid::instance(1, p + 1),
+                        "Ping",
+                        vec![],
+                        InvocationEnv::anonymous(),
+                    );
+                    ctx.send(legion_core::address::ObjectAddressElement::sim(p), msg);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+                if self.budget > 0 && !msg.is_reply() {
+                    self.budget -= 1;
+                    ctx.reply(&msg, Ok(legion_core::value::LegionValue::Void));
+                }
+            }
+        }
+        let run = |seed: u64| {
+            let mut k = SimKernel::with_seed(seed);
+            for i in 0..n {
+                let peers = (0..fanout).map(|f| ((i + f + 1) % n) as u64).collect();
+                k.add_endpoint(
+                    Box::new(Pinger { peers, budget: 3 }),
+                    Location::new((i % 3) as u32, i as u32),
+                    format!("p{i}"),
+                );
+            }
+            k.run_until_quiescent(100_000);
+            (k.now(), k.stats().delivered, k.stats().sent)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests: codec and OPR roundtrips over arbitrary values,
+//! and corruption detection over arbitrary byte flips.
+
+use legion_persist::codec::{decode_value, encode_value, CodecError};
+use legion_persist::opr::Opr;
+use legion_persist::storage::JurisdictionStorage;
+use legion_core::address::{AddressKind, AddressSemantics, ObjectAddress, ObjectAddressElement};
+use legion_core::binding::Binding;
+use legion_core::loid::Loid;
+use legion_core::time::{Expiry, SimTime};
+use legion_core::value::LegionValue;
+use proptest::prelude::*;
+
+fn arb_loid() -> impl Strategy<Value = Loid> {
+    (any::<u64>(), any::<u64>()).prop_map(|(c, s)| Loid::instance(c, s))
+}
+
+fn arb_element() -> impl Strategy<Value = ObjectAddressElement> {
+    prop_oneof![
+        any::<u64>().prop_map(ObjectAddressElement::sim),
+        (any::<[u8; 4]>(), any::<u16>()).prop_map(|(a, p)| ObjectAddressElement::ipv4(a, p)),
+        (any::<[u8; 4]>(), any::<u16>(), any::<u32>())
+            .prop_map(|(a, p, n)| ObjectAddressElement::ipv4_node(a, p, n)),
+        (any::<u32>(), any::<[u8; 32]>()).prop_map(|(tag, info)| ObjectAddressElement {
+            kind: AddressKind::from_tag(tag),
+            info,
+        }),
+    ]
+}
+
+fn arb_semantics() -> impl Strategy<Value = AddressSemantics> {
+    prop_oneof![
+        Just(AddressSemantics::Single),
+        Just(AddressSemantics::SendToAll),
+        Just(AddressSemantics::PickRandom),
+        any::<u32>().prop_map(AddressSemantics::KOfN),
+        Just(AddressSemantics::FirstReachable),
+        any::<u32>().prop_map(AddressSemantics::User),
+    ]
+}
+
+fn arb_address() -> impl Strategy<Value = ObjectAddress> {
+    (proptest::collection::vec(arb_element(), 0..5), arb_semantics())
+        .prop_map(|(elements, semantics)| ObjectAddress { elements, semantics })
+}
+
+fn arb_expiry() -> impl Strategy<Value = Expiry> {
+    prop_oneof![
+        Just(Expiry::Never),
+        any::<u64>().prop_map(|t| Expiry::At(SimTime(t))),
+    ]
+}
+
+fn arb_binding() -> impl Strategy<Value = Binding> {
+    (arb_loid(), arb_address(), arb_expiry()).prop_map(|(loid, address, expiry)| Binding {
+        loid,
+        address,
+        expiry,
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = LegionValue> {
+    let leaf = prop_oneof![
+        Just(LegionValue::Void),
+        any::<bool>().prop_map(LegionValue::Bool),
+        any::<i64>().prop_map(LegionValue::Int),
+        any::<u64>().prop_map(LegionValue::Uint),
+        any::<f64>().prop_map(LegionValue::Float),
+        ".{0,24}".prop_map(LegionValue::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(LegionValue::Bytes),
+        arb_loid().prop_map(LegionValue::Loid),
+        arb_address().prop_map(LegionValue::Address),
+        arb_binding().prop_map(|b| LegionValue::Binding(Box::new(b))),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(LegionValue::List)
+    })
+}
+
+/// Structural equality that treats NaN floats as equal (the codec is
+/// bit-preserving but `PartialEq` on f64 is not reflexive for NaN).
+fn eq_mod_nan(a: &LegionValue, b: &LegionValue) -> bool {
+    match (a, b) {
+        (LegionValue::Float(x), LegionValue::Float(y)) => {
+            x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+        }
+        (LegionValue::List(xs), LegionValue::List(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| eq_mod_nan(x, y))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    /// Any value encodes and decodes to itself.
+    #[test]
+    fn codec_roundtrip(v in arb_value()) {
+        let bytes = encode_value(&v);
+        let back = decode_value(&bytes).expect("decode");
+        prop_assert!(eq_mod_nan(&v, &back), "{v:?} != {back:?}");
+    }
+
+    /// Every strict prefix of an encoding fails to decode (no silent
+    /// truncation), except prefixes that are themselves complete — which
+    /// cannot happen because decode_value demands full consumption.
+    #[test]
+    fn codec_prefixes_fail(v in arb_value()) {
+        let bytes = encode_value(&v);
+        for cut in 0..bytes.len() {
+            prop_assert!(decode_value(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+    }
+
+    /// Garbage after a valid encoding is rejected.
+    #[test]
+    fn codec_trailing_garbage_fails(v in arb_value(), junk in 1u8..) {
+        let mut bytes = encode_value(&v).to_vec();
+        bytes.push(junk);
+        prop_assert!(matches!(
+            decode_value(&bytes),
+            Err(CodecError::Truncated) | Err(CodecError::BadTag(_)) | Err(CodecError::LengthTooLarge(_))
+        ));
+    }
+
+    /// OPRs roundtrip for arbitrary state payloads and LOIDs.
+    #[test]
+    fn opr_roundtrip(
+        class_id in 1u64..,
+        seq in 1u64..,
+        hash in any::<u64>(),
+        state in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let opr = Opr::new(
+            Loid::instance(class_id, seq),
+            Loid::class_object(class_id),
+            hash,
+            state,
+        );
+        let back = Opr::decode(&opr.encode()).expect("decode");
+        prop_assert_eq!(back, opr);
+    }
+
+    /// Flipping any single byte of an encoded OPR is detected.
+    #[test]
+    fn opr_detects_any_single_byte_flip(
+        state in proptest::collection::vec(any::<u8>(), 0..128),
+        pos_seed in any::<usize>(),
+        flip in 1u8..,
+    ) {
+        let opr = Opr::new(Loid::instance(5, 6), Loid::class_object(5), 1, state);
+        let mut bytes = opr.encode().to_vec();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        prop_assert!(Opr::decode(&bytes).is_err(), "flip at {pos} undetected");
+    }
+
+    /// Storage: store → load returns the same OPR; delete frees exactly
+    /// what was used.
+    #[test]
+    fn storage_roundtrip_and_accounting(
+        states in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+    ) {
+        let mut s = JurisdictionStorage::new(1, 2, 1 << 20);
+        let mut addrs = Vec::new();
+        for (i, state) in states.iter().enumerate() {
+            let opr = Opr::new(
+                Loid::instance(9, i as u64 + 1),
+                Loid::class_object(9),
+                0,
+                state.clone(),
+            );
+            let addr = s.store_opr(&opr).expect("store");
+            prop_assert_eq!(s.load_opr(&addr).expect("load"), opr);
+            addrs.push(addr);
+        }
+        prop_assert_eq!(s.file_count(), states.len());
+        for addr in &addrs {
+            s.delete(addr).expect("delete");
+        }
+        prop_assert_eq!(s.used(), 0);
+        prop_assert_eq!(s.file_count(), 0);
+    }
+}

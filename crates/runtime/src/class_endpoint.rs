@@ -1,0 +1,806 @@
+//! Class objects as live endpoints (paper §3.7, §4.1, §4.2).
+//!
+//! A class object is "responsible for creating and locating its instances
+//! and subclasses". The [`ClassEndpoint`] owns the per-class state
+//! ([`ClassObject`]: interface, LOID allocator, logical table) and serves
+//! the class-mandatory member functions over messages:
+//!
+//! * `Create()` — pick a Magistrate (a scheduling decision "left up to the
+//!   class"), hand it an activation spec, record the new row;
+//! * `GetBinding(loid)` — answer from the logical table's Object Address
+//!   column, or consult a Magistrate from the row's Current Magistrate
+//!   List via `Activate()` — "referring to the LOID of an Inert object can
+//!   cause the object to be activated" (§4.1.2);
+//! * `Derive(name[, flags])` — obtain a Class Identifier from LegionClass,
+//!   then spawn the new class object with this class's interface;
+//! * `InheritFrom(base)` — resolve the base (through the class's own
+//!   Binding Agent — classes are objects too), fetch its interface as IDL
+//!   text, and merge it;
+//! * table-maintenance notifications (`SetAddress`, `Add/RemoveMagistrate`,
+//!   `Announce`).
+//!
+//! [`LegionClassEndpoint`] is the metaclass: the Class Identifier
+//! authority and the keeper of responsibility pairs (§4.1.3).
+
+use crate::protocol::{class as class_proto, magistrate as mag_proto, ActivationSpec};
+use legion_core::address::{ObjectAddress, ObjectAddressElement};
+use legion_core::binding::Binding;
+use legion_core::class::{ClassKind, ClassObject, TableEntry};
+use legion_core::env::InvocationEnv;
+use legion_core::idl;
+use legion_core::loid::Loid;
+use legion_core::metaclass::LegionClassAuthority;
+use legion_core::value::LegionValue;
+use legion_naming::protocol::{
+    self as naming_proto, BindingArg, FIND_RESPONSIBLE, GET_BINDING, ISSUE_CLASS_ID,
+};
+use legion_naming::resolver::{ClientResolver, Lookup};
+use legion_net::message::{Body, CallId, Message};
+use legion_net::sim::{Ctx, Endpoint};
+use std::collections::HashMap;
+
+/// Shared configuration for class endpoints (inherited by subclasses
+/// spawned through `Derive`).
+#[derive(Clone)]
+pub struct ClassConfig {
+    /// Address of the LegionClass endpoint.
+    pub legion_class: ObjectAddressElement,
+    /// Candidate Magistrates available for object placement.
+    pub magistrates: Vec<(Loid, ObjectAddressElement)>,
+    /// The class's Binding Agent, for resolving base classes.
+    pub binding_agent: Option<ObjectAddressElement>,
+    /// Expiry stamped on served bindings (§3.5's "time that the binding
+    /// becomes invalid"). `None` serves never-expiring bindings; a TTL
+    /// bounds downstream cache staleness at the price of re-resolution.
+    pub binding_ttl_ns: Option<u64>,
+}
+
+enum Pending {
+    /// Magistrate is creating an instance.
+    Create { requester: Box<Message> },
+    /// Magistrate is activating `target` for a GetBinding.
+    ActivateForBinding {
+        target: Loid,
+        /// The magistrate consulted — dropped from the row's list if it
+        /// disclaims the object, so the class heals its own stale state.
+        magistrate: Loid,
+    },
+    /// LegionClass is issuing a Class Identifier for a Derive.
+    IssueId {
+        requester: Box<Message>,
+        name: String,
+        kind: ClassKind,
+    },
+    /// The base class is returning its interface for an InheritFrom.
+    BaseInterface {
+        requester: Box<Message>,
+        base: Loid,
+    },
+    /// A magistrate is deleting a child object.
+    DeleteChild {
+        requester: Box<Message>,
+        target: Loid,
+    },
+}
+
+/// A live class object.
+pub struct ClassEndpoint {
+    class: ClassObject,
+    cfg: ClassConfig,
+    resolver: Option<ClientResolver>,
+    pending: HashMap<CallId, Pending>,
+    /// GetBinding requests combined while a Magistrate activates a target.
+    binding_waiters: HashMap<Loid, Vec<Message>>,
+    /// InheritFrom requests waiting on base resolution.
+    inherit_waiters: HashMap<Loid, Vec<Message>>,
+    /// Round-robin cursor over candidate magistrates.
+    next_magistrate: usize,
+}
+
+impl ClassEndpoint {
+    /// Wrap a class object.
+    pub fn new(class: ClassObject, cfg: ClassConfig) -> Self {
+        let resolver = cfg
+            .binding_agent
+            .map(|agent| ClientResolver::new(class.loid, agent, 128));
+        ClassEndpoint {
+            class,
+            cfg,
+            resolver,
+            pending: HashMap::new(),
+            binding_waiters: HashMap::new(),
+            inherit_waiters: HashMap::new(),
+            next_magistrate: 0,
+        }
+    }
+
+    /// Read access to the wrapped class object (tests, experiments).
+    pub fn class(&self) -> &ClassObject {
+        &self.class
+    }
+
+    /// Mutable access (bootstrap wiring).
+    pub fn class_mut(&mut self) -> &mut ClassObject {
+        &mut self.class
+    }
+
+    fn env(&self) -> InvocationEnv {
+        InvocationEnv::solo(self.class.loid)
+    }
+
+    fn pick_magistrate(&mut self) -> Option<(Loid, ObjectAddressElement)> {
+        if self.cfg.magistrates.is_empty() {
+            return None;
+        }
+        let pick = self.cfg.magistrates[self.next_magistrate % self.cfg.magistrates.len()];
+        self.next_magistrate += 1;
+        Some(pick)
+    }
+
+    fn magistrate_element(&self, loid: &Loid) -> Option<ObjectAddressElement> {
+        self.cfg
+            .magistrates
+            .iter()
+            .find(|(l, _)| l == loid)
+            .map(|(_, e)| *e)
+    }
+
+    // ----- handlers -------------------------------------------------------
+
+    fn handle_create(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let state = match msg.args() {
+            [] => Vec::new(),
+            [LegionValue::Bytes(b)] => b.clone(),
+            _ => {
+                ctx.reply(&msg, Err("Create([state]) expected".into()));
+                return;
+            }
+        };
+        let loid = match self.class.create_instance() {
+            Ok(l) => l,
+            Err(e) => {
+                ctx.count("class.create_refused");
+                ctx.reply(&msg, Err(e.to_string()));
+                return;
+            }
+        };
+        let Some((mag_loid, mag_element)) = self.pick_magistrate() else {
+            self.class.table.remove(&loid);
+            ctx.reply(&msg, Err("class has no candidate magistrates".into()));
+            return;
+        };
+        self.class.table.add_magistrate(&loid, mag_loid);
+        let spec = ActivationSpec {
+            loid,
+            class: self.class.loid,
+            state,
+            class_addr: Some(ctx.self_element()),
+            magistrate_addr: Some(mag_element),
+        };
+        let env = self.env();
+        let me = self.class.loid;
+        match ctx.call(
+            mag_element,
+            mag_loid,
+            mag_proto::CREATE_OBJECT,
+            spec.to_args(),
+            env,
+            Some(me),
+        ) {
+            Some(call_id) => {
+                ctx.count("class.creates");
+                self.pending
+                    .insert(call_id, Pending::Create { requester: Box::new(msg) });
+            }
+            None => {
+                self.class.table.remove(&loid);
+                ctx.reply(&msg, Err(format!("magistrate {mag_loid} unreachable")));
+            }
+        }
+    }
+
+    fn handle_get_binding(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let (target, refresh) = match naming_proto::parse_binding_arg(&msg) {
+            Some(BindingArg::Loid(l)) => (l, false),
+            Some(BindingArg::Binding(b)) => (b.loid, true),
+            None => {
+                ctx.reply(&msg, Err("GetBinding: expected loid or binding".into()));
+                return;
+            }
+        };
+        ctx.count("class.get_binding");
+        let Some(entry) = self.class.table.get(&target) else {
+            ctx.reply(&msg, Err(format!("{}: unknown object {target}", self.class.loid)));
+            return;
+        };
+        if !refresh {
+            if let Some(addr) = &entry.address {
+                let b = self.stamp(ctx, Binding::forever(target, addr.clone()));
+                ctx.reply(&msg, Ok(LegionValue::from(b)));
+                return;
+            }
+        }
+        // The address column is NIL (or suspect): consult a Magistrate
+        // from the Current Magistrate List via Activate (§4.1.2).
+        let Some(mag_loid) = entry.current_magistrates.first().copied() else {
+            ctx.reply(
+                &msg,
+                Err(format!("{target} is Inert and has no magistrate on record")),
+            );
+            return;
+        };
+        let Some(_mag_element) = self.magistrate_element(&mag_loid) else {
+            ctx.reply(&msg, Err(format!("magistrate {mag_loid} has no known address")));
+            return;
+        };
+        let first = !self.binding_waiters.contains_key(&target);
+        self.binding_waiters.entry(target).or_default().push(msg);
+        if !first {
+            return;
+        }
+        ctx.count("class.activates_for_binding");
+        self.consult_magistrate(ctx, target, mag_loid);
+    }
+
+    /// Ask `magistrate` to activate `target` for a pending GetBinding.
+    fn consult_magistrate(&mut self, ctx: &mut Ctx<'_>, target: Loid, magistrate: Loid) {
+        let Some(mag_element) = self.magistrate_element(&magistrate) else {
+            self.finish_binding(ctx, target, Err(format!("magistrate {magistrate} has no known address")));
+            return;
+        };
+        let env = self.env();
+        let me = self.class.loid;
+        match ctx.call(
+            mag_element,
+            magistrate,
+            mag_proto::ACTIVATE,
+            vec![LegionValue::Loid(target)],
+            env,
+            Some(me),
+        ) {
+            Some(call_id) => {
+                self.pending
+                    .insert(call_id, Pending::ActivateForBinding { target, magistrate });
+            }
+            None => {
+                self.finish_binding(ctx, target, Err(format!("magistrate {magistrate} unreachable")));
+            }
+        }
+    }
+
+    /// Apply the configured TTL to an outgoing binding (§3.5: bindings
+    /// carry "the time that the binding becomes invalid").
+    fn stamp(&self, ctx: &Ctx<'_>, mut b: Binding) -> Binding {
+        if let Some(ttl) = self.cfg.binding_ttl_ns {
+            b.expiry = legion_core::time::Expiry::after(ctx.now(), ttl);
+        }
+        b
+    }
+
+    fn finish_binding(&mut self, ctx: &mut Ctx<'_>, target: Loid, result: Result<Binding, String>) {
+        if let Ok(b) = &result {
+            self.class.table.set_address(&target, Some(b.address.clone()));
+        }
+        let result = result.map(|b| self.stamp(ctx, b));
+        for msg in self.binding_waiters.remove(&target).unwrap_or_default() {
+            ctx.reply(&msg, result.clone().map(LegionValue::from));
+        }
+    }
+
+    fn handle_derive(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let (name, kind) = match msg.args() {
+            [LegionValue::Str(n)] => (n.clone(), ClassKind::NORMAL),
+            [LegionValue::Str(n), LegionValue::Str(flags)] => {
+                let kind = ClassKind {
+                    is_abstract: flags.contains("abstract"),
+                    is_private: flags.contains("private"),
+                    is_fixed: flags.contains("fixed"),
+                };
+                (n.clone(), kind)
+            }
+            _ => {
+                ctx.reply(&msg, Err("Derive(name[, flags]) expected".into()));
+                return;
+            }
+        };
+        if self.class.kind.is_private {
+            ctx.count("class.derive_refused");
+            ctx.reply(
+                &msg,
+                Err(format!("class {} is Private: Derive() is empty", self.class.loid)),
+            );
+            return;
+        }
+        let env = self.env();
+        let me = self.class.loid;
+        let lc = self.cfg.legion_class;
+        match ctx.call(
+            lc,
+            legion_core::wellknown::LEGION_CLASS,
+            ISSUE_CLASS_ID,
+            vec![LegionValue::Loid(me)],
+            env,
+            Some(me),
+        ) {
+            Some(call_id) => {
+                ctx.count("class.derives");
+                self.pending.insert(
+                    call_id,
+                    Pending::IssueId {
+                        requester: Box::new(msg),
+                        name,
+                        kind,
+                    },
+                );
+            }
+            None => {
+                ctx.reply(&msg, Err("LegionClass unreachable".into()));
+            }
+        }
+    }
+
+    fn spawn_subclass(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        class_id: u64,
+        name: String,
+        kind: ClassKind,
+    ) -> Binding {
+        let loid = Loid::class_object(class_id);
+        let mut sub = ClassObject::new(loid, name.clone(), kind);
+        sub.superclass = Some(self.class.loid);
+        // "A class that is derived from another class inherits the
+        // superclass's member functions" — copy the interface wholesale.
+        sub.interface = self.class.interface.clone();
+        sub.default_scheduling_agent = self.class.default_scheduling_agent;
+        let endpoint = ClassEndpoint::new(sub, self.cfg.clone());
+        let loc = ctx.location();
+        let ep = ctx.spawn(Box::new(endpoint), loc, format!("class:{name}"));
+        // Record responsibility: our table row + its address.
+        self.class
+            .record_subclass(loid)
+            .expect("Private checked earlier");
+        let address = ObjectAddress::single(ep.element());
+        self.class.table.set_address(&loid, Some(address.clone()));
+        Binding::forever(loid, address)
+    }
+
+    fn handle_inherit_from(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let Some(base) = naming_proto::parse_loid_arg(&msg) else {
+            ctx.reply(&msg, Err("InheritFrom(base) expected".into()));
+            return;
+        };
+        if self.class.kind.is_fixed {
+            ctx.count("class.inherit_refused");
+            ctx.reply(
+                &msg,
+                Err(format!("class {} is Fixed: InheritFrom() is empty", self.class.loid)),
+            );
+            return;
+        }
+        if base == self.class.loid {
+            ctx.reply(&msg, Err("a class cannot inherit from itself".into()));
+            return;
+        }
+        // Resolve the base class, preferring our own table (it may be our
+        // subclass), then the Binding Agent.
+        let known = self
+            .class
+            .table
+            .get(&base)
+            .and_then(|e| e.address.clone())
+            .map(|address| Binding::forever(base, address));
+        match known {
+            Some(b) => self.fetch_base_interface(ctx, &b, msg),
+            None => match &mut self.resolver {
+                Some(resolver) => match resolver.lookup(ctx, base) {
+                    Lookup::Cached(b) => self.fetch_base_interface(ctx, &b, msg),
+                    Lookup::Requested(_) => {
+                        self.inherit_waiters.entry(base).or_default().push(msg);
+                    }
+                    Lookup::AgentUnreachable => {
+                        ctx.reply(&msg, Err("binding agent unreachable".into()));
+                    }
+                },
+                None => {
+                    ctx.reply(
+                        &msg,
+                        Err(format!("cannot locate base {base}: no binding agent configured")),
+                    );
+                }
+            },
+        }
+    }
+
+    fn fetch_base_interface(&mut self, ctx: &mut Ctx<'_>, base_binding: &Binding, msg: Message) {
+        let Some(primary) = base_binding.address.primary().copied() else {
+            ctx.reply(&msg, Err("base class has an empty address".into()));
+            return;
+        };
+        let env = self.env();
+        let me = self.class.loid;
+        match ctx.call(
+            primary,
+            base_binding.loid,
+            legion_core::object::methods::GET_INTERFACE,
+            vec![],
+            env,
+            Some(me),
+        ) {
+            Some(call_id) => {
+                self.pending.insert(
+                    call_id,
+                    Pending::BaseInterface {
+                        requester: Box::new(msg),
+                        base: base_binding.loid,
+                    },
+                );
+            }
+            None => {
+                ctx.reply(&msg, Err(format!("base class {} unreachable", base_binding.loid)));
+            }
+        }
+    }
+
+    fn handle_delete(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let Some(target) = naming_proto::parse_loid_arg(&msg) else {
+            ctx.reply(&msg, Err("Delete(target) expected".into()));
+            return;
+        };
+        let Some(entry) = self.class.table.get(&target) else {
+            ctx.reply(&msg, Err(format!("{}: unknown object {target}", self.class.loid)));
+            return;
+        };
+        match entry.current_magistrates.first().copied() {
+            Some(mag_loid) => {
+                let Some(mag_element) = self.magistrate_element(&mag_loid) else {
+                    ctx.reply(&msg, Err(format!("magistrate {mag_loid} has no known address")));
+                    return;
+                };
+                let env = self.env();
+                let me = self.class.loid;
+                match ctx.call(
+                    mag_element,
+                    mag_loid,
+                    mag_proto::DELETE,
+                    vec![LegionValue::Loid(target)],
+                    env,
+                    Some(me),
+                ) {
+                    Some(call_id) => {
+                        self.pending.insert(
+                            call_id,
+                            Pending::DeleteChild {
+                                requester: Box::new(msg),
+                                target,
+                            },
+                        );
+                    }
+                    None => {
+                        // Magistrate gone; drop the row anyway.
+                        let _ = self.class.delete_child(&target);
+                        ctx.reply(&msg, Ok(LegionValue::Void));
+                    }
+                }
+            }
+            None => {
+                let _ = self.class.delete_child(&target);
+                ctx.reply(&msg, Ok(LegionValue::Void));
+            }
+        }
+    }
+
+    fn handle_table_notification(&mut self, ctx: &mut Ctx<'_>, msg: &Message, method: &str) {
+        let ok = match (method, msg.args()) {
+            (class_proto::SET_ADDRESS, [LegionValue::Loid(l), LegionValue::Address(a)]) => {
+                self.class.table.set_address(l, Some(a.clone()))
+            }
+            (class_proto::SET_ADDRESS, [LegionValue::Loid(l), LegionValue::Void]) => {
+                self.class.table.set_address(l, None)
+            }
+            (class_proto::ADD_MAGISTRATE, [LegionValue::Loid(l), LegionValue::Loid(m)]) => {
+                self.class.table.add_magistrate(l, *m)
+            }
+            (class_proto::REMOVE_MAGISTRATE, [LegionValue::Loid(l), LegionValue::Loid(m)]) => {
+                self.class.table.remove_magistrate(l, *m)
+            }
+            _ => {
+                ctx.reply(msg, Err(format!("{method}: bad arguments")));
+                return;
+            }
+        };
+        ctx.reply(
+            msg,
+            if ok {
+                Ok(LegionValue::Void)
+            } else {
+                Err(format!("{method}: no such row"))
+            },
+        );
+    }
+
+    /// §4.2.1 announcement from an externally started instance (Host
+    /// Object or Magistrate): record (or refresh) its row with its address.
+    fn handle_announce(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        let (loid, address) = match msg.args() {
+            [LegionValue::Loid(l), LegionValue::Address(a)] => (*l, a.clone()),
+            _ => {
+                ctx.reply(msg, Err("Announce(loid, address) expected".into()));
+                return;
+            }
+        };
+        ctx.count("class.announcements");
+        if self.class.table.get(&loid).is_none() {
+            self.class.table.insert(loid, TableEntry::new(false));
+        }
+        self.class.table.set_address(&loid, Some(address));
+        ctx.reply(msg, Ok(LegionValue::Void));
+    }
+
+    fn handle_reply(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        // Binding-agent replies feed the resolver first.
+        if let Some((base, result)) = self.resolver.as_mut().and_then(|r| r.handle_reply(msg)) {
+            let waiters = self.inherit_waiters.remove(&base).unwrap_or_default();
+            match result {
+                Ok(binding) => {
+                    for m in waiters {
+                        self.fetch_base_interface(ctx, &binding, m);
+                    }
+                }
+                Err(e) => {
+                    for m in waiters {
+                        ctx.reply(&m, Err(format!("cannot locate base {base}: {e}")));
+                    }
+                }
+            }
+            return;
+        }
+        let Body::Reply {
+            in_reply_to,
+            result,
+        } = &msg.body
+        else {
+            return;
+        };
+        let Some(p) = self.pending.remove(in_reply_to) else {
+            return;
+        };
+        match p {
+            Pending::Create { requester } => match naming_proto::binding_from_result(result) {
+                Some(b) => {
+                    self.class.table.set_address(&b.loid, Some(b.address.clone()));
+                    let b = self.stamp(ctx, b);
+                    ctx.reply(&requester, Ok(LegionValue::from(b)));
+                }
+                None => {
+                    let e = match result {
+                        Err(e) => e.clone(),
+                        Ok(v) => format!("unexpected magistrate reply {v}"),
+                    };
+                    ctx.reply(&requester, Err(format!("Create failed: {e}")));
+                }
+            },
+            Pending::ActivateForBinding { target, magistrate } => {
+                match naming_proto::binding_from_result(result) {
+                    Some(b) => self.finish_binding(ctx, target, Ok(b)),
+                    None => {
+                        let e = match result {
+                            Err(e) => e.clone(),
+                            Ok(v) => format!("unexpected magistrate reply {v}"),
+                        };
+                        // Self-healing (§3.7 list semantics): a magistrate
+                        // that disclaims the object leaves the row's
+                        // Current Magistrate List; try the next one.
+                        if e.contains("not managed") {
+                            ctx.count("class.magistrate_disclaimed");
+                            self.class.table.remove_magistrate(&target, magistrate);
+                            let next = self
+                                .class
+                                .table
+                                .get(&target)
+                                .and_then(|row| row.current_magistrates.first().copied());
+                            if let Some(next_mag) = next {
+                                self.consult_magistrate(ctx, target, next_mag);
+                                return;
+                            }
+                        }
+                        self.finish_binding(ctx, target, Err(e));
+                    }
+                }
+            }
+            Pending::IssueId {
+                requester,
+                name,
+                kind,
+            } => match result {
+                Ok(LegionValue::Uint(class_id)) => {
+                    let b = self.spawn_subclass(ctx, *class_id, name, kind);
+                    ctx.reply(&requester, Ok(LegionValue::from(b)));
+                }
+                Ok(v) => {
+                    ctx.reply(&requester, Err(format!("unexpected LegionClass reply {v}")));
+                }
+                Err(e) => {
+                    ctx.reply(&requester, Err(format!("Derive failed: {e}")));
+                }
+            },
+            Pending::BaseInterface { requester, base } => match result {
+                Ok(LegionValue::Str(text)) => match idl::parse_one(text) {
+                    Ok(parsed) => {
+                        let base_if = parsed.into_interface(base);
+                        match self.class.inherit_from(base, &base_if) {
+                            Ok(()) => {
+                                ctx.count("class.inherits");
+                                ctx.reply(&requester, Ok(LegionValue::Void));
+                            }
+                            Err(e) => {
+                                ctx.reply(&requester, Err(e.to_string()));
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        ctx.reply(&requester, Err(format!("base interface unparseable: {e}")));
+                    }
+                },
+                Ok(v) => {
+                    ctx.reply(&requester, Err(format!("unexpected GetInterface reply {v}")));
+                }
+                Err(e) => {
+                    ctx.reply(&requester, Err(format!("GetInterface failed: {e}")));
+                }
+            },
+            Pending::DeleteChild { requester, target } => match result {
+                Ok(_) => {
+                    let _ = self.class.delete_child(&target);
+                    ctx.count("class.deletes");
+                    ctx.reply(&requester, Ok(LegionValue::Void));
+                }
+                Err(e) => {
+                    ctx.reply(&requester, Err(format!("Delete failed: {e}")));
+                }
+            },
+        }
+    }
+}
+
+impl Endpoint for ClassEndpoint {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is_reply() {
+            self.handle_reply(ctx, &msg);
+            return;
+        }
+        let Some(method) = msg.method().map(str::to_owned) else {
+            return;
+        };
+        match method.as_str() {
+            class_proto::CREATE => self.handle_create(ctx, msg),
+            GET_BINDING => self.handle_get_binding(ctx, msg),
+            class_proto::DERIVE => self.handle_derive(ctx, msg),
+            class_proto::INHERIT_FROM => self.handle_inherit_from(ctx, msg),
+            class_proto::DELETE => self.handle_delete(ctx, msg),
+            class_proto::SET_ADDRESS
+            | class_proto::ADD_MAGISTRATE
+            | class_proto::REMOVE_MAGISTRATE => {
+                self.handle_table_notification(ctx, &msg, &method)
+            }
+            class_proto::ANNOUNCE => self.handle_announce(ctx, &msg),
+            legion_core::object::methods::GET_INTERFACE => {
+                // Class names may contain characters illegal in IDL
+                // identifiers (clones are named "X#clone"); sanitize.
+                let safe: String = self
+                    .class
+                    .name
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                    .collect();
+                let text = idl::render(&safe, &self.class.interface);
+                ctx.reply(&msg, Ok(LegionValue::Str(text)));
+            }
+            legion_core::object::methods::PING => {
+                ctx.reply(&msg, Ok(LegionValue::Uint(self.class.table.len() as u64)));
+            }
+            legion_core::object::methods::IAM => {
+                ctx.reply(&msg, Ok(LegionValue::Loid(self.class.loid)));
+            }
+            other => {
+                ctx.reply(&msg, Err(format!("class {}: no method {other}", self.class.loid)));
+            }
+        }
+    }
+}
+
+/// The LegionClass metaclass endpoint: Class Identifier authority and
+/// responsibility-pair keeper (§3.2, §4.1.3).
+pub struct LegionClassEndpoint {
+    authority: LegionClassAuthority,
+    class_bindings: HashMap<Loid, Binding>,
+}
+
+impl Default for LegionClassEndpoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LegionClassEndpoint {
+    /// A fresh metaclass endpoint.
+    pub fn new() -> Self {
+        LegionClassEndpoint {
+            authority: LegionClassAuthority::new(),
+            class_bindings: HashMap::new(),
+        }
+    }
+
+    /// Register a class binding LegionClass maintains directly (core
+    /// classes at bootstrap).
+    pub fn register_class_binding(&mut self, b: Binding) {
+        self.class_bindings.insert(b.loid, b);
+    }
+
+    /// Adopt an externally started class (§4.2.1): LegionClass becomes the
+    /// end of its responsibility chain, maintains its binding directly,
+    /// and reserves its Class Identifier against future `IssueClassId`
+    /// collisions.
+    pub fn adopt_class(&mut self, binding: Binding) {
+        let loid = binding.loid;
+        self.authority
+            .adopt(loid, legion_core::wellknown::LEGION_CLASS)
+            .expect("adopting a class object");
+        self.class_bindings.insert(loid, binding);
+    }
+
+    /// Authority access (experiment counters).
+    pub fn authority(&self) -> &LegionClassAuthority {
+        &self.authority
+    }
+
+    /// Mutable authority access.
+    pub fn authority_mut(&mut self) -> &mut LegionClassAuthority {
+        &mut self.authority
+    }
+}
+
+impl Endpoint for LegionClassEndpoint {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is_reply() {
+            return;
+        }
+        let Some(method) = msg.method() else {
+            return;
+        };
+        let result: Result<LegionValue, String> = match method {
+            ISSUE_CLASS_ID => match naming_proto::parse_loid_arg(&msg) {
+                Some(creator) => {
+                    ctx.count("legion_class.issue");
+                    self.authority
+                        .issue_class_id(creator)
+                        .map(|(id, _)| LegionValue::Uint(id.0))
+                        .map_err(|e| e.to_string())
+                }
+                None => Err("IssueClassId(creator) expected".into()),
+            },
+            FIND_RESPONSIBLE => match naming_proto::parse_loid_arg(&msg) {
+                Some(target) => {
+                    ctx.count("legion_class.find");
+                    self.authority
+                        .find_responsible(&target)
+                        .map(LegionValue::Loid)
+                        .map_err(|e| e.to_string())
+                }
+                None => Err("FindResponsible(loid) expected".into()),
+            },
+            GET_BINDING => {
+                ctx.count("legion_class.get_binding");
+                match naming_proto::parse_binding_arg(&msg) {
+                    Some(arg) => match self.class_bindings.get(&arg.loid()) {
+                        Some(b) => Ok(LegionValue::from(b.clone())),
+                        None => Err(format!("LegionClass has no binding for {}", arg.loid())),
+                    },
+                    None => Err("GetBinding: bad argument".into()),
+                }
+            }
+            other => Err(format!("LegionClass: no method {other}")),
+        };
+        ctx.reply(&msg, result);
+    }
+}

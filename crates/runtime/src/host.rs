@@ -1,0 +1,416 @@
+//! Host Objects (paper §2.3, §3.9).
+//!
+//! "A Host Object is a host's representative to Legion. It is responsible
+//! for executing objects on the host, reaping objects, and reporting
+//! object exceptions ... It is likely that a Host Object will implement a
+//! security mechanism that will attempt to ensure that its member
+//! functions will be invoked only by its Magistrate."
+//!
+//! Host Objects are started "from outside Legion" (§4.2.1) — here, by the
+//! system builder — and announce themselves to their class (`LegionHost`
+//! or a subclass) on start.
+
+use crate::protocol::{class as class_proto, host as host_proto, ActivationSpec};
+use crate::object::ActiveObjectEndpoint;
+use legion_core::address::{ObjectAddress, ObjectAddressElement};
+use legion_core::env::InvocationEnv;
+use legion_core::interface::Interface;
+use legion_core::loid::Loid;
+use legion_core::value::LegionValue;
+use legion_net::message::Message;
+use legion_net::sim::{Ctx, Endpoint, EndpointId};
+use std::collections::HashMap;
+
+/// Builds the endpoint for an object being activated. The default factory
+/// creates an [`ActiveObjectEndpoint`]; examples install custom factories
+/// for domain objects.
+pub type ObjectFactory = Box<dyn Fn(&ActivationSpec) -> Box<dyn Endpoint>>;
+
+/// Configuration of one Host Object.
+pub struct HostConfig {
+    /// The Host Object's LOID (instance of a `LegionHost` subclass).
+    pub loid: Loid,
+    /// Maximum simultaneously Active objects.
+    pub capacity: u32,
+    /// If set, only this Magistrate may invoke control methods (§3.9's
+    /// "invoked only by its Magistrate").
+    pub magistrate: Option<Loid>,
+    /// Address of the Host Object's class, for the §4.2.1 announcement.
+    pub class_addr: Option<ObjectAddressElement>,
+}
+
+/// The Host Object endpoint.
+pub struct HostObjectEndpoint {
+    cfg: HostConfig,
+    factory: ObjectFactory,
+    running: HashMap<Loid, EndpointId>,
+    cpu_load_limit: u64,
+    memory_limit: u64,
+    /// Activations refused (capacity or security).
+    pub refused: u64,
+}
+
+impl HostObjectEndpoint {
+    /// A host with the default object factory.
+    pub fn new(cfg: HostConfig) -> Self {
+        HostObjectEndpoint::with_factory(
+            cfg,
+            Box::new(|spec: &ActivationSpec| {
+                Box::new(
+                    ActiveObjectEndpoint::new(spec.loid, Interface::new())
+                        .with_state(&spec.state),
+                )
+            }),
+        )
+    }
+
+    /// A host with a custom object factory.
+    pub fn with_factory(cfg: HostConfig, factory: ObjectFactory) -> Self {
+        HostObjectEndpoint {
+            cfg,
+            factory,
+            running: HashMap::new(),
+            cpu_load_limit: 100,
+            memory_limit: u64::MAX,
+            refused: 0,
+        }
+    }
+
+    /// Objects currently running here.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Is `loid` running here?
+    pub fn is_running(&self, loid: &Loid) -> bool {
+        self.running.contains_key(loid)
+    }
+
+    /// The host's LOID.
+    pub fn loid(&self) -> Loid {
+        self.cfg.loid
+    }
+
+    fn authorized(&self, msg: &Message) -> bool {
+        match self.cfg.magistrate {
+            None => true,
+            Some(m) => msg.env.calling == m || msg.sender == Some(m),
+        }
+    }
+}
+
+impl Endpoint for HostObjectEndpoint {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // §4.2.1: "When Host Objects come alive, they contact the existing
+        // class object named LegionHost to tell it of their existence."
+        if let Some(class) = self.cfg.class_addr {
+            let me = self.cfg.loid;
+            ctx.call(
+                class,
+                me.class_loid(),
+                class_proto::ANNOUNCE,
+                vec![
+                    LegionValue::Loid(me),
+                    LegionValue::Address(ObjectAddress::single(ctx.self_element())),
+                ],
+                InvocationEnv::solo(me),
+                Some(me),
+            );
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is_reply() {
+            return;
+        }
+        let Some(method) = msg.method().map(str::to_owned) else {
+            return;
+        };
+        if !self.authorized(&msg) {
+            self.refused += 1;
+            ctx.count("host.unauthorized");
+            ctx.reply(
+                &msg,
+                Err(format!(
+                    "host {}: caller is not my magistrate",
+                    self.cfg.loid
+                )),
+            );
+            return;
+        }
+        let result: Result<LegionValue, String> = match method.as_str() {
+            host_proto::ACTIVATE => match ActivationSpec::from_args(msg.args()) {
+                Some(spec) => {
+                    if self.running.len() as u32 >= self.capacity_now() {
+                        self.refused += 1;
+                        ctx.count("host.capacity_refused");
+                        Err(format!(
+                            "host {} at capacity ({})",
+                            self.cfg.loid,
+                            self.running.len()
+                        ))
+                    } else if self.running.contains_key(&spec.loid) {
+                        // Idempotent: already running here.
+                        let ep = self.running[&spec.loid];
+                        Ok(LegionValue::Address(ep.address()))
+                    } else {
+                        let endpoint = (self.factory)(&spec);
+                        let loc = ctx.location();
+                        let ep = ctx.spawn(endpoint, loc, format!("obj:{}", spec.loid));
+                        self.running.insert(spec.loid, ep);
+                        ctx.count("host.activations");
+                        Ok(LegionValue::Address(ep.address()))
+                    }
+                }
+                None => Err("HostActivate: bad activation spec".into()),
+            },
+            host_proto::DEACTIVATE => match msg.args() {
+                [LegionValue::Loid(loid)] => match self.running.remove(loid) {
+                    Some(ep) => {
+                        ctx.kill(ep);
+                        ctx.count("host.deactivations");
+                        Ok(LegionValue::Void)
+                    }
+                    None => Err(format!("{loid} is not running on {}", self.cfg.loid)),
+                },
+                _ => Err("HostDeactivate(loid) expected".into()),
+            },
+            host_proto::SET_CPU_LOAD => match msg.args() {
+                [v] => match v.as_uint() {
+                    Some(pct) => {
+                        self.cpu_load_limit = pct.min(100);
+                        Ok(LegionValue::Void)
+                    }
+                    None => Err("SetCPULoad(uint) expected".into()),
+                },
+                _ => Err("SetCPULoad(uint) expected".into()),
+            },
+            host_proto::SET_MEMORY_USAGE => match msg.args() {
+                [v] => match v.as_uint() {
+                    Some(bytes) => {
+                        self.memory_limit = bytes;
+                        Ok(LegionValue::Void)
+                    }
+                    None => Err("SetMemoryUsage(uint) expected".into()),
+                },
+                _ => Err("SetMemoryUsage(uint) expected".into()),
+            },
+            host_proto::GET_STATE => Ok(LegionValue::List(vec![
+                LegionValue::Uint(self.running.len() as u64),
+                LegionValue::Uint(self.capacity_now() as u64),
+                LegionValue::Uint(self.cpu_load_limit),
+                LegionValue::Uint(self.memory_limit),
+            ])),
+            other => Err(format!("host {}: no method {other}", self.cfg.loid)),
+        };
+        ctx.reply(&msg, result);
+    }
+}
+
+impl HostObjectEndpoint {
+    /// Effective capacity after the CPU-load restriction: `SetCPULoad(50)`
+    /// halves the object slots (a simple but monotone model of "restrict
+    /// access to the host").
+    fn capacity_now(&self) -> u32 {
+        ((self.cfg.capacity as u64 * self.cpu_load_limit) / 100).max(1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_net::message::Body;
+    use legion_net::sim::SimKernel;
+    use legion_net::topology::{Location, Topology};
+    use legion_net::FaultPlan;
+
+    struct Probe {
+        replies: Vec<Result<LegionValue, String>>,
+    }
+    impl Endpoint for Probe {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Message) {
+            if let Body::Reply { result, .. } = msg.body {
+                self.replies.push(result);
+            }
+        }
+    }
+
+    fn host_loid() -> Loid {
+        Loid::instance(3, 1)
+    }
+
+    fn magistrate_loid() -> Loid {
+        Loid::instance(4, 1)
+    }
+
+    fn world(capacity: u32, lock_to_magistrate: bool) -> (SimKernel, EndpointId, EndpointId) {
+        let mut k = SimKernel::new(Topology::zero(), FaultPlan::none(), 1);
+        let host = HostObjectEndpoint::new(HostConfig {
+            loid: host_loid(),
+            capacity,
+            magistrate: lock_to_magistrate.then(magistrate_loid),
+            class_addr: None,
+        });
+        let h = k.add_endpoint(Box::new(host), Location::new(0, 0), "host");
+        let probe = k.add_endpoint(Box::new(Probe { replies: vec![] }), Location::new(0, 0), "probe");
+        (k, h, probe)
+    }
+
+    fn call_as(
+        k: &mut SimKernel,
+        probe: EndpointId,
+        to: EndpointId,
+        caller: Loid,
+        method: &str,
+        args: Vec<LegionValue>,
+    ) -> Result<LegionValue, String> {
+        let id = k.fresh_call_id();
+        let mut msg = Message::call(id, host_loid(), method, args, InvocationEnv::solo(caller));
+        msg.reply_to = Some(probe.element());
+        msg.sender = Some(caller);
+        k.inject(Location::new(0, 0), to.element(), msg);
+        k.run_until_quiescent(1000);
+        k.endpoint::<Probe>(probe).unwrap().replies.last().cloned().unwrap()
+    }
+
+    fn spec(seq: u64) -> Vec<LegionValue> {
+        ActivationSpec {
+            loid: Loid::instance(16, seq),
+            class: Loid::class_object(16),
+            state: vec![],
+            class_addr: None,
+            magistrate_addr: None,
+        }
+        .to_args()
+    }
+
+    #[test]
+    fn activate_spawns_and_replies_address() {
+        let (mut k, h, probe) = world(4, false);
+        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1));
+        let Ok(LegionValue::Address(addr)) = r else {
+            panic!("expected address, got {r:?}");
+        };
+        // The spawned object answers Ping at that address.
+        let ep = EndpointId(addr.primary().unwrap().sim_endpoint().unwrap());
+        let id = k.fresh_call_id();
+        let mut msg = Message::call(
+            id,
+            Loid::instance(16, 1),
+            legion_core::object::methods::PING,
+            vec![],
+            InvocationEnv::anonymous(),
+        );
+        msg.reply_to = Some(probe.element());
+        k.inject(Location::new(0, 0), ep.element(), msg);
+        k.run_until_quiescent(1000);
+        let last = k.endpoint::<Probe>(probe).unwrap().replies.last().cloned().unwrap();
+        assert_eq!(last, Ok(LegionValue::Uint(0)));
+        let host = k.endpoint::<HostObjectEndpoint>(h).unwrap();
+        assert_eq!(host.running_count(), 1);
+        assert!(host.is_running(&Loid::instance(16, 1)));
+    }
+
+    #[test]
+    fn activate_is_idempotent() {
+        let (mut k, h, probe) = world(4, false);
+        let r1 = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1));
+        let r2 = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1));
+        assert_eq!(r1, r2);
+        assert_eq!(k.endpoint::<HostObjectEndpoint>(h).unwrap().running_count(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let (mut k, h, probe) = world(2, false);
+        assert!(call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1)).is_ok());
+        assert!(call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(2)).is_ok());
+        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(3));
+        assert!(r.unwrap_err().contains("capacity"));
+        assert_eq!(k.counters().get("host.capacity_refused"), 1);
+    }
+
+    #[test]
+    fn deactivate_kills_the_process() {
+        let (mut k, h, probe) = world(4, false);
+        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1));
+        let Ok(LegionValue::Address(addr)) = r else { panic!() };
+        let obj_ep = EndpointId(addr.primary().unwrap().sim_endpoint().unwrap());
+        let r = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::DEACTIVATE,
+            vec![LegionValue::Loid(Loid::instance(16, 1))],
+        );
+        assert_eq!(r, Ok(LegionValue::Void));
+        assert!(!k.meta(obj_ep).unwrap().alive, "object process killed");
+        // Deactivating again errors.
+        let r = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::DEACTIVATE,
+            vec![LegionValue::Loid(Loid::instance(16, 1))],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn only_the_magistrate_may_command() {
+        let (mut k, h, probe) = world(4, true);
+        let intruder = Loid::instance(99, 1);
+        let r = call_as(&mut k, probe, h, intruder, host_proto::ACTIVATE, spec(1));
+        assert!(r.unwrap_err().contains("not my magistrate"));
+        assert_eq!(k.counters().get("host.unauthorized"), 1);
+        // The real magistrate succeeds.
+        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1));
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn set_cpu_load_restricts_capacity() {
+        let (mut k, h, probe) = world(4, false);
+        let r = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::SET_CPU_LOAD,
+            vec![LegionValue::Uint(50)],
+        );
+        assert_eq!(r, Ok(LegionValue::Void));
+        assert!(call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1)).is_ok());
+        assert!(call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(2)).is_ok());
+        // Half of 4 = 2 slots.
+        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(3));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn get_state_reports() {
+        let (mut k, h, probe) = world(4, false);
+        call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1)).unwrap();
+        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::GET_STATE, vec![]);
+        let Ok(LegionValue::List(items)) = r else { panic!() };
+        assert_eq!(items[0], LegionValue::Uint(1)); // running
+        assert_eq!(items[1], LegionValue::Uint(4)); // capacity
+    }
+
+    #[test]
+    fn bad_arguments_error() {
+        let (mut k, h, probe) = world(4, false);
+        for (m, args) in [
+            (host_proto::ACTIVATE, vec![LegionValue::Uint(1)]),
+            (host_proto::DEACTIVATE, vec![]),
+            (host_proto::SET_CPU_LOAD, vec![LegionValue::Str("x".into())]),
+        ] {
+            let r = call_as(&mut k, probe, h, magistrate_loid(), m, args);
+            assert!(r.is_err(), "{m} should reject bad args");
+        }
+        let r = call_as(&mut k, probe, h, magistrate_loid(), "Bogus", vec![]);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,973 @@
+//! Magistrates (paper §2.2, §3.8, Figure 11).
+//!
+//! "A Magistrate is in charge of a Jurisdiction ... The purpose of a
+//! Magistrate is to perform the activation, deactivation, and migration of
+//! the Legion objects under its control ... member function calls on
+//! Magistrates should be thought of as requests rather than commands" —
+//! a Magistrate may refuse anything its security policy dislikes.
+//!
+//! The endpoint implements the §3.8 member functions as asynchronous
+//! state machines over the host and object endpoints:
+//!
+//! * `Activate(LOID[, host])` — load the OPR from jurisdiction storage,
+//!   pick a host (Scheduling hook), `HostActivate`, record the Object
+//!   Address, notify the class, answer every combined waiter;
+//! * `Deactivate(LOID)` — `SaveState` on the object, write the OPR,
+//!   `HostDeactivate`, clear the class's address column;
+//! * `Delete(LOID)` — remove Active and Inert copies;
+//! * `Copy/Move(LOID, LOID)` — deactivate if needed, ship the OPR bytes to
+//!   the peer Magistrate (`ReceiveOpr`), optionally delete locally —
+//!   exactly Figure 11's migration-through-storage path.
+
+use crate::protocol::{class as class_proto, host as host_proto, magistrate as mag_proto, ActivationSpec};
+use crate::scheduler::{HostView, LeastLoaded, SchedulingPolicy};
+use legion_core::address::{ObjectAddress, ObjectAddressElement};
+use legion_core::binding::Binding;
+use legion_core::env::InvocationEnv;
+use legion_core::loid::Loid;
+use legion_core::object::methods as obj_methods;
+use legion_core::value::LegionValue;
+use legion_net::message::{Body, CallId, Message};
+use legion_net::sim::{Ctx, Endpoint};
+use legion_persist::opr::Opr;
+use legion_persist::storage::{JurisdictionStorage, PersistentAddress};
+use legion_security::mayi::{AllowAll, Decision, MayIPolicy};
+use std::collections::HashMap;
+
+/// Where an object managed by this Magistrate currently is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjState {
+    /// Running on `host`, reachable at `element`.
+    Active {
+        /// Host Object the process runs under.
+        host: Loid,
+        /// The object's endpoint element.
+        element: ObjectAddressElement,
+    },
+    /// Resting in jurisdiction storage.
+    Inert {
+        /// Where the OPR lives.
+        addr: PersistentAddress,
+    },
+}
+
+/// Per-object record.
+#[derive(Debug, Clone)]
+struct ObjRecord {
+    class: Loid,
+    class_addr: Option<ObjectAddressElement>,
+    state: ObjState,
+}
+
+struct HostRecord {
+    loid: Loid,
+    element: ObjectAddressElement,
+    capacity: u32,
+    assigned: u32,
+    /// Cleared when a send to the host is refused (crashed Host Object);
+    /// dead hosts are skipped by the scheduler until re-registered.
+    alive: bool,
+}
+
+/// Follow-up work queued until an object reaches the Inert state.
+enum AfterInert {
+    /// Ship the OPR to a peer magistrate; optionally delete locally (Move).
+    Ship {
+        dst_magistrate: Loid,
+        dst_element: ObjectAddressElement,
+        delete_after: bool,
+        requester: Box<Message>,
+    },
+}
+
+enum Pending {
+    /// Host is starting `loid`.
+    HostActivate { loid: Loid, host: Loid, attempts: u32 },
+    /// Object is saving its state for deactivation.
+    SaveState {
+        loid: Loid,
+        requester: Option<Box<Message>>,
+    },
+    /// Host is killing `loid` after its OPR was written to `addr`.
+    HostDeactivate {
+        loid: Loid,
+        addr: PersistentAddress,
+        requester: Option<Box<Message>>,
+    },
+    /// Host is killing `loid` for deletion.
+    DeleteKill { loid: Loid, requester: Box<Message> },
+    /// A peer magistrate is receiving `loid`'s OPR.
+    Ship {
+        loid: Loid,
+        delete_after: bool,
+        requester: Box<Message>,
+    },
+}
+
+/// Configuration of a Magistrate.
+pub struct MagistrateConfig {
+    /// The Magistrate's LOID (instance of a `LegionMagistrate` subclass).
+    pub loid: Loid,
+    /// The jurisdiction it governs.
+    pub jurisdiction: u32,
+    /// Address of its class, for the §4.2.1 announcement.
+    pub class_addr: Option<ObjectAddressElement>,
+    /// Disks and capacity of the jurisdiction's storage.
+    pub disks: usize,
+    /// Per-disk capacity in bytes.
+    pub disk_capacity: u64,
+}
+
+/// The Magistrate endpoint.
+pub struct MagistrateEndpoint {
+    cfg: MagistrateConfig,
+    storage: JurisdictionStorage,
+    hosts: Vec<HostRecord>,
+    policy: Box<dyn SchedulingPolicy>,
+    mayi: Box<dyn MayIPolicy>,
+    objects: HashMap<Loid, ObjRecord>,
+    pending: HashMap<CallId, Pending>,
+    activate_waiters: HashMap<Loid, Vec<Message>>,
+    after_inert: HashMap<Loid, Vec<AfterInert>>,
+    peers: HashMap<Loid, ObjectAddressElement>,
+    salt: u64,
+}
+
+impl MagistrateEndpoint {
+    /// A Magistrate with the default (least-loaded) scheduling and the
+    /// permissive security default.
+    pub fn new(cfg: MagistrateConfig) -> Self {
+        let storage = JurisdictionStorage::new(cfg.jurisdiction, cfg.disks, cfg.disk_capacity);
+        MagistrateEndpoint {
+            storage,
+            hosts: Vec::new(),
+            policy: Box::new(LeastLoaded),
+            mayi: Box::new(AllowAll),
+            objects: HashMap::new(),
+            pending: HashMap::new(),
+            activate_waiters: HashMap::new(),
+            after_inert: HashMap::new(),
+            peers: HashMap::new(),
+            salt: 0,
+            cfg,
+        }
+    }
+
+    /// Replace the scheduling policy (a Scheduling Agent hook, §3.8).
+    pub fn with_policy(mut self, policy: Box<dyn SchedulingPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the security policy — "a Magistrate has the authority to
+    /// reject requests".
+    pub fn with_mayi(mut self, mayi: Box<dyn MayIPolicy>) -> Self {
+        self.mayi = mayi;
+        self
+    }
+
+    /// Register a host in this jurisdiction (bootstrap wiring).
+    pub fn add_host(&mut self, loid: Loid, element: ObjectAddressElement, capacity: u32) {
+        self.hosts.push(HostRecord {
+            loid,
+            element,
+            capacity,
+            assigned: 0,
+            alive: true,
+        });
+    }
+
+    /// Register a peer magistrate for Copy/Move by LOID.
+    pub fn add_peer(&mut self, loid: Loid, element: ObjectAddressElement) {
+        self.peers.insert(loid, element);
+    }
+
+    /// The Magistrate's LOID.
+    pub fn loid(&self) -> Loid {
+        self.cfg.loid
+    }
+
+    /// Current state of an object, if managed here.
+    pub fn object_state(&self, loid: &Loid) -> Option<&ObjState> {
+        self.objects.get(loid).map(|r| &r.state)
+    }
+
+    /// Number of managed objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Jurisdiction storage statistics: `(files, bytes)`.
+    pub fn storage_usage(&self) -> (usize, u64) {
+        (self.storage.file_count(), self.storage.used())
+    }
+
+    // ----- helpers ---------------------------------------------------------
+
+    #[allow(dead_code)]
+    fn env(&self) -> InvocationEnv {
+        InvocationEnv::solo(self.cfg.loid)
+    }
+
+    fn host_views(&self) -> Vec<HostView> {
+        self.hosts
+            .iter()
+            .filter(|h| h.alive)
+            .map(|h| HostView {
+                loid: h.loid,
+                load: h.assigned,
+                capacity: h.capacity,
+            })
+            .collect()
+    }
+
+    fn mark_host_dead(&mut self, loid: &Loid) {
+        if let Some(h) = self.hosts.iter_mut().find(|h| h.loid == *loid) {
+            h.alive = false;
+        }
+    }
+
+    fn host_element(&self, loid: &Loid) -> Option<ObjectAddressElement> {
+        self.hosts.iter().find(|h| h.loid == *loid).map(|h| h.element)
+    }
+
+    fn bump_host(&mut self, loid: &Loid, delta: i64) {
+        if let Some(h) = self.hosts.iter_mut().find(|h| h.loid == *loid) {
+            h.assigned = (h.assigned as i64 + delta).max(0) as u32;
+        }
+    }
+
+    fn notify_class(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        class_addr: Option<ObjectAddressElement>,
+        class: Loid,
+        method: &str,
+        args: Vec<LegionValue>,
+    ) {
+        if let Some(addr) = class_addr {
+            let me = self.cfg.loid;
+            ctx.call(addr, class, method, args, InvocationEnv::solo(me), Some(me));
+        }
+    }
+
+    /// Answer every queued Activate waiter for `loid`.
+    fn answer_activate_waiters(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        loid: Loid,
+        result: Result<Binding, String>,
+    ) {
+        for msg in self.activate_waiters.remove(&loid).unwrap_or_default() {
+            let payload = result.clone().map(LegionValue::from);
+            ctx.reply(&msg, payload);
+        }
+    }
+
+    /// Begin activation of an Inert object. Waiters must already be
+    /// queued in `activate_waiters[loid]`.
+    fn start_activation(&mut self, ctx: &mut Ctx<'_>, loid: Loid, host_hint: Option<Loid>) {
+        let Some(record) = self.objects.get(&loid) else {
+            self.answer_activate_waiters(ctx, loid, Err(format!("{loid} not managed here")));
+            return;
+        };
+        let ObjState::Inert { addr } = &record.state else {
+            // Raced: became Active already.
+            if let ObjState::Active { element, .. } = &record.state {
+                let b = Binding::forever(loid, ObjectAddress::single(*element));
+                self.answer_activate_waiters(ctx, loid, Ok(b));
+            }
+            return;
+        };
+        let opr = match self.storage.load_opr(addr) {
+            Ok(o) => o,
+            Err(e) => {
+                ctx.count("magistrate.opr_load_failed");
+                self.answer_activate_waiters(ctx, loid, Err(format!("OPR load failed: {e}")));
+                return;
+            }
+        };
+        let class = record.class;
+        let class_addr = record.class_addr;
+        self.dispatch_to_host(ctx, loid, class, opr.state, class_addr, host_hint, 0);
+    }
+
+    /// Pick a host and send `HostActivate`.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_to_host(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        loid: Loid,
+        class: Loid,
+        state: Vec<u8>,
+        class_addr: Option<ObjectAddressElement>,
+        host_hint: Option<Loid>,
+        attempts: u32,
+    ) {
+        self.salt += 1;
+        let views = self.host_views();
+        let chosen = host_hint
+            .filter(|h| views.iter().any(|v| v.loid == *h && v.free() > 0))
+            .or_else(|| self.policy.pick(&views, self.salt));
+        let Some(host) = chosen else {
+            ctx.count("magistrate.no_host");
+            self.answer_activate_waiters(ctx, loid, Err("no host with free capacity".into()));
+            return;
+        };
+        let Some(host_element) = self.host_element(&host) else {
+            self.answer_activate_waiters(ctx, loid, Err(format!("unknown host {host}")));
+            return;
+        };
+        let spec = ActivationSpec {
+            loid,
+            class,
+            state: state.clone(),
+            class_addr,
+            magistrate_addr: Some(ctx.self_element()),
+        };
+        let me = self.cfg.loid;
+        match ctx.call(
+            host_element,
+            host,
+            host_proto::ACTIVATE,
+            spec.to_args(),
+            InvocationEnv::solo(me),
+            Some(me),
+        ) {
+            Some(call_id) => {
+                self.pending
+                    .insert(call_id, Pending::HostActivate { loid, host, attempts });
+            }
+            None => {
+                // The Host Object is dead (§2.3's "reaping" case): skip it
+                // for future placements and try another host.
+                ctx.count("magistrate.host_dead");
+                self.mark_host_dead(&host);
+                if attempts < 3 {
+                    self.dispatch_to_host(ctx, loid, class, state, class_addr, None, attempts + 1);
+                } else {
+                    self.answer_activate_waiters(
+                        ctx,
+                        loid,
+                        Err(format!("host {host} unreachable")),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Run queued after-inert work (shipping for Copy/Move).
+    fn run_after_inert(&mut self, ctx: &mut Ctx<'_>, loid: Loid) {
+        let jobs = self.after_inert.remove(&loid).unwrap_or_default();
+        for job in jobs {
+            match job {
+                AfterInert::Ship {
+                    dst_magistrate,
+                    dst_element,
+                    delete_after,
+                    requester,
+                } => self.ship(ctx, loid, dst_magistrate, dst_element, delete_after, requester),
+            }
+        }
+    }
+
+    fn ship(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        loid: Loid,
+        dst_magistrate: Loid,
+        dst_element: ObjectAddressElement,
+        delete_after: bool,
+        requester: Box<Message>,
+    ) {
+        let Some(record) = self.objects.get(&loid) else {
+            ctx.reply(&requester, Err(format!("{loid} not managed here")));
+            return;
+        };
+        let ObjState::Inert { addr } = &record.state else {
+            ctx.reply(&requester, Err(format!("{loid} is not Inert after deactivation")));
+            return;
+        };
+        let bytes = match self.storage.read_raw(addr) {
+            Ok(b) => b,
+            Err(e) => {
+                ctx.reply(&requester, Err(format!("read OPR failed: {e}")));
+                return;
+            }
+        };
+        let class = record.class;
+        let class_addr = record.class_addr;
+        let me = self.cfg.loid;
+        let class_addr_val = match class_addr {
+            Some(e) => LegionValue::Address(ObjectAddress::single(e)),
+            None => LegionValue::Void,
+        };
+        match ctx.call(
+            dst_element,
+            dst_magistrate,
+            mag_proto::RECEIVE_OPR,
+            vec![
+                LegionValue::Loid(loid),
+                LegionValue::Loid(class),
+                LegionValue::Bytes(bytes),
+                class_addr_val,
+            ],
+            InvocationEnv::solo(me),
+            Some(me),
+        ) {
+            Some(call_id) => {
+                self.pending.insert(
+                    call_id,
+                    Pending::Ship {
+                        loid,
+                        delete_after,
+                        requester,
+                    },
+                );
+            }
+            None => {
+                ctx.reply(&requester, Err(format!("magistrate {dst_magistrate} unreachable")));
+            }
+        }
+    }
+
+    // ----- request handlers --------------------------------------------------
+
+    fn handle_activate(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let (loid, hint) = match msg.args() {
+            [LegionValue::Loid(l)] => (*l, None),
+            [LegionValue::Loid(l), LegionValue::Loid(h)] => (*l, Some(*h)),
+            _ => {
+                ctx.reply(&msg, Err("Activate(loid[, host]) expected".into()));
+                return;
+            }
+        };
+        match self.objects.get(&loid) {
+            None => {
+                ctx.reply(&msg, Err(format!("{loid} not managed by {}", self.cfg.loid)));
+            }
+            Some(r) => match &r.state {
+                ObjState::Active { element, .. } => {
+                    ctx.count("magistrate.activate_already_active");
+                    let b = Binding::forever(loid, ObjectAddress::single(*element));
+                    ctx.reply(&msg, Ok(LegionValue::from(b)));
+                }
+                ObjState::Inert { .. } => {
+                    ctx.count("magistrate.activations");
+                    let first = !self.activate_waiters.contains_key(&loid);
+                    self.activate_waiters.entry(loid).or_default().push(msg);
+                    if first {
+                        self.start_activation(ctx, loid, hint);
+                    }
+                }
+            },
+        }
+    }
+
+    fn handle_create_object(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let Some(spec) = ActivationSpec::from_args(msg.args()) else {
+            ctx.reply(&msg, Err("CreateObject: bad activation spec".into()));
+            return;
+        };
+        if self.objects.contains_key(&spec.loid) {
+            ctx.reply(&msg, Err(format!("{} already managed here", spec.loid)));
+            return;
+        }
+        ctx.count("magistrate.creations");
+        // Record a provisional Inert entry by writing the initial OPR;
+        // then activate it immediately.
+        let opr = Opr::new(spec.loid, spec.class, 0, spec.state.clone());
+        let addr = match self.storage.store_opr(&opr) {
+            Ok(a) => a,
+            Err(e) => {
+                ctx.reply(&msg, Err(format!("initial OPR store failed: {e}")));
+                return;
+            }
+        };
+        self.objects.insert(
+            spec.loid,
+            ObjRecord {
+                class: spec.class,
+                class_addr: spec.class_addr,
+                state: ObjState::Inert { addr },
+            },
+        );
+        self.activate_waiters.entry(spec.loid).or_default().push(msg);
+        self.start_activation(ctx, spec.loid, None);
+    }
+
+    fn handle_deactivate(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let Some(loid) = single_loid(&msg) else {
+            ctx.reply(&msg, Err("Deactivate(loid) expected".into()));
+            return;
+        };
+        self.begin_deactivate(ctx, loid, Some(Box::new(msg)));
+    }
+
+    /// Start a deactivation; `requester` (if any) gets the final reply.
+    fn begin_deactivate(&mut self, ctx: &mut Ctx<'_>, loid: Loid, requester: Option<Box<Message>>) {
+        let Some(record) = self.objects.get(&loid) else {
+            if let Some(req) = requester {
+                ctx.reply(&req, Err(format!("{loid} not managed here")));
+            }
+            return;
+        };
+        let ObjState::Active { element, .. } = &record.state else {
+            // Already Inert: fine (idempotent), and after-inert work can run.
+            if let Some(req) = requester {
+                ctx.reply(&req, Ok(LegionValue::Void));
+            }
+            self.run_after_inert(ctx, loid);
+            return;
+        };
+        ctx.count("magistrate.deactivations");
+        let me = self.cfg.loid;
+        match ctx.call(
+            *element,
+            loid,
+            obj_methods::SAVE_STATE,
+            vec![],
+            InvocationEnv::solo(me),
+            Some(me),
+        ) {
+            Some(call_id) => {
+                self.pending.insert(call_id, Pending::SaveState { loid, requester });
+            }
+            None => {
+                if let Some(req) = requester {
+                    ctx.reply(&req, Err(format!("{loid} unreachable for SaveState")));
+                }
+            }
+        }
+    }
+
+    fn handle_delete(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let Some(loid) = single_loid(&msg) else {
+            ctx.reply(&msg, Err("Delete(loid) expected".into()));
+            return;
+        };
+        let Some(record) = self.objects.get(&loid) else {
+            ctx.reply(&msg, Err(format!("{loid} not managed here")));
+            return;
+        };
+        ctx.count("magistrate.deletions");
+        match record.state.clone() {
+            ObjState::Active { host, .. } => {
+                // Kill the process, then finish deletion on reply.
+                let Some(host_element) = self.host_element(&host) else {
+                    ctx.reply(&msg, Err(format!("unknown host {host}")));
+                    return;
+                };
+                let me = self.cfg.loid;
+                match ctx.call(
+                    host_element,
+                    host,
+                    host_proto::DEACTIVATE,
+                    vec![LegionValue::Loid(loid)],
+                    InvocationEnv::solo(me),
+                    Some(me),
+                ) {
+                    Some(call_id) => {
+                        self.pending
+                            .insert(call_id, Pending::DeleteKill { loid, requester: Box::new(msg) });
+                    }
+                    None => {
+                        // Host gone: drop the record anyway.
+                        self.finish_delete(ctx, loid, Box::new(msg));
+                    }
+                }
+            }
+            ObjState::Inert { .. } => {
+                self.finish_delete(ctx, loid, Box::new(msg));
+            }
+        }
+    }
+
+    fn finish_delete(&mut self, ctx: &mut Ctx<'_>, loid: Loid, requester: Box<Message>) {
+        if let Some(record) = self.objects.remove(&loid) {
+            if let ObjState::Inert { addr } = &record.state {
+                let _ = self.storage.delete(addr);
+            }
+            if let ObjState::Active { host, .. } = &record.state {
+                self.bump_host(&host.clone(), -1);
+            }
+            // The class row update is driven by the class (it called us);
+            // still clear the address column defensively.
+            self.notify_class(
+                ctx,
+                record.class_addr,
+                record.class,
+                class_proto::REMOVE_MAGISTRATE,
+                vec![LegionValue::Loid(loid), LegionValue::Loid(self.cfg.loid)],
+            );
+        }
+        ctx.reply(&requester, Ok(LegionValue::Void));
+    }
+
+    fn handle_copy_or_move(&mut self, ctx: &mut Ctx<'_>, msg: Message, delete_after: bool) {
+        let (loid, dst) = match msg.args() {
+            [LegionValue::Loid(l), LegionValue::Loid(d)] => (*l, *d),
+            _ => {
+                ctx.reply(&msg, Err("Copy/Move(loid, magistrate) expected".into()));
+                return;
+            }
+        };
+        let Some(dst_element) = self.peers.get(&dst).copied() else {
+            ctx.reply(&msg, Err(format!("unknown peer magistrate {dst}")));
+            return;
+        };
+        if !self.objects.contains_key(&loid) {
+            ctx.reply(&msg, Err(format!("{loid} not managed here")));
+            return;
+        }
+        ctx.count(if delete_after {
+            "magistrate.moves"
+        } else {
+            "magistrate.copies"
+        });
+        self.after_inert.entry(loid).or_default().push(AfterInert::Ship {
+            dst_magistrate: dst,
+            dst_element,
+            delete_after,
+            requester: Box::new(msg),
+        });
+        // "This function causes the Magistrate to deactivate the object,
+        // creating an OPR, and to send the OPR to the other Magistrate."
+        self.begin_deactivate(ctx, loid, None);
+    }
+
+    fn handle_receive_opr(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let (loid, class, bytes, class_addr) = match msg.args() {
+            [LegionValue::Loid(l), LegionValue::Loid(c), LegionValue::Bytes(b), ca] => {
+                let class_addr = match ca {
+                    LegionValue::Address(a) => a.primary().copied(),
+                    _ => None,
+                };
+                (*l, *c, b.clone(), class_addr)
+            }
+            _ => {
+                ctx.reply(&msg, Err("ReceiveOpr(loid, class, bytes, class_addr) expected".into()));
+                return;
+            }
+        };
+        // Validate before storing: a corrupt OPR is refused here, not at
+        // some future activation.
+        if let Err(e) = Opr::decode(&bytes) {
+            ctx.count("magistrate.receive_corrupt");
+            ctx.reply(&msg, Err(format!("refused corrupt OPR: {e}")));
+            return;
+        }
+        let addr = self.storage.reserve_address(&loid);
+        if let Err(e) = self.storage.store_at(&addr, bytes) {
+            ctx.reply(&msg, Err(format!("store failed: {e}")));
+            return;
+        }
+        ctx.count("magistrate.received_oprs");
+        self.objects.insert(
+            loid,
+            ObjRecord {
+                class,
+                class_addr,
+                state: ObjState::Inert { addr },
+            },
+        );
+        // Tell the class this magistrate now holds an OPR (Current
+        // Magistrate List maintenance, §3.7).
+        self.notify_class(
+            ctx,
+            class_addr,
+            class,
+            class_proto::ADD_MAGISTRATE,
+            vec![LegionValue::Loid(loid), LegionValue::Loid(self.cfg.loid)],
+        );
+        ctx.reply(&msg, Ok(LegionValue::Void));
+    }
+
+    // ----- reply plumbing ------------------------------------------------------
+
+    fn handle_reply(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        let Body::Reply {
+            in_reply_to,
+            result,
+        } = &msg.body
+        else {
+            return;
+        };
+        let Some(p) = self.pending.remove(in_reply_to) else {
+            return;
+        };
+        match p {
+            Pending::HostActivate { loid, host, attempts } => match result {
+                Ok(LegionValue::Address(addr)) => {
+                    let element = addr.primary().copied();
+                    let Some(element) = element else {
+                        self.answer_activate_waiters(ctx, loid, Err("host returned empty address".into()));
+                        return;
+                    };
+                    // The record may have vanished while the host was
+                    // starting the process (a racing Move/Delete): the
+                    // fresh process is an orphan — reap it (§2.3's "a Host
+                    // Object is responsible for ... reaping objects").
+                    if !self.objects.contains_key(&loid) {
+                        ctx.count("magistrate.orphan_reaped");
+                        if let Some(host_element) = self.host_element(&host) {
+                            let me = self.cfg.loid;
+                            ctx.call(
+                                host_element,
+                                host,
+                                host_proto::DEACTIVATE,
+                                vec![LegionValue::Loid(loid)],
+                                InvocationEnv::solo(me),
+                                Some(me),
+                            );
+                        }
+                        self.answer_activate_waiters(
+                            ctx,
+                            loid,
+                            Err(format!("{loid} was removed during activation")),
+                        );
+                        return;
+                    }
+                    // Consume the Inert OPR (it will be rewritten at the
+                    // next deactivation) and mark Active.
+                    let (class, class_addr) = {
+                        let record = self.objects.get_mut(&loid).expect("checked above");
+                        if let ObjState::Inert { addr } = &record.state {
+                            let _ = self.storage.delete(addr);
+                        }
+                        record.state = ObjState::Active { host, element };
+                        (record.class, record.class_addr)
+                    };
+                    self.bump_host(&host, 1);
+                    // Update the class's logical-table Object Address.
+                    self.notify_class(
+                        ctx,
+                        class_addr,
+                        class,
+                        class_proto::SET_ADDRESS,
+                        vec![
+                            LegionValue::Loid(loid),
+                            LegionValue::Address(ObjectAddress::single(element)),
+                        ],
+                    );
+                    let b = Binding::forever(loid, ObjectAddress::single(element));
+                    self.answer_activate_waiters(ctx, loid, Ok(b));
+                }
+                Ok(v) => {
+                    self.answer_activate_waiters(ctx, loid, Err(format!("unexpected host reply {v}")));
+                }
+                Err(e) => {
+                    // The chosen host refused (capacity, policy): try once
+                    // more with a different pick.
+                    if attempts < 2 {
+                        ctx.count("magistrate.activation_retry");
+                        let (class, state, class_addr) = {
+                            let Some(record) = self.objects.get(&loid) else { return };
+                            let ObjState::Inert { addr } = &record.state else { return };
+                            match self.storage.load_opr(addr) {
+                                Ok(o) => (record.class, o.state, record.class_addr),
+                                Err(err) => {
+                                    self.answer_activate_waiters(
+                                        ctx,
+                                        loid,
+                                        Err(format!("OPR reload failed: {err}")),
+                                    );
+                                    return;
+                                }
+                            }
+                        };
+                        self.dispatch_to_host(ctx, loid, class, state, class_addr, None, attempts + 1);
+                    } else {
+                        self.answer_activate_waiters(ctx, loid, Err(format!("host refused: {e}")));
+                    }
+                }
+            },
+            Pending::SaveState { loid, requester } => match result {
+                Ok(LegionValue::Bytes(state)) => {
+                    let Some(record) = self.objects.get(&loid) else { return };
+                    let ObjState::Active { host, .. } = record.state.clone() else {
+                        return;
+                    };
+                    let opr = Opr::new(loid, record.class, 0, state.clone());
+                    let addr = match self.storage.store_opr(&opr) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            if let Some(req) = requester {
+                                ctx.reply(&req, Err(format!("OPR store failed: {e}")));
+                            }
+                            return;
+                        }
+                    };
+                    let Some(host_element) = self.host_element(&host) else {
+                        if let Some(req) = requester {
+                            ctx.reply(&req, Err(format!("unknown host {host}")));
+                        }
+                        return;
+                    };
+                    let me = self.cfg.loid;
+                    match ctx.call(
+                        host_element,
+                        host,
+                        host_proto::DEACTIVATE,
+                        vec![LegionValue::Loid(loid)],
+                        InvocationEnv::solo(me),
+                        Some(me),
+                    ) {
+                        Some(call_id) => {
+                            self.pending
+                                .insert(call_id, Pending::HostDeactivate { loid, addr, requester });
+                        }
+                        None => {
+                            if let Some(req) = requester {
+                                ctx.reply(&req, Err(format!("host {host} unreachable")));
+                            }
+                        }
+                    }
+                }
+                Ok(v) => {
+                    if let Some(req) = requester {
+                        ctx.reply(&req, Err(format!("unexpected SaveState reply {v}")));
+                    }
+                }
+                Err(e) => {
+                    if let Some(req) = requester {
+                        ctx.reply(&req, Err(format!("SaveState failed: {e}")));
+                    }
+                }
+            },
+            Pending::HostDeactivate { loid, addr, requester } => {
+                match result {
+                    Ok(_) => {
+                        // A racing Delete may have removed the record; the
+                        // process is already dead, so just clean the OPR.
+                        if !self.objects.contains_key(&loid) {
+                            let _ = self.storage.delete(&addr);
+                            if let Some(req) = requester {
+                                ctx.reply(&req, Err(format!("{loid} was removed during deactivation")));
+                            }
+                            return;
+                        }
+                        let (class, class_addr, host) = {
+                            let record = self.objects.get_mut(&loid).expect("checked above");
+                            let host = match &record.state {
+                                ObjState::Active { host, .. } => Some(*host),
+                                _ => None,
+                            };
+                            record.state = ObjState::Inert { addr };
+                            (record.class, record.class_addr, host)
+                        };
+                        if let Some(h) = host {
+                            self.bump_host(&h, -1);
+                        }
+                        // Clear the class's Object Address column: the row
+                        // reads NIL while the object is Inert (§3.7).
+                        self.notify_class(
+                            ctx,
+                            class_addr,
+                            class,
+                            class_proto::SET_ADDRESS,
+                            vec![LegionValue::Loid(loid), LegionValue::Void],
+                        );
+                        if let Some(req) = requester {
+                            ctx.reply(&req, Ok(LegionValue::Void));
+                        }
+                        self.run_after_inert(ctx, loid);
+                    }
+                    Err(e) => {
+                        if let Some(req) = requester {
+                            ctx.reply(&req, Err(format!("host deactivate failed: {e}")));
+                        }
+                    }
+                }
+            }
+            Pending::DeleteKill { loid, requester } => {
+                // Whether or not the host succeeded, finish the delete.
+                self.finish_delete(ctx, loid, requester);
+            }
+            Pending::Ship {
+                loid,
+                delete_after,
+                requester,
+            } => match result {
+                Ok(_) => {
+                    if delete_after {
+                        // Move = Copy then Delete (§3.8).
+                        if let Some(record) = self.objects.remove(&loid) {
+                            if let ObjState::Inert { addr } = &record.state {
+                                let _ = self.storage.delete(addr);
+                            }
+                            self.notify_class(
+                                ctx,
+                                record.class_addr,
+                                record.class,
+                                class_proto::REMOVE_MAGISTRATE,
+                                vec![LegionValue::Loid(loid), LegionValue::Loid(self.cfg.loid)],
+                            );
+                        }
+                    }
+                    ctx.reply(&requester, Ok(LegionValue::Void));
+                }
+                Err(e) => {
+                    ctx.reply(&requester, Err(format!("ship failed: {e}")));
+                }
+            },
+        }
+    }
+}
+
+fn single_loid(msg: &Message) -> Option<Loid> {
+    match msg.args() {
+        [LegionValue::Loid(l)] => Some(*l),
+        _ => None,
+    }
+}
+
+impl Endpoint for MagistrateEndpoint {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // §4.2.1: Magistrates are started outside Legion and contact their
+        // class on start.
+        if let Some(class) = self.cfg.class_addr {
+            let me = self.cfg.loid;
+            ctx.call(
+                class,
+                me.class_loid(),
+                class_proto::ANNOUNCE,
+                vec![
+                    LegionValue::Loid(me),
+                    LegionValue::Address(ObjectAddress::single(ctx.self_element())),
+                ],
+                InvocationEnv::solo(me),
+                Some(me),
+            );
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is_reply() {
+            self.handle_reply(ctx, &msg);
+            return;
+        }
+        let Some(method) = msg.method().map(str::to_owned) else {
+            return;
+        };
+        // "Member function calls on Magistrates should be thought of as
+        // requests rather than commands."
+        if let Decision::Deny(reason) = self.mayi.may_i(&msg.env, &method) {
+            ctx.count("magistrate.refused");
+            ctx.reply(&msg, Err(format!("magistrate refused: {reason}")));
+            return;
+        }
+        match method.as_str() {
+            mag_proto::ACTIVATE => self.handle_activate(ctx, msg),
+            mag_proto::DEACTIVATE => self.handle_deactivate(ctx, msg),
+            mag_proto::DELETE => self.handle_delete(ctx, msg),
+            mag_proto::COPY => self.handle_copy_or_move(ctx, msg, false),
+            mag_proto::MOVE => self.handle_copy_or_move(ctx, msg, true),
+            mag_proto::CREATE_OBJECT => self.handle_create_object(ctx, msg),
+            mag_proto::RECEIVE_OPR => self.handle_receive_opr(ctx, msg),
+            other => {
+                ctx.reply(&msg, Err(format!("magistrate: no method {other}")));
+            }
+        }
+    }
+}

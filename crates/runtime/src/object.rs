@@ -1,0 +1,362 @@
+//! The generic Active object endpoint.
+//!
+//! An Active Legion object is "running as a process ... on one or more of
+//! the hosts in a Jurisdiction" (§3.1). This endpoint wraps a
+//! [`GenericObject`] (state + interface) and serves the object-mandatory
+//! member functions over messages, guarding every call with a `MayI()`
+//! policy (§2.4) evaluated against the message's ⟨RA, SA, CA⟩ triple.
+
+use crate::protocol::object as obj_methods;
+use legion_core::interface::Interface;
+use legion_core::loid::Loid;
+use legion_core::object::{methods, GenericObject, ObjectMandatory};
+use legion_core::value::LegionValue;
+use legion_core::{address::ObjectAddressElement, idl};
+use legion_net::message::Message;
+use legion_net::sim::{Ctx, Endpoint};
+use legion_security::mayi::{AllowAll, Decision, MayIPolicy};
+
+/// A generic Active object: state map + interface + security policy.
+pub struct ActiveObjectEndpoint {
+    obj: GenericObject,
+    policy: Box<dyn MayIPolicy>,
+    /// Address of the class endpoint (not used by the object itself, but
+    /// part of its persistent knowledge, like the Binding Agent address).
+    pub class_addr: Option<ObjectAddressElement>,
+    /// Denied calls, for the security experiments.
+    pub denied: u64,
+}
+
+impl ActiveObjectEndpoint {
+    /// A fresh object with the permissive default policy.
+    pub fn new(loid: Loid, interface: Interface) -> Self {
+        ActiveObjectEndpoint {
+            obj: GenericObject::new(loid, interface),
+            policy: Box::new(AllowAll),
+            class_addr: None,
+            denied: 0,
+        }
+    }
+
+    /// Replace the `MayI` policy.
+    pub fn with_policy(mut self, policy: Box<dyn MayIPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Restore state from an OPR payload at construction (activation).
+    pub fn with_state(mut self, state: &[u8]) -> Self {
+        if !state.is_empty() {
+            let _ = self.obj.restore_state(state);
+        }
+        self
+    }
+
+    /// Read access to the wrapped object (tests, host inspection).
+    pub fn object(&self) -> &GenericObject {
+        &self.obj
+    }
+
+    /// Mutable access (test setup).
+    pub fn object_mut(&mut self) -> &mut GenericObject {
+        &mut self.obj
+    }
+}
+
+impl Endpoint for ActiveObjectEndpoint {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if msg.is_reply() {
+            return;
+        }
+        let Some(method) = msg.method().map(str::to_owned) else {
+            return;
+        };
+
+        // Misdirected message: the sender's binding is stale and this
+        // endpoint now hosts a different object (§4.1.4). Refuse loudly so
+        // the caller's communication layer can refresh.
+        if let Some(target) = msg.target {
+            if target != self.obj.iam() && method != methods::IAM {
+                ctx.count("object.misdirected");
+                ctx.reply(
+                    &msg,
+                    Err(format!(
+                        "stale binding: endpoint hosts {}, not {target}",
+                        self.obj.iam()
+                    )),
+                );
+                return;
+            }
+        }
+
+        // MayI gate (the method `MayI` itself answers the question rather
+        // than being gated).
+        if method != methods::MAY_I {
+            if let Decision::Deny(reason) = self.policy.may_i(&msg.env, &method) {
+                self.denied += 1;
+                ctx.count("object.denied");
+                ctx.reply(&msg, Err(format!("MayI refused: {reason}")));
+                return;
+            }
+        }
+
+        let result: Result<LegionValue, String> = match method.as_str() {
+            methods::MAY_I => match msg.args() {
+                [LegionValue::Loid(caller), LegionValue::Str(m)] => {
+                    let env = legion_core::env::InvocationEnv::solo(*caller);
+                    Ok(LegionValue::Bool(self.policy.may_i(&env, m).is_allowed()))
+                }
+                _ => Err("MayI(caller, method) expected".into()),
+            },
+            methods::IAM => Ok(LegionValue::Loid(self.obj.iam())),
+            methods::PING => Ok(LegionValue::Uint(self.obj.version())),
+            methods::SAVE_STATE => Ok(LegionValue::Bytes(self.obj.save_state())),
+            methods::RESTORE_STATE => match msg.args() {
+                [LegionValue::Bytes(state)] => {
+                    if self.obj.restore_state(state) {
+                        Ok(LegionValue::Void)
+                    } else {
+                        Err("RestoreState: unintelligible payload".into())
+                    }
+                }
+                _ => Err("RestoreState(bytes) expected".into()),
+            },
+            methods::GET_INTERFACE => Ok(LegionValue::Str(idl::render(
+                "Object",
+                &self.obj.get_interface(),
+            ))),
+            obj_methods::SET => match msg.args() {
+                [LegionValue::Str(key), value] => {
+                    self.obj.set(key.clone(), value.clone());
+                    Ok(LegionValue::Void)
+                }
+                _ => Err("Set(key, value) expected".into()),
+            },
+            obj_methods::GET => match msg.args() {
+                [LegionValue::Str(key)] => Ok(self
+                    .obj
+                    .get(key)
+                    .cloned()
+                    .unwrap_or(LegionValue::Void)),
+                _ => Err("Get(key) expected".into()),
+            },
+            other => Err(format!("{}: no method {other}", self.obj.iam())),
+        };
+        ctx.reply(&msg, result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::env::InvocationEnv;
+    use legion_core::object::object_mandatory_interface;
+    use legion_core::wellknown::LEGION_OBJECT;
+    use legion_net::message::Body;
+    use legion_net::sim::{EndpointId, SimKernel};
+    use legion_net::topology::{Location, Topology};
+    use legion_net::FaultPlan;
+    use legion_security::mayi::MethodAcl;
+
+    struct Probe {
+        replies: Vec<Result<LegionValue, String>>,
+    }
+    impl Endpoint for Probe {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Message) {
+            if let Body::Reply { result, .. } = msg.body {
+                self.replies.push(result);
+            }
+        }
+    }
+
+    fn world() -> (SimKernel, EndpointId, EndpointId, Loid) {
+        let mut k = SimKernel::new(Topology::zero(), FaultPlan::none(), 1);
+        let loid = Loid::instance(16, 1);
+        let obj = ActiveObjectEndpoint::new(loid, object_mandatory_interface(LEGION_OBJECT));
+        let oid = k.add_endpoint(Box::new(obj), Location::new(0, 0), "obj");
+        let probe = k.add_endpoint(Box::new(Probe { replies: vec![] }), Location::new(0, 0), "probe");
+        (k, oid, probe, loid)
+    }
+
+    fn call(
+        k: &mut SimKernel,
+        from: EndpointId,
+        to: EndpointId,
+        target: Loid,
+        method: &str,
+        args: Vec<LegionValue>,
+    ) {
+        let id = k.fresh_call_id();
+        let mut msg = Message::call(id, target, method, args, InvocationEnv::solo(Loid::instance(9, 9)));
+        msg.reply_to = Some(from.element());
+        msg.sender = Some(Loid::instance(9, 9));
+        k.inject(Location::new(0, 0), to.element(), msg);
+        k.run_until_quiescent(100);
+    }
+
+    fn last_reply(k: &SimKernel, probe: EndpointId) -> Result<LegionValue, String> {
+        k.endpoint::<Probe>(probe).unwrap().replies.last().cloned().unwrap()
+    }
+
+    #[test]
+    fn ping_iam_and_interface() {
+        let (mut k, oid, probe, loid) = world();
+        call(&mut k, probe, oid, loid, methods::PING, vec![]);
+        assert_eq!(last_reply(&k, probe), Ok(LegionValue::Uint(0)));
+        call(&mut k, probe, oid, loid, methods::IAM, vec![]);
+        assert_eq!(last_reply(&k, probe), Ok(LegionValue::Loid(loid)));
+        call(&mut k, probe, oid, loid, methods::GET_INTERFACE, vec![]);
+        match last_reply(&k, probe) {
+            Ok(LegionValue::Str(s)) => assert!(s.contains("SaveState")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_get_and_save_restore() {
+        let (mut k, oid, probe, loid) = world();
+        call(
+            &mut k,
+            probe,
+            oid,
+            loid,
+            obj_methods::SET,
+            vec![LegionValue::Str("x".into()), LegionValue::Uint(42)],
+        );
+        call(
+            &mut k,
+            probe,
+            oid,
+            loid,
+            obj_methods::GET,
+            vec![LegionValue::Str("x".into())],
+        );
+        assert_eq!(last_reply(&k, probe), Ok(LegionValue::Uint(42)));
+        call(&mut k, probe, oid, loid, methods::SAVE_STATE, vec![]);
+        let Ok(LegionValue::Bytes(state)) = last_reply(&k, probe) else {
+            panic!("expected bytes");
+        };
+        // Restore into a second object: it inherits x=42.
+        let other = ActiveObjectEndpoint::new(loid, Interface::new()).with_state(&state);
+        assert_eq!(other.object().get("x"), Some(&LegionValue::Uint(42)));
+    }
+
+    #[test]
+    fn missing_key_returns_void_and_unknown_method_errs() {
+        let (mut k, oid, probe, loid) = world();
+        call(
+            &mut k,
+            probe,
+            oid,
+            loid,
+            obj_methods::GET,
+            vec![LegionValue::Str("absent".into())],
+        );
+        assert_eq!(last_reply(&k, probe), Ok(LegionValue::Void));
+        call(&mut k, probe, oid, loid, "Nonsense", vec![]);
+        assert!(last_reply(&k, probe).is_err());
+    }
+
+    #[test]
+    fn misdirected_target_is_refused() {
+        let (mut k, oid, probe, _) = world();
+        let wrong = Loid::instance(16, 999);
+        call(&mut k, probe, oid, wrong, methods::PING, vec![]);
+        let r = last_reply(&k, probe);
+        assert!(r.unwrap_err().contains("stale binding"));
+        assert_eq!(k.counters().get("object.misdirected"), 1);
+    }
+
+    #[test]
+    fn acl_policy_denies_and_mayi_reports() {
+        let mut k = SimKernel::new(Topology::zero(), FaultPlan::none(), 1);
+        let loid = Loid::instance(16, 1);
+        let friend = Loid::instance(9, 9); // the test caller
+        let mut acl = MethodAcl::deny_by_default();
+        acl.grant(methods::PING, friend);
+        let obj = ActiveObjectEndpoint::new(loid, Interface::new()).with_policy(Box::new(acl));
+        let oid = k.add_endpoint(Box::new(obj), Location::new(0, 0), "obj");
+        let probe = k.add_endpoint(Box::new(Probe { replies: vec![] }), Location::new(0, 0), "probe");
+        // Ping is granted to the caller...
+        call(&mut k, probe, oid, loid, methods::PING, vec![]);
+        assert!(last_reply(&k, probe).is_ok());
+        // ...but SaveState is not.
+        call(&mut k, probe, oid, loid, methods::SAVE_STATE, vec![]);
+        assert!(last_reply(&k, probe).unwrap_err().contains("MayI refused"));
+        assert_eq!(k.counters().get("object.denied"), 1);
+        // And MayI() itself answers the question without being gated.
+        call(
+            &mut k,
+            probe,
+            oid,
+            loid,
+            methods::MAY_I,
+            vec![LegionValue::Loid(friend), LegionValue::Str("Ping".into())],
+        );
+        assert_eq!(last_reply(&k, probe), Ok(LegionValue::Bool(true)));
+        call(
+            &mut k,
+            probe,
+            oid,
+            loid,
+            methods::MAY_I,
+            vec![
+                LegionValue::Loid(Loid::instance(8, 8)),
+                LegionValue::Str("Ping".into()),
+            ],
+        );
+        assert_eq!(last_reply(&k, probe), Ok(LegionValue::Bool(false)));
+    }
+
+    #[test]
+    fn restore_state_via_message() {
+        let (mut k, oid, probe, loid) = world();
+        call(
+            &mut k,
+            probe,
+            oid,
+            loid,
+            obj_methods::SET,
+            vec![LegionValue::Str("n".into()), LegionValue::Int(-3)],
+        );
+        call(&mut k, probe, oid, loid, methods::SAVE_STATE, vec![]);
+        let Ok(LegionValue::Bytes(state)) = last_reply(&k, probe) else {
+            panic!()
+        };
+        call(
+            &mut k,
+            probe,
+            oid,
+            loid,
+            obj_methods::SET,
+            vec![LegionValue::Str("n".into()), LegionValue::Int(100)],
+        );
+        call(
+            &mut k,
+            probe,
+            oid,
+            loid,
+            methods::RESTORE_STATE,
+            vec![LegionValue::Bytes(state)],
+        );
+        call(
+            &mut k,
+            probe,
+            oid,
+            loid,
+            obj_methods::GET,
+            vec![LegionValue::Str("n".into())],
+        );
+        assert_eq!(last_reply(&k, probe), Ok(LegionValue::Int(-3)));
+        // Garbage restore errors.
+        call(
+            &mut k,
+            probe,
+            oid,
+            loid,
+            methods::RESTORE_STATE,
+            vec![LegionValue::Bytes(vec![0xFF])],
+        );
+        assert!(last_reply(&k, probe).is_err());
+    }
+}

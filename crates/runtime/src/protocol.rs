@@ -1,0 +1,176 @@
+//! Runtime wire protocol: method names and the activation spec.
+//!
+//! Method names come straight from the paper where it names them
+//! (Magistrate §3.8, Host Object §3.9, class objects §3.7); the handful of
+//! internal notifications (`ReceiveOpr`, `SetAddress`, `Announce`) are the
+//! glue the paper describes in prose (Fig. 11 shipping, logical-table
+//! maintenance, §4.2.1 host announcement).
+
+use legion_core::address::{ObjectAddress, ObjectAddressElement};
+use legion_core::loid::Loid;
+use legion_core::value::LegionValue;
+
+/// Magistrate member functions (paper §3.8).
+pub mod magistrate {
+    /// `binding Activate(LOID)` / `binding Activate(LOID, LOID host)`.
+    pub const ACTIVATE: &str = "Activate";
+    /// `Deactivate(LOID)`.
+    pub const DEACTIVATE: &str = "Deactivate";
+    /// `Delete(LOID)`.
+    pub const DELETE: &str = "Delete";
+    /// `Copy(LOID, LOID magistrate)`.
+    pub const COPY: &str = "Copy";
+    /// `Move(LOID, LOID magistrate)` — Copy then Delete.
+    pub const MOVE: &str = "Move";
+    /// Internal: create a brand-new object (class → magistrate).
+    pub const CREATE_OBJECT: &str = "CreateObject";
+    /// Internal: receive a shipped OPR (magistrate → magistrate, Fig. 11).
+    pub const RECEIVE_OPR: &str = "ReceiveOpr";
+}
+
+/// Host Object member functions (paper §3.9).
+pub mod host {
+    /// Start an object process on this host.
+    pub const ACTIVATE: &str = "HostActivate";
+    /// Kill an object process on this host.
+    pub const DEACTIVATE: &str = "HostDeactivate";
+    /// Restrict CPU available to Legion objects.
+    pub const SET_CPU_LOAD: &str = "SetCPULoad";
+    /// Restrict memory available to Legion objects.
+    pub const SET_MEMORY_USAGE: &str = "SetMemoryUsage";
+    /// Report host state (running objects, capacity, load).
+    pub const GET_STATE: &str = "GetState";
+}
+
+/// Class-object maintenance notifications (logical table, §3.7).
+pub mod class {
+    /// `Create()` — class-mandatory (§3.7); returns the new binding.
+    pub const CREATE: &str = "Create";
+    /// `Derive(name)` — returns the new class binding.
+    pub const DERIVE: &str = "Derive";
+    /// `InheritFrom(base)`.
+    pub const INHERIT_FROM: &str = "InheritFrom";
+    /// `Delete(target)`.
+    pub const DELETE: &str = "Delete";
+    /// Internal: set/clear the Object Address column for a row.
+    pub const SET_ADDRESS: &str = "SetAddress";
+    /// Internal: add a magistrate to a row's Current Magistrate List.
+    pub const ADD_MAGISTRATE: &str = "AddMagistrate";
+    /// Internal: remove a magistrate from a row's list.
+    pub const REMOVE_MAGISTRATE: &str = "RemoveMagistrate";
+    /// §4.2.1: externally started objects (Host Objects, Magistrates)
+    /// "contact the existing class object ... to tell it of their
+    /// existence".
+    pub const ANNOUNCE: &str = "Announce";
+}
+
+/// Object-level methods beyond the object-mandatory set: a generic
+/// key/value state interface used by examples and workloads.
+pub mod object {
+    /// `Set(key, value)`.
+    pub const SET: &str = "Set";
+    /// `value Get(key)`.
+    pub const GET: &str = "Get";
+}
+
+/// Everything a Host Object needs to start an object process
+/// (paper §4.2: "the actual creation of the object is carried out by the
+/// Magistrate and Host Object, which are given enough information ... to
+/// allow them to create the new object").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationSpec {
+    /// The object's LOID.
+    pub loid: Loid,
+    /// Its class's LOID.
+    pub class: Loid,
+    /// `RestoreState` payload (empty for a fresh object).
+    pub state: Vec<u8>,
+    /// Address of the class endpoint (for table notifications).
+    pub class_addr: Option<ObjectAddressElement>,
+    /// Address of the managing magistrate.
+    pub magistrate_addr: Option<ObjectAddressElement>,
+}
+
+impl ActivationSpec {
+    /// Encode as a [`LegionValue`] argument list.
+    pub fn to_args(&self) -> Vec<LegionValue> {
+        let addr = |o: &Option<ObjectAddressElement>| match o {
+            Some(e) => LegionValue::Address(ObjectAddress::single(*e)),
+            None => LegionValue::Void,
+        };
+        vec![
+            LegionValue::Loid(self.loid),
+            LegionValue::Loid(self.class),
+            LegionValue::Bytes(self.state.clone()),
+            addr(&self.class_addr),
+            addr(&self.magistrate_addr),
+        ]
+    }
+
+    /// Decode from an argument list.
+    pub fn from_args(args: &[LegionValue]) -> Option<ActivationSpec> {
+        let addr = |v: &LegionValue| match v {
+            LegionValue::Address(a) => a.primary().copied(),
+            _ => None,
+        };
+        match args {
+            [LegionValue::Loid(loid), LegionValue::Loid(class), LegionValue::Bytes(state), class_addr, magistrate_addr] => {
+                Some(ActivationSpec {
+                    loid: *loid,
+                    class: *class,
+                    state: state.clone(),
+                    class_addr: addr(class_addr),
+                    magistrate_addr: addr(magistrate_addr),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrip_full() {
+        let spec = ActivationSpec {
+            loid: Loid::instance(16, 3),
+            class: Loid::class_object(16),
+            state: vec![1, 2, 3],
+            class_addr: Some(ObjectAddressElement::sim(9)),
+            magistrate_addr: Some(ObjectAddressElement::sim(10)),
+        };
+        let back = ActivationSpec::from_args(&spec.to_args()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn spec_roundtrip_minimal() {
+        let spec = ActivationSpec {
+            loid: Loid::instance(16, 3),
+            class: Loid::class_object(16),
+            state: vec![],
+            class_addr: None,
+            magistrate_addr: None,
+        };
+        let back = ActivationSpec::from_args(&spec.to_args()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn malformed_args_rejected() {
+        assert!(ActivationSpec::from_args(&[]).is_none());
+        assert!(ActivationSpec::from_args(&[LegionValue::Uint(1)]).is_none());
+        let spec = ActivationSpec {
+            loid: Loid::instance(16, 3),
+            class: Loid::class_object(16),
+            state: vec![],
+            class_addr: None,
+            magistrate_addr: None,
+        };
+        let mut args = spec.to_args();
+        args.pop();
+        assert!(ActivationSpec::from_args(&args).is_none());
+    }
+}

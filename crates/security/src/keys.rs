@@ -1,0 +1,87 @@
+//! LOID public-key identity checks (paper §3.2).
+//!
+//! "The P low order bits comprise the PUBLIC KEY of the object and will be
+//! used for security purposes." The paper never specifies the
+//! cryptosystem; this reproduction's keys are deterministic functions of
+//! the identifying fields (documented substitution, DESIGN.md), which
+//! makes *verification* possible without any key distribution: an LOID
+//! whose key field does not match the derivation is a forgery.
+//!
+//! `Iam()` verification composes this with the invocation environment:
+//! each of the three agents in the triple must carry a well-formed LOID.
+
+use legion_core::env::InvocationEnv;
+use legion_core::loid::Loid;
+
+/// Does the LOID's key field match its identifying fields?
+///
+/// The nil LOID is accepted (anonymous roles in the triple are legal —
+/// "empty for the case of no security").
+pub fn key_is_well_formed(loid: &Loid) -> bool {
+    if loid.is_nil() {
+        return true;
+    }
+    let expected = Loid::instance(loid.class_id.0, loid.class_specific);
+    expected.public_key == loid.public_key
+}
+
+/// Verify an `Iam()` assertion: the asserted identity must be well formed
+/// and must match the message's claimed sender.
+pub fn verify_iam(asserted: &Loid, claimed_sender: &Loid) -> bool {
+    key_is_well_formed(asserted) && asserted == claimed_sender
+}
+
+/// Verify all three roles of an invocation environment.
+pub fn verify_env(env: &InvocationEnv) -> bool {
+    key_is_well_formed(&env.responsible)
+        && key_is_well_formed(&env.security)
+        && key_is_well_formed(&env.calling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genuine_loids_verify() {
+        assert!(key_is_well_formed(&Loid::instance(16, 7)));
+        assert!(key_is_well_formed(&Loid::class_object(16)));
+        assert!(key_is_well_formed(&Loid::NIL));
+    }
+
+    #[test]
+    fn forged_key_is_rejected() {
+        let mut forged = Loid::instance(16, 7);
+        forged.public_key[0] ^= 0xFF;
+        assert!(!key_is_well_formed(&forged));
+    }
+
+    #[test]
+    fn transplanted_key_is_rejected() {
+        // Key from one object, identity fields of another.
+        let donor = Loid::instance(16, 1);
+        let mut forged = Loid::instance(16, 2);
+        forged.public_key = donor.public_key;
+        assert!(!key_is_well_formed(&forged));
+    }
+
+    #[test]
+    fn iam_requires_match() {
+        let me = Loid::instance(16, 7);
+        assert!(verify_iam(&me, &me));
+        assert!(!verify_iam(&me, &Loid::instance(16, 8)));
+        let mut forged = me;
+        forged.public_key[5] ^= 1;
+        assert!(!verify_iam(&forged, &forged));
+    }
+
+    #[test]
+    fn env_verification() {
+        let ok = InvocationEnv::solo(Loid::instance(16, 7));
+        assert!(verify_env(&ok));
+        assert!(verify_env(&InvocationEnv::anonymous()));
+        let mut bad = ok;
+        bad.calling.public_key[0] ^= 1;
+        assert!(!verify_env(&bad));
+    }
+}

@@ -1,0 +1,21 @@
+//! # legion-sim — whole-system simulation, workloads, and experiments
+//!
+//! Assembles every other crate into a deterministic Legion-in-a-box
+//! ([`system::LegionSystem`]), generates the paper's assumed workloads
+//! ([`workload`]: locality + Zipf popularity), and drives one experiment
+//! per paper figure/claim ([`experiments`], E1-E14 in DESIGN.md §6).
+//! [`parallel`] adds a threaded actor runtime for the wall-clock
+//! throughput experiment (E14).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod parallel;
+pub mod report;
+pub mod system;
+pub mod workload;
+
+pub use report::Table;
+pub use system::{LegionSystem, SystemConfig};
+pub use workload::{ClientReport, LookupClient, WorkloadConfig};

@@ -1,0 +1,594 @@
+//! Workload generators and client endpoints.
+//!
+//! The paper's scalability assumptions (§5.2) are explicitly about
+//! workload shape: "we assume that most accesses will be local" and class
+//! popularity is skewed (hot file classes, §5.2.2). The generator
+//! controls both knobs:
+//!
+//! * **locality** — probability a reference targets an object in the
+//!   client's own jurisdiction;
+//! * **Zipf skew** — popularity distribution over objects (s = 0 is
+//!   uniform; s ≈ 1 is classic hot-spot).
+//!
+//! [`LookupClient`] drives the full client-side protocol: local cache →
+//! Binding Agent → … (§4.1.2), optionally following each resolution with a
+//! real method invocation (`Ping`) so stale bindings are *used* and
+//! detected (§4.1.4).
+
+use legion_core::binding::Binding;
+use legion_core::loid::Loid;
+use legion_core::object::methods as obj_m;
+use legion_core::time::SimTime;
+use legion_core::{address::ObjectAddressElement, env::InvocationEnv};
+use legion_naming::resolver::{ClientResolver, Lookup};
+use legion_net::message::{Body, CallId, Message};
+use legion_net::metrics::Histogram;
+use legion_net::sim::{Ctx, Endpoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Workload knobs.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Lookups each client performs.
+    pub lookups_per_client: u32,
+    /// Virtual time between a completed operation and the next issue.
+    pub inter_arrival_ns: u64,
+    /// Probability a target lives in the client's jurisdiction.
+    pub locality: f64,
+    /// Zipf exponent over object popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Client-side binding cache capacity.
+    pub client_cache_capacity: usize,
+    /// Ablation: disable the client cache entirely (E3).
+    pub client_cache_enabled: bool,
+    /// After resolving, invoke `Ping` on the object (exercises stale
+    /// bindings); otherwise the workload is lookup-only.
+    pub invoke_after_resolve: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            lookups_per_client: 100,
+            inter_arrival_ns: 1_000_000, // 1 ms
+            locality: 0.8,
+            zipf_s: 0.9,
+            client_cache_capacity: 64,
+            client_cache_enabled: true,
+            invoke_after_resolve: false,
+        }
+    }
+}
+
+/// Draw `n` targets for a client in `jurisdiction`, honouring locality and
+/// Zipf popularity. `objects` is the global `(loid, jurisdiction)` list.
+pub fn generate_plan(
+    objects: &[(Loid, u32)],
+    jurisdiction: u32,
+    cfg: &WorkloadConfig,
+    seed: u64,
+) -> Vec<Loid> {
+    assert!(!objects.is_empty(), "workload needs objects");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let local: Vec<Loid> = objects
+        .iter()
+        .filter(|(_, j)| *j == jurisdiction)
+        .map(|(l, _)| *l)
+        .collect();
+    let remote: Vec<Loid> = objects
+        .iter()
+        .filter(|(_, j)| *j != jurisdiction)
+        .map(|(l, _)| *l)
+        .collect();
+    let zipf_local = ZipfSampler::new(local.len().max(1), cfg.zipf_s);
+    let zipf_remote = ZipfSampler::new(remote.len().max(1), cfg.zipf_s);
+    (0..cfg.lookups_per_client)
+        .map(|_| {
+            let use_local = !local.is_empty()
+                && (remote.is_empty() || rng.gen_bool(cfg.locality.clamp(0.0, 1.0)));
+            if use_local {
+                local[zipf_local.sample(&mut rng)]
+            } else {
+                remote[zipf_remote.sample(&mut rng)]
+            }
+        })
+        .collect()
+}
+
+/// A Zipf(s) sampler over ranks `0..n` via inverse-CDF binary search.
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draw a rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// What a finished client reports.
+#[derive(Debug, Clone, Default)]
+pub struct ClientReport {
+    /// Operations completed (resolved, and invoked when configured).
+    pub completed: u64,
+    /// Operations that failed permanently.
+    pub failed: u64,
+    /// Lookups served from the client's local cache.
+    pub local_hits: u64,
+    /// Lookups that went to the Binding Agent.
+    pub agent_requests: u64,
+    /// Stale bindings detected and refreshed (§4.1.4).
+    pub stale_refreshes: u64,
+    /// Virtual-time latency per completed operation (ns).
+    pub latency: Histogram,
+}
+
+impl ClientReport {
+    /// Merge another client's report into this one.
+    pub fn merge(&mut self, other: &ClientReport) {
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.local_hits += other.local_hits;
+        self.agent_requests += other.agent_requests;
+        self.stale_refreshes += other.stale_refreshes;
+        self.latency.merge(&other.latency);
+    }
+}
+
+const TIMER_NEXT: u64 = 1;
+/// Re-issue a failed operation after a backoff.
+const TIMER_RETRY: u64 = 2;
+/// Invoke-timeout timers are `TIMER_INVOKE_BASE + generation`.
+const TIMER_INVOKE_BASE: u64 = 1000;
+/// A Ping lost to a deactivation race is declared stale after this long.
+const INVOKE_TIMEOUT_NS: u64 = 400_000_000;
+/// Binding-request timeout timers are `TIMER_BINDING_BASE + generation`.
+const TIMER_BINDING_BASE: u64 = 2_000_000;
+/// A binding request whose reply was silently lost is re-issued after
+/// this long (client-level retry over a lossy network).
+const BINDING_TIMEOUT_NS: u64 = 800_000_000;
+/// Give up on a target after this many binding re-issues.
+const MAX_BINDING_ATTEMPTS: u32 = 4;
+
+enum Phase {
+    Idle,
+    AwaitBinding {
+        started: SimTime,
+        target: Loid,
+        attempts: u32,
+    },
+    AwaitInvoke { started: SimTime, binding: Binding },
+}
+
+/// A workload client endpoint.
+pub struct LookupClient {
+    me: Loid,
+    resolver: ClientResolver,
+    plan: Vec<Loid>,
+    next: usize,
+    inter_arrival_ns: u64,
+    invoke: bool,
+    phase: Phase,
+    invoke_calls: HashMap<CallId, (SimTime, Binding)>,
+    /// Generation counter guarding invoke-timeout timers.
+    invoke_generation: u64,
+    /// Generation counter guarding binding-timeout timers.
+    binding_generation: u64,
+    /// Stale-refresh attempts for the current operation (capped).
+    stale_attempts: u32,
+    /// Whole-op retries after terminal errors (capped).
+    op_error_retries: u32,
+    /// An op waiting for its retry timer: `(started, target)`.
+    pending_retry: Option<(SimTime, Loid)>,
+    /// Public so drivers can collect it when the run ends.
+    pub report: ClientReport,
+    done: bool,
+}
+
+impl LookupClient {
+    /// A client using the Binding Agent at `agent`.
+    pub fn new(
+        me: Loid,
+        agent: ObjectAddressElement,
+        plan: Vec<Loid>,
+        cfg: &WorkloadConfig,
+    ) -> Self {
+        let mut resolver = ClientResolver::new(me, agent, cfg.client_cache_capacity);
+        resolver.set_cache_enabled(cfg.client_cache_enabled);
+        LookupClient {
+            me,
+            resolver,
+            plan,
+            next: 0,
+            inter_arrival_ns: cfg.inter_arrival_ns,
+            invoke: cfg.invoke_after_resolve,
+            phase: Phase::Idle,
+            invoke_calls: HashMap::new(),
+            invoke_generation: 0,
+            binding_generation: 0,
+            stale_attempts: 0,
+            op_error_retries: 0,
+            pending_retry: None,
+            report: ClientReport::default(),
+            done: false,
+        }
+    }
+
+    /// Has the client finished its plan?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            if self.next >= self.plan.len() {
+                self.done = true;
+                self.report.local_hits = self.resolver.stats().local_hits;
+                self.report.agent_requests = self.resolver.stats().agent_requests;
+                self.report.stale_refreshes = self.resolver.stats().refreshes;
+                return;
+            }
+            let target = self.plan[self.next];
+            self.next += 1;
+            self.stale_attempts = 0;
+            self.op_error_retries = 0;
+            let started = ctx.now();
+            match self.resolver.lookup(ctx, target) {
+                Lookup::Cached(b) => {
+                    if self.invoke {
+                        self.invoke_binding(ctx, started, b);
+                        return;
+                    }
+                    self.report.completed += 1;
+                    self.report.latency.record(0);
+                    continue; // zero-latency: issue the next immediately
+                }
+                Lookup::Requested(_) => {
+                    self.await_binding(ctx, started, target, 0);
+                    return;
+                }
+                Lookup::AgentUnreachable => {
+                    self.report.failed += 1;
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// A terminal error for the current operation: retry the whole op
+    /// (fresh lookup) after a backoff, up to twice, then record failure.
+    fn op_failed(&mut self, ctx: &mut Ctx<'_>, started: SimTime, target: Loid) {
+        if self.op_error_retries < 2 {
+            self.op_error_retries += 1;
+            ctx.count("client.op_retry");
+            self.pending_retry = Some((started, target));
+            self.phase = Phase::Idle;
+            ctx.set_timer(self.inter_arrival_ns * 4, TIMER_RETRY);
+        } else {
+            self.report.failed += 1;
+            self.schedule_next(ctx);
+        }
+    }
+
+    /// Begin (or re-begin) an operation against `target`.
+    fn start_op(&mut self, ctx: &mut Ctx<'_>, started: SimTime, target: Loid) {
+        match self.resolver.lookup(ctx, target) {
+            Lookup::Cached(b) => {
+                if self.invoke {
+                    self.invoke_binding(ctx, started, b);
+                } else {
+                    self.complete(ctx, started);
+                }
+            }
+            Lookup::Requested(_) => {
+                self.await_binding(ctx, started, target, 0);
+            }
+            Lookup::AgentUnreachable => self.op_failed(ctx, started, target),
+        }
+    }
+
+    /// Stale binding detected (§4.1.4): refresh and retry, up to a cap —
+    /// an op that keeps resolving to dead addresses eventually fails
+    /// rather than spinning (the class may be unreachable or persistently
+    /// misinformed under message loss).
+    fn handle_stale(&mut self, ctx: &mut Ctx<'_>, started: SimTime, binding: Binding) {
+        self.stale_attempts += 1;
+        let target = binding.loid;
+        if self.stale_attempts > 6 {
+            ctx.count("client.stale_gave_up");
+            self.op_failed(ctx, started, target);
+            return;
+        }
+        match self.resolver.report_stale(ctx, binding) {
+            Lookup::Requested(_) => {
+                self.await_binding(ctx, started, target, 0);
+            }
+            Lookup::Cached(b) => self.invoke_binding(ctx, started, b),
+            Lookup::AgentUnreachable => self.op_failed(ctx, started, target),
+        }
+    }
+
+    /// Enter the AwaitBinding phase with a loss-recovery timer armed.
+    fn await_binding(&mut self, ctx: &mut Ctx<'_>, started: SimTime, target: Loid, attempts: u32) {
+        self.phase = Phase::AwaitBinding {
+            started,
+            target,
+            attempts,
+        };
+        self.binding_generation += 1;
+        ctx.set_timer(BINDING_TIMEOUT_NS, TIMER_BINDING_BASE + self.binding_generation);
+    }
+
+    fn invoke_binding(&mut self, ctx: &mut Ctx<'_>, started: SimTime, binding: Binding) {
+        let Some(primary) = binding.address.primary().copied() else {
+            self.report.failed += 1;
+            self.schedule_next(ctx);
+            return;
+        };
+        match ctx.call(
+            primary,
+            binding.loid,
+            obj_m::PING,
+            vec![],
+            InvocationEnv::solo(self.me),
+            Some(self.me),
+        ) {
+            Some(call_id) => {
+                self.invoke_calls.insert(call_id, (started, binding.clone()));
+                self.phase = Phase::AwaitInvoke { started, binding };
+                // Guard against a Ping dead-lettered by a concurrent
+                // deactivation: silent loss must not hang the client.
+                self.invoke_generation += 1;
+                ctx.set_timer(
+                    INVOKE_TIMEOUT_NS,
+                    TIMER_INVOKE_BASE + self.invoke_generation,
+                );
+            }
+            None => {
+                // Detectable stale binding (§4.1.4): refresh and retry.
+                ctx.count("client.stale_refused");
+                self.handle_stale(ctx, started, binding);
+            }
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::Idle;
+        if self.next >= self.plan.len() {
+            self.issue_next(ctx); // finalizes the report
+        } else {
+            ctx.set_timer(self.inter_arrival_ns, TIMER_NEXT);
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_>, started: SimTime) {
+        self.report.completed += 1;
+        self.report
+            .latency
+            .record(ctx.now().saturating_since(started));
+        self.schedule_next(ctx);
+    }
+}
+
+impl Endpoint for LookupClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.issue_next(ctx);
+        if matches!(self.phase, Phase::Idle) && !self.done {
+            ctx.set_timer(self.inter_arrival_ns, TIMER_NEXT);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == TIMER_NEXT
+            && matches!(self.phase, Phase::Idle)
+            && self.pending_retry.is_none()
+            && !self.done
+        {
+            self.issue_next(ctx);
+            return;
+        }
+        if tag == TIMER_RETRY {
+            if let Some((started, target)) = self.pending_retry.take() {
+                self.start_op(ctx, started, target);
+            }
+            return;
+        }
+        if tag == TIMER_INVOKE_BASE + self.invoke_generation {
+            // The *latest* invoke is still outstanding: its reply was
+            // silently lost (deactivation race). Treat as stale.
+            if let Phase::AwaitInvoke { started, binding } = &self.phase {
+                let (started, binding) = (*started, binding.clone());
+                self.invoke_calls.retain(|_, (_, b)| b != &binding);
+                ctx.count("client.invoke_timeout");
+                self.handle_stale(ctx, started, binding);
+            }
+            return;
+        }
+        if tag == TIMER_BINDING_BASE + self.binding_generation {
+            // The *latest* binding request is still outstanding: request
+            // or reply was silently lost. Re-issue (the resolver keeps a
+            // dangling pending entry for the lost call; a late reply is
+            // simply consumed without a matching phase).
+            if let Phase::AwaitBinding {
+                started,
+                target,
+                attempts,
+            } = self.phase
+            {
+                ctx.count("client.binding_timeout");
+                if attempts + 1 >= MAX_BINDING_ATTEMPTS {
+                    self.op_failed(ctx, started, target);
+                    return;
+                }
+                match self.resolver.lookup(ctx, target) {
+                    Lookup::Cached(b) => {
+                        if self.invoke {
+                            self.invoke_binding(ctx, started, b);
+                        } else {
+                            self.complete(ctx, started);
+                        }
+                    }
+                    Lookup::Requested(_) => {
+                        self.await_binding(ctx, started, target, attempts + 1);
+                    }
+                    Lookup::AgentUnreachable => self.op_failed(ctx, started, target),
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        // Binding replies route through the resolver.
+        if let Some((answered, result)) = self.resolver.handle_reply(&msg) {
+            let Phase::AwaitBinding { started, target, .. } = self.phase else {
+                return;
+            };
+            if answered != target {
+                return; // a late reply from an abandoned attempt
+            }
+            match result {
+                Ok(b) => {
+                    if self.invoke {
+                        self.invoke_binding(ctx, started, b);
+                    } else {
+                        self.complete(ctx, started);
+                    }
+                }
+                Err(_) => self.op_failed(ctx, started, target),
+            }
+            return;
+        }
+        // Invocation replies.
+        if let Body::Reply {
+            in_reply_to,
+            result,
+        } = &msg.body
+        {
+            if let Some((started, binding)) = self.invoke_calls.remove(in_reply_to) {
+                match result {
+                    Ok(_) => self.complete(ctx, started),
+                    Err(_) => {
+                        // The endpoint answered but hosts a different (or
+                        // no) object — stale binding detected in use.
+                        ctx.count("client.stale_reply");
+                        self.handle_stale(ctx, started, binding);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_uniform_at_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = ZipfSampler::new(100, 1.0);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "rank 0 is much hotter");
+        let u = ZipfSampler::new(100, 0.0);
+        let mut ucounts = [0u32; 100];
+        for _ in 0..20_000 {
+            ucounts[u.sample(&mut rng)] += 1;
+        }
+        let max = *ucounts.iter().max().unwrap() as f64;
+        let min = *ucounts.iter().min().unwrap() as f64;
+        assert!(max / min < 2.5, "uniform-ish at s=0: {min}..{max}");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = ZipfSampler::new(1, 1.0);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn plan_respects_locality_extremes() {
+        let objects: Vec<(Loid, u32)> = (0..20)
+            .map(|i| (Loid::instance(1000, i + 1), (i % 2) as u32))
+            .collect();
+        let local_set: std::collections::HashSet<Loid> = objects
+            .iter()
+            .filter(|(_, j)| *j == 0)
+            .map(|(l, _)| *l)
+            .collect();
+        let mut cfg = WorkloadConfig {
+            lookups_per_client: 200,
+            locality: 1.0,
+            ..WorkloadConfig::default()
+        };
+        let plan = generate_plan(&objects, 0, &cfg, 7);
+        assert!(plan.iter().all(|l| local_set.contains(l)));
+        cfg.locality = 0.0;
+        let plan = generate_plan(&objects, 0, &cfg, 7);
+        assert!(plan.iter().all(|l| !local_set.contains(l)));
+    }
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        let objects: Vec<(Loid, u32)> = (0..10)
+            .map(|i| (Loid::instance(1000, i + 1), 0))
+            .collect();
+        let cfg = WorkloadConfig::default();
+        assert_eq!(
+            generate_plan(&objects, 0, &cfg, 9),
+            generate_plan(&objects, 0, &cfg, 9)
+        );
+        assert_ne!(
+            generate_plan(&objects, 0, &cfg, 9),
+            generate_plan(&objects, 0, &cfg, 10)
+        );
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = ClientReport {
+            completed: 3,
+            ..ClientReport::default()
+        };
+        a.latency.record(10);
+        let mut b = ClientReport {
+            completed: 4,
+            failed: 1,
+            ..ClientReport::default()
+        };
+        b.latency.record(20);
+        a.merge(&b);
+        assert_eq!(a.completed, 7);
+        assert_eq!(a.failed, 1);
+        assert_eq!(a.latency.count(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! The single persistent name space, end to end (paper §1, §4.1):
+//! human string names → context → LOID → Binding Agent → Object Address →
+//! method invocation.
+//!
+//! "Legion provides ... a single persistent name space [that] unites the
+//! objects in the Legion system. This makes remote files and data more
+//! easily accessible." A context object maps paths like
+//! `/campus-a/datasets/genome` to LOIDs; the usual §4.1 machinery does
+//! the rest.
+//!
+//! ```text
+//! cargo run --example name_space
+//! ```
+
+use legion::core::loid::Loid;
+use legion::core::value::LegionValue;
+use legion::naming::protocol::GET_BINDING;
+use legion::net::sim::EndpointId;
+use legion::net::topology::Location;
+use legion::runtime::context_endpoint::{methods as cx, ContextEndpoint};
+use legion::runtime::protocol::{class as class_proto, object as obj_proto};
+use legion::sim::system::{agent_loid, LegionSystem, SystemConfig};
+
+fn main() {
+    let mut sys = LegionSystem::build(SystemConfig {
+        jurisdictions: 2,
+        objects_per_class: 0,
+        ..SystemConfig::default()
+    });
+
+    // A context object — itself a Legion object running on the grid.
+    let context_loid = Loid::instance(60, 1);
+    let context = sys.kernel.add_endpoint(
+        Box::new(ContextEndpoint::new(context_loid)),
+        Location::new(0, 70),
+        "context:/",
+    );
+
+    // Create three datasets and bind human names to them.
+    let (class_loid, class_ep) = sys.classes[0];
+    let names = [
+        "campus-a/datasets/genome",
+        "campus-a/datasets/climate",
+        "campus-b/scratch/tmp042",
+    ];
+    println!("binding names:");
+    for name in names {
+        let b = sys
+            .call_for_binding(class_ep.element(), class_loid, class_proto::CREATE, vec![])
+            .expect("create");
+        sys.call(
+            context.element(),
+            context_loid,
+            cx::BIND_NAME,
+            vec![LegionValue::Str(name.into()), LegionValue::Loid(b.loid)],
+        )
+        .expect("bind name");
+        println!("  /{name} -> {}", b.loid);
+    }
+
+    // A user somewhere else knows only the string name.
+    let wanted = "campus-a/datasets/genome";
+    let LegionValue::Loid(loid) = sys
+        .call(
+            context.element(),
+            context_loid,
+            cx::LOOKUP_NAME,
+            vec![LegionValue::Str(wanted.into())],
+        )
+        .expect("name lookup")
+    else {
+        panic!("expected a loid");
+    };
+    println!("\nlookup /{wanted} -> {loid}");
+
+    // LOID → Object Address through the Binding Agent (Fig. 17)...
+    let agent = sys.leaf_agent_for(1);
+    let binding = sys
+        .call_for_binding(
+            agent.element(),
+            agent_loid(0),
+            GET_BINDING,
+            vec![LegionValue::Loid(loid)],
+        )
+        .expect("binding resolution");
+    println!("bind   {loid} -> {}", binding.address);
+
+    // ...and invoke.
+    let el = *binding.address.primary().expect("address");
+    sys.call(
+        el,
+        loid,
+        obj_proto::SET,
+        vec![LegionValue::Str("title".into()), LegionValue::Str("E. coli K-12".into())],
+    )
+    .expect("set");
+    let title = sys
+        .call(el, loid, obj_proto::GET, vec![LegionValue::Str("title".into())])
+        .expect("get");
+    println!("invoke Get(\"title\") = {title}");
+
+    // The whole directory, for the curious.
+    println!("\nthe name space:");
+    if let Ok(LegionValue::List(items)) = sys.call(
+        context.element(),
+        context_loid,
+        cx::LIST_NAMES,
+        vec![],
+    ) {
+        for item in items {
+            if let LegionValue::List(pair) = item {
+                println!("  /{} -> {}", pair[0].as_str().unwrap_or("?"), pair[1]);
+            }
+        }
+    }
+    let ep = EndpointId(el.sim_endpoint().unwrap());
+    println!(
+        "\nthe dataset runs in jurisdiction {} — the name never said so (location transparency)",
+        sys.kernel.meta(ep).unwrap().location.jurisdiction
+    );
+}

@@ -1,0 +1,23 @@
+//! # legion — a reproduction of *The Core Legion Object Model*
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a
+//! tour, `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for
+//! the paper-claim-vs-measured record.
+//!
+//! ```
+//! use legion::core::{ClassKind, ObjectModel};
+//! use legion::core::wellknown::LEGION_CLASS;
+//!
+//! let mut model = ObjectModel::bootstrap();
+//! let my_class = model.derive(LEGION_CLASS, "MyClass", ClassKind::NORMAL).unwrap();
+//! let instance = model.create(my_class).unwrap();
+//! assert_eq!(model.graph().class_of(&instance), Some(my_class));
+//! ```
+
+pub use legion_core as core;
+pub use legion_naming as naming;
+pub use legion_net as net;
+pub use legion_persist as persist;
+pub use legion_runtime as runtime;
+pub use legion_security as security;
+pub use legion_sim as sim;

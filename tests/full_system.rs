@@ -1,0 +1,319 @@
+//! Cross-crate integration tests over the assembled system: the paper's
+//! mechanisms working end-to-end through every layer at once.
+
+use legion::core::loid::Loid;
+use legion::core::value::LegionValue;
+use legion::naming::protocol::GET_BINDING;
+use legion::naming::tree::TreeShape;
+use legion::net::sim::EndpointId;
+use legion::runtime::class_endpoint::ClassEndpoint;
+use legion::runtime::protocol::{class as class_proto, magistrate as mag_proto, object as obj_proto};
+use legion::sim::system::{agent_loid, magistrate_loid, LegionSystem, SystemConfig};
+
+fn small() -> SystemConfig {
+    SystemConfig {
+        jurisdictions: 2,
+        hosts_per_jurisdiction: 2,
+        classes: 2,
+        objects_per_class: 6,
+        agent_tree: TreeShape::new(2, 3),
+        seed: 2026,
+        ..SystemConfig::default()
+    }
+}
+
+/// After quiescence, the agent-resolved binding for every object matches
+/// the class's authoritative logical table — the resolver invariant of
+/// DESIGN.md §8.
+#[test]
+fn resolved_bindings_match_class_tables() {
+    let mut sys = LegionSystem::build(small());
+    let objects = sys.objects.clone();
+    for (i, (obj, _)) in objects.iter().enumerate() {
+        let agent = sys.leaf_agent_for(i);
+        let via_agent = sys
+            .call_for_binding(
+                agent.element(),
+                agent_loid(0),
+                GET_BINDING,
+                vec![LegionValue::Loid(*obj)],
+            )
+            .expect("agent resolves");
+        // Authoritative answer straight from the class endpoint.
+        let class_loid = obj.class_loid();
+        let class_ep = sys
+            .classes
+            .iter()
+            .find(|(l, _)| *l == class_loid)
+            .map(|(_, e)| *e)
+            .expect("class exists");
+        let authoritative = sys
+            .call_for_binding(
+                class_ep.element(),
+                class_loid,
+                GET_BINDING,
+                vec![LegionValue::Loid(*obj)],
+            )
+            .expect("class resolves");
+        assert_eq!(via_agent.address, authoritative.address, "object {obj}");
+    }
+}
+
+/// Same seed ⇒ bit-identical global metrics across full builds and
+/// workload-free operation sequences.
+#[test]
+fn deterministic_replay_whole_stack() {
+    let fingerprint = |seed: u64| {
+        let mut cfg = small();
+        cfg.seed = seed;
+        let mut sys = LegionSystem::build(cfg);
+        let (obj, _) = sys.objects[0];
+        let agent = sys.leaf_agent_for(0);
+        sys.call_for_binding(
+            agent.element(),
+            agent_loid(0),
+            GET_BINDING,
+            vec![LegionValue::Loid(obj)],
+        )
+        .unwrap();
+        let mag = magistrate_loid(0);
+        let mag_ep = sys.magistrates[0].1;
+        let _ = sys.call(
+            mag_ep.element(),
+            mag,
+            mag_proto::DEACTIVATE,
+            vec![LegionValue::Loid(obj)],
+        );
+        (
+            sys.kernel.now(),
+            sys.kernel.stats().delivered,
+            sys.kernel.stats().sent,
+            sys.kernel.latency_histogram().sum(),
+        )
+    };
+    assert_eq!(fingerprint(1), fingerprint(1));
+    assert_ne!(fingerprint(1), fingerprint(2));
+}
+
+/// State written before deactivation+migration is read back after
+/// reactivation in another jurisdiction: the OPR path preserves state
+/// through every layer (object → SaveState → OPR → storage → ship →
+/// activation → RestoreState).
+#[test]
+fn state_survives_full_migration_cycle() {
+    let mut sys = LegionSystem::build(small());
+    let (class_loid, class_ep) = sys.classes[0];
+    let b = sys
+        .call_for_binding(class_ep.element(), class_loid, class_proto::CREATE, vec![])
+        .expect("create");
+    let obj = b.loid;
+    let el = *b.address.primary().unwrap();
+    for (k, v) in [("alpha", 1u64), ("beta", 2), ("gamma", 3)] {
+        sys.call(
+            el,
+            obj,
+            obj_proto::SET,
+            vec![LegionValue::Str(k.into()), LegionValue::Uint(v)],
+        )
+        .expect("set");
+    }
+    // Find the object's home magistrate from its creation jurisdiction.
+    let j = sys
+        .kernel
+        .meta(EndpointId(el.sim_endpoint().unwrap()))
+        .unwrap()
+        .location
+        .jurisdiction;
+    let home = magistrate_loid(j);
+    let home_ep = sys
+        .magistrates
+        .iter()
+        .find(|(l, _)| *l == home)
+        .map(|(_, e)| *e)
+        .unwrap();
+    let other = magistrate_loid((j + 1) % 2);
+    sys.call(
+        home_ep.element(),
+        home,
+        mag_proto::MOVE,
+        vec![LegionValue::Loid(obj), LegionValue::Loid(other)],
+    )
+    .expect("move");
+    // Reactivate via the class and read everything back.
+    let fresh = sys
+        .call_for_binding(
+            class_ep.element(),
+            class_loid,
+            GET_BINDING,
+            vec![LegionValue::Loid(obj)],
+        )
+        .expect("reactivation");
+    let el2 = *fresh.address.primary().unwrap();
+    assert_ne!(el2, el);
+    for (k, v) in [("alpha", 1u64), ("beta", 2), ("gamma", 3)] {
+        let got = sys
+            .call(el2, obj, obj_proto::GET, vec![LegionValue::Str(k.into())])
+            .expect("get");
+        assert_eq!(got, LegionValue::Uint(v), "{k}");
+    }
+}
+
+/// Random message loss does not break resolution: Binding Agent timeouts
+/// retry and the lookup eventually completes.
+#[test]
+fn resolution_survives_lossy_network() {
+    let mut sys = LegionSystem::build(small());
+    sys.kernel.faults_mut().set_drop_probability(0.10);
+    let objects = sys.objects.clone();
+    let mut successes = 0;
+    for (i, (obj, _)) in objects.iter().enumerate().take(6) {
+        let agent = sys.leaf_agent_for(i);
+        // The driver's own request or the reply may be silently lost too;
+        // a real communication layer retries, so the driver does as well.
+        for _attempt in 0..4 {
+            if sys
+                .call_for_binding(
+                    agent.element(),
+                    agent_loid(0),
+                    GET_BINDING,
+                    vec![LegionValue::Loid(*obj)],
+                )
+                .is_ok()
+            {
+                successes += 1;
+                break;
+            }
+            // Let any in-flight agent timers fire before retrying.
+            sys.kernel.run_until(legion::core::time::SimTime(
+                sys.kernel.now().as_nanos() + 2_000_000_000,
+            ));
+        }
+    }
+    assert_eq!(
+        successes, 6,
+        "every lookup must survive 10% loss with retries"
+    );
+    assert!(sys.kernel.stats().lost > 0, "loss actually happened");
+}
+
+/// Deriving through the live protocol transfers the full interface: an
+/// instance of the subclass answers a method defined on the superclass.
+#[test]
+fn live_derivation_preserves_behaviour() {
+    let mut sys = LegionSystem::build(small());
+    let (class_loid, class_ep) = sys.classes[0];
+    let sub = sys
+        .call_for_binding(
+            class_ep.element(),
+            class_loid,
+            class_proto::DERIVE,
+            vec![LegionValue::Str("Sub".into())],
+        )
+        .expect("derive");
+    let sub_ep = EndpointId(sub.address.primary().unwrap().sim_endpoint().unwrap());
+    let inst = sys
+        .call_for_binding(sub_ep.element(), sub.loid, class_proto::CREATE, vec![])
+        .expect("create");
+    // The instance answers the generic object protocol.
+    let el = *inst.address.primary().unwrap();
+    sys.call(
+        el,
+        inst.loid,
+        obj_proto::SET,
+        vec![LegionValue::Str("x".into()), LegionValue::Int(-9)],
+    )
+    .expect("set on subclass instance");
+    let got = sys
+        .call(el, inst.loid, obj_proto::GET, vec![LegionValue::Str("x".into())])
+        .expect("get");
+    assert_eq!(got, LegionValue::Int(-9));
+    // The subclass's interface includes the superclass's "Work" method.
+    let iface = sys
+        .kernel
+        .endpoint::<ClassEndpoint>(sub_ep)
+        .expect("subclass endpoint")
+        .class()
+        .interface
+        .clone();
+    assert!(iface.contains("Work"), "inherited method present");
+}
+
+/// Concurrent GetBinding storms on one inert object cause exactly one
+/// activation (request combining at class and magistrate).
+#[test]
+fn combined_activation_under_storm() {
+    let mut sys = LegionSystem::build(small());
+    let (obj, j) = sys.objects[0];
+    let home = magistrate_loid(j);
+    let home_ep = sys
+        .magistrates
+        .iter()
+        .find(|(l, _)| *l == home)
+        .map(|(_, e)| *e)
+        .unwrap();
+    sys.call(
+        home_ep.element(),
+        home,
+        mag_proto::DEACTIVATE,
+        vec![LegionValue::Loid(obj)],
+    )
+    .expect("deactivate");
+    sys.kernel.reset_metrics();
+
+    // Fire lookups from several endpoints *before* running the kernel, so
+    // they race through the same activation.
+    struct Shot {
+        agent: legion::core::address::ObjectAddressElement,
+        target: Loid,
+        pub got: Option<Result<legion::core::binding::Binding, String>>,
+    }
+    impl legion::net::sim::Endpoint for Shot {
+        fn on_start(&mut self, ctx: &mut legion::net::sim::Ctx<'_>) {
+            let id = ctx.fresh_call_id();
+            let mut msg = legion::net::message::Message::call(
+                id,
+                self.target,
+                GET_BINDING,
+                vec![LegionValue::Loid(self.target)],
+                legion::core::env::InvocationEnv::anonymous(),
+            );
+            msg.reply_to = Some(ctx.self_element());
+            ctx.send(self.agent, msg);
+        }
+        fn on_message(&mut self, _ctx: &mut legion::net::sim::Ctx<'_>, msg: legion::net::message::Message) {
+            if let legion::net::message::Body::Reply { result, .. } = &msg.body {
+                self.got = Some(match result {
+                    Ok(LegionValue::Binding(b)) => Ok((**b).clone()),
+                    Ok(v) => Err(format!("unexpected {v}")),
+                    Err(e) => Err(e.clone()),
+                });
+            }
+        }
+    }
+    let mut shots = Vec::new();
+    for i in 0..5 {
+        let agent = sys.leaf_agent_for(i);
+        shots.push(sys.kernel.add_endpoint(
+            Box::new(Shot {
+                agent: agent.element(),
+                target: obj,
+                got: None,
+            }),
+            legion::net::topology::Location::new((i % 2) as u32, 600 + i as u32),
+            format!("shot{i}"),
+        ));
+    }
+    sys.kernel.run_until_quiescent(10_000_000);
+    let mut addresses = std::collections::HashSet::new();
+    for s in shots {
+        let shot = sys.kernel.endpoint::<Shot>(s).expect("shot");
+        let b = shot.got.clone().expect("answered").expect("resolved");
+        addresses.insert(format!("{}", b.address));
+    }
+    assert_eq!(addresses.len(), 1, "all waiters saw the same activation");
+    assert_eq!(
+        sys.kernel.counters().get("magistrate.activations"),
+        1,
+        "exactly one activation served the storm"
+    );
+}

@@ -1,0 +1,117 @@
+//! Soak test: a medium-sized system under mixed load (concurrent
+//! lookup-and-invoke clients, migration churn, and a lossy network) must
+//! converge with every client finished and the protocol invariants intact.
+
+use legion::naming::tree::TreeShape;
+use legion::sim::experiments::common::{attach_clients, run_clients};
+use legion::sim::experiments::e08_stale_bindings::ChurnDriver;
+use legion::sim::system::{LegionSystem, SystemConfig};
+use legion::sim::workload::WorkloadConfig;
+use legion::net::topology::Location;
+
+#[test]
+fn mixed_load_soak_converges() {
+    let cfg = SystemConfig {
+        jurisdictions: 4,
+        hosts_per_jurisdiction: 3,
+        host_capacity: 4096,
+        classes: 4,
+        objects_per_class: 24,
+        agent_tree: TreeShape::new(2, 7),
+        seed: 0xC0FFEE,
+        ..SystemConfig::default()
+    };
+    let mut sys = LegionSystem::build(cfg);
+    assert_eq!(sys.object_count(), 96);
+    sys.kernel.reset_metrics();
+
+    // Background churn: 150 migrations at 10 ms intervals.
+    let mags: Vec<_> = sys
+        .magistrates
+        .iter()
+        .map(|(l, e)| (*l, e.element()))
+        .collect();
+    let agents: Vec<_> = sys.agents.iter().map(|a| a.element()).collect();
+    let churner = ChurnDriver::new(
+        mags,
+        sys.objects.clone(),
+        10_000_000,
+        150,
+        agents,
+        true,
+    );
+    sys.kernel
+        .add_endpoint(Box::new(churner), Location::new(0, 800), "churn-driver");
+
+    // 2% message loss on top.
+    sys.kernel.faults_mut().set_drop_probability(0.02);
+
+    // 24 invoking clients with 40 ops each.
+    let wl = WorkloadConfig {
+        lookups_per_client: 40,
+        invoke_after_resolve: true,
+        inter_arrival_ns: 1_500_000,
+        ..WorkloadConfig::default()
+    };
+    let clients = attach_clients(&mut sys, 24, &wl, 0xC0FFEE, None);
+    let report = run_clients(&mut sys, &clients);
+
+    let total_ops = 24 * 40;
+    assert!(
+        report.completed + report.failed >= total_ops * 95 / 100,
+        "ops accounted for: {} completed + {} failed of {total_ops}",
+        report.completed,
+        report.failed
+    );
+    assert!(
+        report.completed >= total_ops * 75 / 100,
+        "most ops complete under churn+loss: {}",
+        report.completed
+    );
+    assert!(report.stale_refreshes > 0, "churn was actually felt");
+    assert!(sys.kernel.stats().lost > 0, "loss was actually injected");
+    // No component melted down: the hottest infrastructure endpoint saw
+    // fewer messages than the total op count.
+    let (name, hottest) = sys.max_component_load();
+    assert!(
+        hottest < total_ops * 6,
+        "hottest component {name} absorbed {hottest} msgs"
+    );
+    // Determinism even under this load: rerun and compare.
+    let fingerprint = (sys.kernel.now(), sys.kernel.stats().delivered);
+    let mut sys2 = LegionSystem::build(SystemConfig {
+        jurisdictions: 4,
+        hosts_per_jurisdiction: 3,
+        host_capacity: 4096,
+        classes: 4,
+        objects_per_class: 24,
+        agent_tree: TreeShape::new(2, 7),
+        seed: 0xC0FFEE,
+        ..SystemConfig::default()
+    });
+    sys2.kernel.reset_metrics();
+    let mags2: Vec<_> = sys2
+        .magistrates
+        .iter()
+        .map(|(l, e)| (*l, e.element()))
+        .collect();
+    let agents2: Vec<_> = sys2.agents.iter().map(|a| a.element()).collect();
+    let churner2 = ChurnDriver::new(
+        mags2,
+        sys2.objects.clone(),
+        10_000_000,
+        150,
+        agents2,
+        true,
+    );
+    sys2.kernel
+        .add_endpoint(Box::new(churner2), Location::new(0, 800), "churn-driver");
+    sys2.kernel.faults_mut().set_drop_probability(0.02);
+    let clients2 = attach_clients(&mut sys2, 24, &wl, 0xC0FFEE, None);
+    let _ = run_clients(&mut sys2, &clients2);
+    assert_eq!(
+        fingerprint,
+        (sys2.kernel.now(), sys2.kernel.stats().delivered),
+        "identical seeds give identical soak runs"
+    );
+}
