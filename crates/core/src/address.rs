@@ -320,10 +320,7 @@ mod tests {
     #[test]
     fn replicated_address_display() {
         let a = ObjectAddress::replicated(
-            vec![
-                ObjectAddressElement::sim(1),
-                ObjectAddressElement::sim(2),
-            ],
+            vec![ObjectAddressElement::sim(1), ObjectAddressElement::sim(2)],
             AddressSemantics::SendToAll,
         );
         let s = a.to_string();

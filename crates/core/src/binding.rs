@@ -54,7 +54,11 @@ impl Binding {
 
 impl fmt::Display for Binding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} (expires {})", self.loid, self.address, self.expiry)
+        write!(
+            f,
+            "{} -> {} (expires {})",
+            self.loid, self.address, self.expiry
+        )
     }
 }
 

@@ -48,7 +48,11 @@ pub fn class_mandatory_interface(provider: Loid) -> Interface {
         provider,
     );
     i.define(
-        MethodSignature::new(methods::DERIVE, vec![("name", ParamType::Str)], ParamType::Loid),
+        MethodSignature::new(
+            methods::DERIVE,
+            vec![("name", ParamType::Str)],
+            ParamType::Loid,
+        ),
         provider,
     );
     i.define(
@@ -324,7 +328,10 @@ impl ClassObject {
     /// Construct a class object shell. Interface composition and relation
     /// bookkeeping are the model's job ([`crate::model::ObjectModel`]).
     pub fn new(loid: Loid, name: impl Into<String>, kind: ClassKind) -> Self {
-        assert!(loid.is_class(), "class object LOIDs have Class Specific = 0");
+        assert!(
+            loid.is_class(),
+            "class object LOIDs have Class Specific = 0"
+        );
         ClassObject {
             name: name.into(),
             kind,
@@ -403,7 +410,10 @@ impl ClassObject {
     /// object is Inert or its address is unknown — the caller must go
     /// through a Magistrate in the row's Current Magistrate List.
     pub fn get_binding(&self, target: &Loid) -> CoreResult<Option<Binding>> {
-        let entry = self.table.get(target).ok_or(CoreError::UnknownLoid(*target))?;
+        let entry = self
+            .table
+            .get(target)
+            .ok_or(CoreError::UnknownLoid(*target))?;
         Ok(entry.address.clone().map(|address| Binding {
             loid: *target,
             address,
@@ -462,10 +472,7 @@ mod tests {
     #[test]
     fn abstract_class_refuses_create() {
         let mut c = fresh(ClassKind::ABSTRACT);
-        assert_eq!(
-            c.create_instance(),
-            Err(CoreError::AbstractClass(c.loid))
-        );
+        assert_eq!(c.create_instance(), Err(CoreError::AbstractClass(c.loid)));
     }
 
     #[test]
@@ -567,10 +574,7 @@ mod tests {
         let mut c = fresh(ClassKind::NORMAL);
         let o = c.create_instance().unwrap();
         assert!(c.delete_child(&o).is_ok());
-        assert!(matches!(
-            c.delete_child(&o),
-            Err(CoreError::UnknownLoid(_))
-        ));
+        assert!(matches!(c.delete_child(&o), Err(CoreError::UnknownLoid(_))));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! message; `legion-security` interprets it.
 
 use crate::loid::Loid;
+use crate::trace::TraceContext;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -19,6 +20,10 @@ pub struct InvocationEnv {
     pub security: Loid,
     /// The Calling Agent: the object that issued this particular call.
     pub calling: Loid,
+    /// Causal-trace context. Rides with the triple (it follows exactly
+    /// the same forwarding rules) but carries no authority; the kernel
+    /// stamps it at send time when tracing is enabled.
+    pub trace: TraceContext,
 }
 
 impl InvocationEnv {
@@ -29,6 +34,7 @@ impl InvocationEnv {
             responsible: who,
             security: who,
             calling: who,
+            trace: TraceContext::NONE,
         }
     }
 
@@ -40,7 +46,14 @@ impl InvocationEnv {
             responsible: self.responsible,
             security: self.security,
             calling: caller,
+            trace: self.trace,
         }
+    }
+
+    /// The same environment carrying `trace` (builder-style).
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The anonymous environment (all roles nil) — "empty for the case of

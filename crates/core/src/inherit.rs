@@ -43,11 +43,7 @@ pub fn resolution_order(graph: &RelationGraph, class: Loid) -> Vec<Loid> {
 /// an incompatible duplicate further away is shadowed, exactly as a C++
 /// derived-class redefinition hides a base's. Unrelated-sibling conflicts
 /// are *not* errors here — use [`find_ambiguities`] to surface them.
-pub fn compose(
-    graph: &RelationGraph,
-    class: Loid,
-    own: &BTreeMap<Loid, Interface>,
-) -> Interface {
+pub fn compose(graph: &RelationGraph, class: Loid, own: &BTreeMap<Loid, Interface>) -> Interface {
     let mut effective = Interface::new();
     for ancestor in resolution_order(graph, class) {
         let Some(decls) = own.get(&ancestor) else {
@@ -96,9 +92,7 @@ pub fn find_ambiguities(
         };
         for sig in decls.iter() {
             // The class's own declarations disambiguate.
-            if ancestor != class
-                && own_decls.is_some_and(|d| d.contains(&sig.name))
-            {
+            if ancestor != class && own_decls.is_some_and(|d| d.contains(&sig.name)) {
                 continue;
             }
             match first_seen.get(&sig.name) {

@@ -32,8 +32,8 @@
 pub mod address;
 pub mod binding;
 pub mod class;
-pub mod context;
 pub mod clone;
+pub mod context;
 pub mod env;
 pub mod error;
 pub mod idl;
@@ -45,6 +45,7 @@ pub mod model;
 pub mod object;
 pub mod relations;
 pub mod time;
+pub mod trace;
 pub mod value;
 pub mod wellknown;
 
@@ -61,4 +62,5 @@ pub use model::ObjectModel;
 pub use object::{ObjectMandatory, ObjectState};
 pub use relations::RelationGraph;
 pub use time::{Expiry, SimTime};
+pub use trace::{SpanId, TraceContext, TraceId};
 pub use value::LegionValue;

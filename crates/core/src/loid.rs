@@ -78,7 +78,11 @@ impl Loid {
     };
 
     /// Construct a LOID with an explicit key.
-    pub const fn new(class_id: u64, class_specific: u64, public_key: [u8; PUBLIC_KEY_BYTES]) -> Self {
+    pub const fn new(
+        class_id: u64,
+        class_specific: u64,
+        public_key: [u8; PUBLIC_KEY_BYTES],
+    ) -> Self {
         Loid {
             class_id: ClassId(class_id),
             class_specific,

@@ -258,7 +258,8 @@ impl ObjectModel {
         // Merge the interface; only then record the edge, so a conflict
         // leaves the graph untouched. The merge is the *conflict gate*;
         // the recomputation below is the authoritative composition.
-        self.class_mut(&class)?.inherit_from(base, &base_interface)?;
+        self.class_mut(&class)?
+            .inherit_from(base, &base_interface)?;
         self.graph
             .add_inherits_from(class, base)
             .expect("cycle pre-checked");
@@ -400,17 +401,16 @@ mod tests {
     fn core_classes_are_abstract() {
         let mut m = ObjectModel::bootstrap();
         for c in crate::wellknown::CORE_CLASSES {
-            assert!(matches!(
-                m.create(c),
-                Err(CoreError::AbstractClass(_))
-            ));
+            assert!(matches!(m.create(c), Err(CoreError::AbstractClass(_))));
         }
     }
 
     #[test]
     fn derive_then_create_full_path() {
         let mut m = ObjectModel::bootstrap();
-        let unix_host = m.derive(LEGION_HOST, "UnixHost", ClassKind::NORMAL).unwrap();
+        let unix_host = m
+            .derive(LEGION_HOST, "UnixHost", ClassKind::NORMAL)
+            .unwrap();
         let h1 = m.create(unix_host).unwrap();
         assert_eq!(m.graph().class_of(&h1), Some(unix_host));
         assert_eq!(m.graph().superclass_of(&unix_host), Some(LEGION_HOST));
@@ -423,14 +423,18 @@ mod tests {
     #[test]
     fn derive_records_responsibility_pair() {
         let mut m = ObjectModel::bootstrap();
-        let d = m.derive(LEGION_HOST, "UnixHost", ClassKind::NORMAL).unwrap();
+        let d = m
+            .derive(LEGION_HOST, "UnixHost", ClassKind::NORMAL)
+            .unwrap();
         assert_eq!(m.authority_mut().find_responsible(&d).unwrap(), LEGION_HOST);
     }
 
     #[test]
     fn derive_from_private_class_fails() {
         let mut m = ObjectModel::bootstrap();
-        let p = m.derive(LEGION_CLASS, "Sealed", ClassKind::PRIVATE).unwrap();
+        let p = m
+            .derive(LEGION_CLASS, "Sealed", ClassKind::PRIVATE)
+            .unwrap();
         assert!(matches!(
             m.derive(p, "Sub", ClassKind::NORMAL),
             Err(CoreError::PrivateClass(_))

@@ -291,7 +291,10 @@ mod tests {
         assert!(p.restore_state(&saved));
         assert_eq!(p.get("count"), Some(&LegionValue::Uint(42)));
         assert_eq!(p.get("name"), Some(&LegionValue::Str("renderer".into())));
-        assert_eq!(p.get("owner"), Some(&LegionValue::Loid(Loid::instance(3, 4))));
+        assert_eq!(
+            p.get("owner"),
+            Some(&LegionValue::Loid(Loid::instance(3, 4)))
+        );
         assert_eq!(p.get("flag"), Some(&LegionValue::Bool(true)));
         assert_eq!(p.get("delta"), Some(&LegionValue::Int(-5)));
         assert_eq!(p.version(), o.version());

@@ -152,12 +152,20 @@ impl BindingAgentEndpoint {
         if !force_fresh && self.cfg.cache_enabled {
             if let Some(b) = self.cache.get(&target, ctx.now()) {
                 ctx.count("ba.cache_hit");
+                ctx.trace_note(&format!("ba.cache_hit:{target}"));
                 ctx.reply(&msg, Ok(LegionValue::from(b)));
                 return;
             }
         }
         ctx.count("ba.cache_miss");
-        self.enqueue(ctx, target, Waiter::External(Box::new(msg)), force_fresh, stale);
+        ctx.trace_note(&format!("ba.cache_miss:{target}"));
+        self.enqueue(
+            ctx,
+            target,
+            Waiter::External(Box::new(msg)),
+            force_fresh,
+            stale,
+        );
     }
 
     /// Add a waiter for `target`, starting an upstream resolution if none

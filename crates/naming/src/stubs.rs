@@ -146,7 +146,8 @@ impl Endpoint for StaticLegionClassEndpoint {
                 self.binding_requests += 1;
                 ctx.count("legion_class.get_binding");
                 let result = match protocol::parse_binding_arg(&msg) {
-                    Some(BindingArg::Loid(l)) | Some(BindingArg::Binding(Binding { loid: l, .. })) => {
+                    Some(BindingArg::Loid(l))
+                    | Some(BindingArg::Binding(Binding { loid: l, .. })) => {
                         match self.class_bindings.get(&l) {
                             Some(b) => Ok(LegionValue::from(b.clone())),
                             None => Err(format!("LegionClass has no binding for {l}")),

@@ -72,9 +72,8 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..32, any::<u64>(), proptest::option::of(1u64..1000)).prop_map(|(key, ep, ttl)| {
-            Op::Insert { key, ep, ttl }
-        }),
+        (0u64..32, any::<u64>(), proptest::option::of(1u64..1000))
+            .prop_map(|(key, ep, ttl)| { Op::Insert { key, ep, ttl } }),
         (0u64..32, 0u64..2000).prop_map(|(key, now)| Op::Get { key, now }),
         (0u64..32).prop_map(|key| Op::Invalidate { key }),
     ]

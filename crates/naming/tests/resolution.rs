@@ -80,7 +80,11 @@ struct World {
 }
 
 fn build_world(n_files: u64, agent_chain: usize, seed: u64) -> World {
-    let mut kernel = SimKernel::new(Topology::fixed(1_000, 10_000, 1_000_000), FaultPlan::none(), seed);
+    let mut kernel = SimKernel::new(
+        Topology::fixed(1_000, 10_000, 1_000_000),
+        FaultPlan::none(),
+        seed,
+    );
 
     // Object endpoints the bindings will point at (just echoes).
     struct Dummy;
@@ -212,7 +216,9 @@ fn client_cache_serves_repeat_lookups_locally() {
 fn concurrent_requests_are_combined() {
     let mut w = build_world(1, 1, 4);
     // Five clients ask for the same file at the same instant.
-    let clients: Vec<_> = (0..5).map(|i| add_client(&mut w, i, vec![file(1)])).collect();
+    let clients: Vec<_> = (0..5)
+        .map(|i| add_client(&mut w, i, vec![file(1)]))
+        .collect();
     w.kernel.run_until_quiescent(100_000);
     for c in clients {
         let cl = w.kernel.endpoint::<TestClient>(c).unwrap();
@@ -298,7 +304,11 @@ fn refresh_bypasses_caches_and_reaches_class() {
 
     // Client reports its old binding stale → refresh through the
     // GetBinding(binding) overload → straight to the class.
-    let class_requests_before = w.kernel.endpoint::<StaticClassEndpoint>(w.class).unwrap().requests;
+    let class_requests_before = w
+        .kernel
+        .endpoint::<StaticClassEndpoint>(w.class)
+        .unwrap()
+        .requests;
     let old = {
         let c = w.kernel.endpoint::<TestClient>(client).unwrap();
         c.resolved[0].1.clone().unwrap()
@@ -334,8 +344,15 @@ fn refresh_bypasses_caches_and_reaches_class() {
     w.kernel.run_until_quiescent(100_000);
     let r = w.kernel.endpoint::<Refresher>(refresher).unwrap();
     let got = r.outcome.clone().expect("refresh completed").expect("ok");
-    assert_eq!(got.address, fresh.address, "refresh returned the new address");
-    let class_requests_after = w.kernel.endpoint::<StaticClassEndpoint>(w.class).unwrap().requests;
+    assert_eq!(
+        got.address, fresh.address,
+        "refresh returned the new address"
+    );
+    let class_requests_after = w
+        .kernel
+        .endpoint::<StaticClassEndpoint>(w.class)
+        .unwrap()
+        .requests;
     assert!(
         class_requests_after > class_requests_before,
         "refresh must reach the class, not a cache"
@@ -406,9 +423,13 @@ fn timeouts_retry_and_eventually_fail() {
     // The client's GetBinding to the agent is itself silently lost, so the
     // client never hears back — drive long enough for agent-side timers
     // (none will fire: the agent never got the request).
-    w.kernel.run_until(legion_core::time::SimTime::from_secs(10));
+    w.kernel
+        .run_until(legion_core::time::SimTime::from_secs(10));
     let c = w.kernel.endpoint::<TestClient>(client).unwrap();
-    assert!(c.resolved.is_empty(), "silent loss leaves the request pending");
+    assert!(
+        c.resolved.is_empty(),
+        "silent loss leaves the request pending"
+    );
     assert_eq!(c.resolver.pending_count(), 1);
 
     // Now heal the network and let a fresh client resolve; then partition
@@ -429,7 +450,8 @@ fn agent_timeout_fails_waiters_when_class_dies_midway() {
     // refused; after retries the agent reports failure.
     w.kernel.remove_endpoint(w.class);
     let client = add_client(&mut w, 1, vec![file(1)]);
-    w.kernel.run_until(legion_core::time::SimTime::from_secs(30));
+    w.kernel
+        .run_until(legion_core::time::SimTime::from_secs(30));
     let c = w.kernel.endpoint::<TestClient>(client).unwrap();
     assert_eq!(c.resolved.len(), 1);
     assert!(c.resolved[0].1.is_err());
@@ -491,12 +513,20 @@ fn add_binding_propagation_preseeds_agent() {
     w.kernel.run_until_quiescent(10_000);
     // Now a client lookup is served from the agent cache without any
     // class traffic.
-    let class_before = w.kernel.endpoint::<StaticClassEndpoint>(w.class).unwrap().requests;
+    let class_before = w
+        .kernel
+        .endpoint::<StaticClassEndpoint>(w.class)
+        .unwrap()
+        .requests;
     let client = add_client(&mut w, 1, vec![file(1)]);
     w.kernel.run_until_quiescent(10_000);
     let c = w.kernel.endpoint::<TestClient>(client).unwrap();
     assert!(c.resolved[0].1.is_ok());
-    let class_after = w.kernel.endpoint::<StaticClassEndpoint>(w.class).unwrap().requests;
+    let class_after = w
+        .kernel
+        .endpoint::<StaticClassEndpoint>(w.class)
+        .unwrap()
+        .requests;
     assert_eq!(class_before, class_after, "AddBinding preseeded the cache");
     assert_eq!(w.kernel.counters().get("stale.bindings_propagated"), 1);
 }
@@ -508,15 +538,17 @@ fn invalidate_binding_both_overloads_on_the_wire() {
     // Warm the agent's cache.
     let client = add_client(&mut w, 1, vec![file(1)]);
     w.kernel.run_until_quiescent(10_000);
-    let binding = w
-        .kernel
-        .endpoint::<TestClient>(client)
-        .unwrap()
-        .resolved[0]
+    let binding = w.kernel.endpoint::<TestClient>(client).unwrap().resolved[0]
         .1
         .clone()
         .unwrap();
-    assert_eq!(w.kernel.endpoint::<BindingAgentEndpoint>(agent).unwrap().cache_len(), 2);
+    assert_eq!(
+        w.kernel
+            .endpoint::<BindingAgentEndpoint>(agent)
+            .unwrap()
+            .cache_len(),
+        2
+    );
 
     // Exact-overload with a WRONG address: must not evict.
     #[derive(Default)]
@@ -558,7 +590,10 @@ fn invalidate_binding_both_overloads_on_the_wire() {
     w.kernel.run_until_quiescent(10_000);
     assert!(w.kernel.endpoint::<Invalidator>(inv1).unwrap().done);
     assert_eq!(
-        w.kernel.endpoint::<BindingAgentEndpoint>(agent).unwrap().cache_len(),
+        w.kernel
+            .endpoint::<BindingAgentEndpoint>(agent)
+            .unwrap()
+            .cache_len(),
         2,
         "mismatched exact-invalidate leaves the cache alone"
     );
@@ -576,7 +611,10 @@ fn invalidate_binding_both_overloads_on_the_wire() {
     w.kernel.run_until_quiescent(10_000);
     assert!(w.kernel.endpoint::<Invalidator>(inv2).unwrap().done);
     assert_eq!(
-        w.kernel.endpoint::<BindingAgentEndpoint>(agent).unwrap().cache_len(),
+        w.kernel
+            .endpoint::<BindingAgentEndpoint>(agent)
+            .unwrap()
+            .cache_len(),
         1,
         "LOID invalidate evicted the object binding"
     );
@@ -629,5 +667,9 @@ fn agent_rejects_malformed_requests_on_the_wire() {
     );
     w.kernel.run_until_quiescent(10_000);
     let errors = &w.kernel.endpoint::<BadCaller>(bad).unwrap().errors;
-    assert_eq!(errors.len(), 3, "every malformed request got an error reply: {errors:?}");
+    assert_eq!(
+        errors.len(),
+        3,
+        "every malformed request got an error reply: {errors:?}"
+    );
 }

@@ -8,7 +8,8 @@
 //! protocol-level events (cache hits, class consultations, activations).
 //! Latency distributions use a log₂-bucketed [`Histogram`].
 
-use serde::{Deserialize, Serialize};
+use legion_core::time::SimTime;
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -102,7 +103,13 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return if i == 0 { 0 } else { 1u64 << i };
+                // Bucket 64 holds values ≥ 2^63; its upper bound does not
+                // fit in a u64, so saturate instead of shifting by 64.
+                return match i {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => 1u64 << i,
+                };
             }
         }
         self.max
@@ -117,6 +124,51 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+// Hand-written (rather than derived) to keep the wire form compact: the
+// bucket array is sparse in practice, so only non-empty buckets are
+// encoded, as `[index, count]` pairs.
+impl Serialize for Histogram {
+    fn to_json_value(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| Value::Array(vec![Value::U64(i as u64), Value::U64(n)]))
+            .collect();
+        Value::Object(vec![
+            ("count".to_owned(), Value::U64(self.count)),
+            ("sum".to_owned(), Value::U64(self.sum)),
+            ("min".to_owned(), Value::U64(self.min)),
+            ("max".to_owned(), Value::U64(self.max)),
+            ("buckets".to_owned(), Value::Array(buckets)),
+        ])
+    }
+}
+
+impl Deserialize for Histogram {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let mut h = Histogram::new();
+        h.count = serde::field(v, "count")?;
+        h.sum = serde::field(v, "sum")?;
+        h.min = serde::field(v, "min")?;
+        h.max = serde::field(v, "max")?;
+        let buckets = v
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| DeError("histogram missing `buckets` array".to_owned()))?;
+        for pair in buckets {
+            let pair: (usize, u64) = Deserialize::from_json_value(pair)?;
+            let (i, n) = pair;
+            if i >= h.buckets.len() {
+                return Err(DeError(format!("histogram bucket index {i} out of range")));
+            }
+            h.buckets[i] = n;
+        }
+        Ok(h)
     }
 }
 
@@ -185,6 +237,102 @@ impl Counters {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+}
+
+/// Counters bucketed into fixed windows of virtual time, so a run's
+/// counter totals can be read as a time series instead of one final sum.
+/// A zero window width disables recording entirely (the default).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowedCounters {
+    window_ns: u64,
+    windows: BTreeMap<u64, Counters>,
+}
+
+impl WindowedCounters {
+    /// Disabled (zero-width) windows — `record` is a no-op.
+    pub fn disabled() -> Self {
+        WindowedCounters::default()
+    }
+
+    /// Counters bucketed into windows of `window_ns` virtual nanoseconds.
+    pub fn new(window_ns: u64) -> Self {
+        WindowedCounters {
+            window_ns,
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// The window width (0 = disabled).
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Add `n` to `name` in the window containing `now`.
+    pub fn record(&mut self, now: SimTime, name: &str, n: u64) {
+        if self.window_ns == 0 {
+            return;
+        }
+        let start = (now.as_nanos() / self.window_ns) * self.window_ns;
+        self.windows.entry(start).or_default().add(name, n);
+    }
+
+    /// Iterate `(window start, counters)` in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &Counters)> {
+        self.windows.iter().map(|(t, c)| (SimTime(*t), c))
+    }
+
+    /// Number of non-empty windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Have any events been recorded?
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Drop recorded windows (keeps the width).
+    pub fn clear(&mut self) {
+        self.windows.clear();
+    }
+}
+
+/// Per-endpoint traffic and latency, as exported in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointMetrics {
+    /// The endpoint's kernel id.
+    pub endpoint: u64,
+    /// Its human-readable name.
+    pub name: String,
+    /// Messages it attempted to send.
+    pub sent: u64,
+    /// Messages delivered to it.
+    pub received: u64,
+    /// Latency distribution of messages delivered to it.
+    pub in_latency: Histogram,
+}
+
+/// A JSON-exportable snapshot of everything the kernel measures: global
+/// stats, named counters (flat and time-windowed), the global and
+/// per-message-kind latency distributions, and per-endpoint traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Virtual time at snapshot.
+    pub at: SimTime,
+    /// Global kernel statistics.
+    pub stats: crate::sim::KernelStats,
+    /// Named protocol counters.
+    pub counters: Counters,
+    /// Delivered-message latency, all messages.
+    pub latency: Histogram,
+    /// Delivered-message latency by message kind (method name / `reply`).
+    pub by_kind: BTreeMap<String, Histogram>,
+    /// Per-endpoint traffic, in endpoint-id order.
+    pub endpoints: Vec<EndpointMetrics>,
+    /// Time-windowed counters (empty unless enabled).
+    pub windows: WindowedCounters,
+    /// Span events evicted from the trace sink (0 unless tracing).
+    pub trace_dropped: u64,
 }
 
 #[cfg(test)]
@@ -272,5 +420,78 @@ mod tests {
         h.record(10);
         let s = h.to_string();
         assert!(s.contains("n=1"));
+    }
+
+    #[test]
+    fn quantile_saturates_on_top_bucket() {
+        // Regression: a sample in bucket 64 (value ≥ 2^63) used to panic
+        // in debug builds via `1u64 << 64`.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_json_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 7, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let text = serde::json::to_string(&h.to_json_value());
+        let back = Histogram::from_json_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.quantile(0.5), h.quantile(0.5));
+        // An empty histogram (min = u64::MAX sentinel) round-trips too.
+        let empty = Histogram::new();
+        let text = serde::json::to_string(&empty.to_json_value());
+        let back = Histogram::from_json_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn histogram_encoding_is_sparse() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let v = h.to_json_value();
+        let buckets = v.get("buckets").and_then(Value::as_array).unwrap();
+        assert_eq!(buckets.len(), 1, "only non-empty buckets are encoded");
+    }
+
+    #[test]
+    fn windowed_counters_bucket_by_time() {
+        let mut w = WindowedCounters::new(100);
+        w.record(SimTime(10), "x", 1);
+        w.record(SimTime(99), "x", 1);
+        w.record(SimTime(100), "x", 1);
+        w.record(SimTime(250), "y", 5);
+        assert_eq!(w.len(), 3);
+        let series: Vec<(u64, u64, u64)> = w
+            .iter()
+            .map(|(t, c)| (t.as_nanos(), c.get("x"), c.get("y")))
+            .collect();
+        assert_eq!(series, vec![(0, 2, 0), (100, 1, 0), (200, 0, 5)]);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.window_ns(), 100);
+    }
+
+    #[test]
+    fn disabled_windows_record_nothing() {
+        let mut w = WindowedCounters::disabled();
+        w.record(SimTime(10), "x", 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn windowed_counters_round_trip() {
+        let mut w = WindowedCounters::new(1_000);
+        w.record(SimTime(1), "a", 2);
+        w.record(SimTime(2_500), "b", 3);
+        let text = serde::json::to_string(&w.to_json_value());
+        let back =
+            WindowedCounters::from_json_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, w);
     }
 }

@@ -20,19 +20,23 @@
 
 use crate::faults::{FaultPlan, Verdict};
 use crate::message::{CallId, Message};
-use crate::metrics::{Counters, Histogram};
+use crate::metrics::{Counters, EndpointMetrics, Histogram, MetricsSnapshot, WindowedCounters};
 use crate::topology::{Location, Topology};
 use legion_core::address::{AddressSemantics, ObjectAddress, ObjectAddressElement};
 use legion_core::env::InvocationEnv;
 use legion_core::loid::Loid;
 use legion_core::time::SimTime;
+use legion_core::trace::{SpanId, TraceContext};
 use legion_core::value::LegionValue;
+use legion_obs::sink::TraceSink;
+use legion_obs::span::{SpanEvent, SpanEventKind};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 /// Identifies an endpoint attached to the kernel.
@@ -81,6 +85,8 @@ pub struct EndpointMeta {
     pub received: u64,
     /// Messages this endpoint attempted to send.
     pub sent: u64,
+    /// Latency distribution of messages delivered to this endpoint.
+    pub in_latency: Histogram,
     /// Is the endpoint alive? Dead endpoints refuse sends detectably.
     pub alive: bool,
 }
@@ -100,6 +106,10 @@ struct Event {
     at: SimTime,
     seq: u64,
     to: EndpointId,
+    /// Trace context the event executes under: the message's context for
+    /// deliveries, the context captured when the timer was armed for
+    /// timers, none for starts.
+    trace: TraceContext,
     kind: EventKind,
 }
 
@@ -121,7 +131,7 @@ impl Ord for Event {
 }
 
 /// Global kernel statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelStats {
     /// Messages accepted into the network.
     pub sent: u64,
@@ -147,7 +157,13 @@ struct Inner {
     rng: SmallRng,
     counters: Counters,
     latency: Histogram,
+    by_kind: BTreeMap<String, Histogram>,
+    windows: WindowedCounters,
     stats: KernelStats,
+    sink: TraceSink,
+    /// The trace context of the handler currently executing (stamped onto
+    /// outgoing sends and captured by armed timers).
+    current: TraceContext,
 }
 
 /// The outcome of sending through an [`ObjectAddress`].
@@ -187,7 +203,11 @@ impl SimKernel {
                 rng: SmallRng::seed_from_u64(seed),
                 counters: Counters::new(),
                 latency: Histogram::new(),
+                by_kind: BTreeMap::new(),
+                windows: WindowedCounters::disabled(),
                 stats: KernelStats::default(),
+                sink: TraceSink::disabled(),
+                current: TraceContext::NONE,
             },
         }
     }
@@ -212,6 +232,7 @@ impl SimKernel {
                 name: name.into(),
                 received: 0,
                 sent: 0,
+                in_latency: Histogram::new(),
                 alive: true,
             },
         });
@@ -220,6 +241,7 @@ impl SimKernel {
             at: self.inner.now,
             seq,
             to: id,
+            trace: TraceContext::NONE,
             kind: EventKind::Start,
         }));
         id
@@ -253,16 +275,104 @@ impl SimKernel {
     pub fn reset_metrics(&mut self) {
         self.inner.counters.reset();
         self.inner.latency = Histogram::new();
+        self.inner.by_kind.clear();
+        self.inner.windows.clear();
         self.inner.stats = KernelStats::default();
         for slot in &mut self.slots {
             slot.meta.received = 0;
             slot.meta.sent = 0;
+            slot.meta.in_latency = Histogram::new();
         }
     }
 
     /// Delivered-message latency distribution.
     pub fn latency_histogram(&self) -> &Histogram {
         &self.inner.latency
+    }
+
+    /// Delivered-message latency by message kind (method name / `reply`).
+    pub fn kind_histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.inner.by_kind
+    }
+
+    /// Start recording span events into a bounded sink.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.inner.sink = TraceSink::with_capacity(capacity);
+    }
+
+    /// Is span recording on?
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.sink.is_enabled()
+    }
+
+    /// The trace sink (inspect without draining).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.inner.sink
+    }
+
+    /// Take every recorded span event, leaving tracing enabled.
+    pub fn drain_trace(&mut self) -> Vec<SpanEvent> {
+        self.inner.sink.drain()
+    }
+
+    /// Open a root span from outside the kernel (drivers, tests). The
+    /// returned context can be stamped onto an injected message's
+    /// environment. Returns [`TraceContext::NONE`] when tracing is off.
+    pub fn begin_trace(&mut self, label: &str) -> TraceContext {
+        self.inner
+            .sink
+            .begin(self.inner.now, SpanEvent::EXTERNAL, label)
+    }
+
+    /// Close a root span opened with [`SimKernel::begin_trace`].
+    pub fn end_trace(&mut self, tc: TraceContext, outcome: &str) {
+        if tc.is_active() {
+            let at = self.inner.now;
+            self.inner.sink.record(SpanEvent {
+                trace: tc.trace,
+                span: tc.span,
+                parent: SpanId::NONE,
+                kind: SpanEventKind::End,
+                at,
+                endpoint: SpanEvent::EXTERNAL,
+                label: outcome.to_owned(),
+            });
+        }
+    }
+
+    /// Start bucketing named counters into windows of `window_ns`.
+    pub fn enable_windows(&mut self, window_ns: u64) {
+        self.inner.windows = WindowedCounters::new(window_ns);
+    }
+
+    /// The time-windowed counters (empty unless enabled).
+    pub fn windows(&self) -> &WindowedCounters {
+        &self.inner.windows
+    }
+
+    /// A JSON-exportable snapshot of everything the kernel measures.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            at: self.inner.now,
+            stats: self.inner.stats.clone(),
+            counters: self.inner.counters.clone(),
+            latency: self.inner.latency.clone(),
+            by_kind: self.inner.by_kind.clone(),
+            endpoints: self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| EndpointMetrics {
+                    endpoint: i as u64,
+                    name: s.meta.name.clone(),
+                    sent: s.meta.sent,
+                    received: s.meta.received,
+                    in_latency: s.meta.in_latency.clone(),
+                })
+                .collect(),
+            windows: self.inner.windows.clone(),
+            trace_dropped: self.inner.sink.dropped(),
+        }
     }
 
     /// Metadata for an endpoint.
@@ -332,11 +442,23 @@ impl SimKernel {
         if !alive {
             if matches!(ev.kind, EventKind::Deliver(_)) {
                 self.inner.stats.dead_letters += 1;
+                if ev.trace.is_active() {
+                    self.inner.record_span(
+                        ev.trace,
+                        SpanId::NONE,
+                        SpanEventKind::DeadLetter,
+                        idx as u64,
+                        "dead_letter",
+                    );
+                }
             }
             return true;
         }
         let mut ep = self.slots[idx].ep.take().expect("alive implies present");
         {
+            // The handler runs under the event's trace context; sends it
+            // makes and timers it arms inherit it.
+            self.inner.current = ev.trace;
             let mut ctx = Ctx {
                 self_id: ev.to,
                 inner: &mut self.inner,
@@ -348,12 +470,34 @@ impl SimKernel {
                 EventKind::Deliver(msg) => {
                     ctx.slots[idx].meta.received += 1;
                     ctx.inner.stats.delivered += 1;
+                    if ev.trace.is_active() {
+                        let label = kind_label(&msg);
+                        ctx.inner.record_span(
+                            ev.trace,
+                            SpanId::NONE,
+                            SpanEventKind::Deliver,
+                            idx as u64,
+                            &label,
+                        );
+                    }
                     ep.on_message(&mut ctx, *msg);
                 }
-                EventKind::Timer(tag) => ep.on_timer(&mut ctx, tag),
+                EventKind::Timer(tag) => {
+                    if ev.trace.is_active() {
+                        ctx.inner.record_span(
+                            ev.trace,
+                            SpanId::NONE,
+                            SpanEventKind::Timer,
+                            idx as u64,
+                            &format!("tag={tag}"),
+                        );
+                    }
+                    ep.on_timer(&mut ctx, tag)
+                }
             }
             let spawned = std::mem::take(&mut ctx.spawned);
             drop(ctx);
+            self.inner.current = TraceContext::NONE;
             // Schedule Start events for endpoints spawned by the handler.
             for id in spawned {
                 let seq = self.inner.bump_seq();
@@ -361,6 +505,7 @@ impl SimKernel {
                     at: self.inner.now,
                     seq,
                     to: id,
+                    trace: TraceContext::NONE,
                     kind: EventKind::Start,
                 }));
             }
@@ -422,50 +567,134 @@ impl Inner {
         self.next_call += 1;
         id
     }
+
+    /// Bump a named counter in the flat registry and the time windows.
+    fn note_count(&mut self, name: &str, n: u64) {
+        self.counters.add(name, n);
+        self.windows.record(self.now, name, n);
+    }
+
+    /// Record a span event at the current virtual time (no-op when the
+    /// sink is disabled).
+    fn record_span(
+        &mut self,
+        tc: TraceContext,
+        parent: SpanId,
+        kind: SpanEventKind,
+        endpoint: u64,
+        label: &str,
+    ) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        let at = self.now;
+        self.sink.record(SpanEvent {
+            trace: tc.trace,
+            span: tc.span,
+            parent,
+            kind,
+            at,
+            endpoint,
+            label: label.to_owned(),
+        });
+    }
+}
+
+/// The per-message-kind metrics label: the method name for calls,
+/// `reply` for replies.
+fn kind_label(msg: &Message) -> String {
+    msg.method()
+        .map(str::to_owned)
+        .unwrap_or_else(|| "reply".to_owned())
 }
 
 /// Attempt one physical send. Returns `true` if accepted (delivery still
 /// subject to silent loss); `false` for a detectable refusal.
+///
+/// When tracing is on and the message belongs to a trace, the hop gets a
+/// fresh span (child of the message's context): a `Send` event always,
+/// then `Refuse`/`Drop` here or `Deliver` at arrival.
 fn send_one(
     inner: &mut Inner,
     slots: &mut [Slot],
     from_location: Location,
     from_slot: Option<usize>,
     to: ObjectAddressElement,
-    msg: Message,
+    mut msg: Message,
 ) -> bool {
     if let Some(i) = from_slot {
         slots[i].meta.sent += 1;
     }
-    let Some(ep) = to.sim_endpoint() else {
+    let from_ep = from_slot.map(|i| i as u64).unwrap_or(SpanEvent::EXTERNAL);
+    let traced = inner.sink.is_enabled() && msg.env.trace.is_active();
+    if traced {
+        // The hop becomes the message's new span; the receiver's own
+        // sends will parent under it.
+        let parent = msg.env.trace.span;
+        msg.env.trace.span = inner.sink.next_span();
+        let label = kind_label(&msg);
+        inner.record_span(msg.env.trace, parent, SpanEventKind::Send, from_ep, &label);
+    }
+    let refuse = |inner: &mut Inner, msg: &Message, why: &str| {
         inner.stats.refused += 1;
-        return false;
+        if traced {
+            inner.record_span(
+                msg.env.trace,
+                SpanId::NONE,
+                SpanEventKind::Refuse,
+                from_ep,
+                why,
+            );
+        }
+        false
+    };
+    let Some(ep) = to.sim_endpoint() else {
+        return refuse(inner, &msg, "refused:bad-address");
     };
     let Some(dest) = slots.get(ep as usize) else {
-        inner.stats.refused += 1;
-        return false;
+        return refuse(inner, &msg, "refused:unknown-endpoint");
     };
     if !dest.meta.alive {
-        inner.stats.refused += 1;
-        return false;
+        return refuse(inner, &msg, "refused:dead-endpoint");
     }
+    let dest_location = dest.meta.location;
     inner.stats.sent += 1;
-    match inner.faults.judge(from_location, dest.meta.location, &mut inner.rng) {
+    match inner
+        .faults
+        .judge(from_location, dest_location, &mut inner.rng)
+    {
         Verdict::DropSilently => {
             inner.stats.lost += 1;
+            if traced {
+                inner.record_span(
+                    msg.env.trace,
+                    SpanId::NONE,
+                    SpanEventKind::Drop,
+                    from_ep,
+                    "drop:silent",
+                );
+            }
             true
         }
         Verdict::Deliver => {
             let delay = inner
                 .topology
-                .latency(from_location, dest.meta.location, &mut inner.rng);
+                .latency(from_location, dest_location, &mut inner.rng);
             inner.latency.record(delay.as_nanos());
+            inner
+                .by_kind
+                .entry(kind_label(&msg))
+                .or_default()
+                .record(delay.as_nanos());
+            slots[ep as usize].meta.in_latency.record(delay.as_nanos());
             let at = inner.now.saturating_add(delay.as_nanos());
             let seq = inner.bump_seq();
+            let trace = msg.env.trace;
             inner.queue.push(Reverse(Event {
                 at,
                 seq,
                 to: EndpointId(ep),
+                trace,
                 kind: EventKind::Deliver(Box::new(msg)),
             }));
             true
@@ -507,14 +736,68 @@ impl Ctx<'_> {
         self.inner.fresh_call_id()
     }
 
-    /// Bump a named protocol counter.
+    /// Bump a named protocol counter. Inside an active trace, the bump
+    /// is also recorded as a `Note` span event — counters *are* the
+    /// protocol-level events (cache hits, activations, …), so every
+    /// instrumented site annotates the request it served for free.
     pub fn count(&mut self, name: &str) {
-        self.inner.counters.bump(name);
+        self.count_n(name, 1);
     }
 
-    /// Add to a named protocol counter.
+    /// Add to a named protocol counter (traced like [`Ctx::count`]).
     pub fn count_n(&mut self, name: &str, n: u64) {
-        self.inner.counters.add(name, n);
+        self.inner.note_count(name, n);
+        self.trace_note(name);
+    }
+
+    /// The trace context this handler is executing under.
+    pub fn current_trace(&self) -> TraceContext {
+        self.inner.current
+    }
+
+    /// Open a root span for a new workload-level request and make it the
+    /// current context. Returns [`TraceContext::NONE`] when tracing is
+    /// off (everything downstream degrades to a no-op).
+    pub fn trace_begin(&mut self, label: &str) -> TraceContext {
+        let at = self.inner.now;
+        let tc = self.inner.sink.begin(at, self.self_id.0, label);
+        if tc.is_active() {
+            self.inner.current = tc;
+        }
+        tc
+    }
+
+    /// Close the current request's trace with an outcome label and leave
+    /// the handler untraced.
+    pub fn trace_end(&mut self, outcome: &str) {
+        let tc = self.inner.current;
+        if tc.is_active() {
+            self.inner.record_span(
+                tc,
+                SpanId::NONE,
+                SpanEventKind::End,
+                self.self_id.0,
+                outcome,
+            );
+        }
+        self.inner.current = TraceContext::NONE;
+    }
+
+    /// Make `tc` the current context (continue a request whose context
+    /// was stashed across an asynchronous boundary the kernel cannot see,
+    /// e.g. state machines keyed by call id).
+    pub fn trace_resume(&mut self, tc: TraceContext) {
+        self.inner.current = tc;
+    }
+
+    /// Annotate the current trace with a protocol-level event (cache hit,
+    /// activation, …). No-op outside a trace.
+    pub fn trace_note(&mut self, label: &str) {
+        let tc = self.inner.current;
+        if tc.is_active() {
+            self.inner
+                .record_span(tc, SpanId::NONE, SpanEventKind::Note, self.self_id.0, label);
+        }
     }
 
     /// This endpoint's location.
@@ -527,6 +810,11 @@ impl Ctx<'_> {
     pub fn send(&mut self, to: ObjectAddressElement, mut msg: Message) -> bool {
         if msg.reply_to.is_none() {
             msg.reply_to = Some(self.self_element());
+        }
+        // Stamp the current trace context unless the caller set one
+        // explicitly (e.g. a message built from a stored environment).
+        if !msg.env.trace.is_active() {
+            msg.env.trace = self.inner.current;
         }
         let loc = self.location();
         send_one(
@@ -614,14 +902,18 @@ impl Ctx<'_> {
         self.send(dest, reply)
     }
 
-    /// Fire `on_timer(tag)` on this endpoint after `delay_ns`.
+    /// Fire `on_timer(tag)` on this endpoint after `delay_ns`. The timer
+    /// captures the current trace context, so the firing handler resumes
+    /// the same trace (retry/backoff stays attributed to its request).
     pub fn set_timer(&mut self, delay_ns: u64, tag: u64) {
         let at = self.inner.now.saturating_add(delay_ns);
         let seq = self.inner.bump_seq();
+        let trace = self.inner.current;
         self.inner.queue.push(Reverse(Event {
             at,
             seq,
             to: self.self_id,
+            trace,
             kind: EventKind::Timer(tag),
         }));
     }
@@ -642,6 +934,7 @@ impl Ctx<'_> {
                 name: name.into(),
                 received: 0,
                 sent: 0,
+                in_latency: Histogram::new(),
                 alive: true,
             },
         });
@@ -714,7 +1007,11 @@ mod tests {
     }
 
     fn kernel() -> SimKernel {
-        SimKernel::new(Topology::fixed(1_000, 10_000, 1_000_000), FaultPlan::none(), 42)
+        SimKernel::new(
+            Topology::fixed(1_000, 10_000, 1_000_000),
+            FaultPlan::none(),
+            42,
+        )
     }
 
     #[test]
@@ -1076,12 +1373,154 @@ mod tests {
                 (k, eps)
             };
             k.run_until_quiescent(1000);
-            (
-                k.now(),
-                k.stats().delivered,
-                k.latency_histogram().sum(),
-            )
+            (k.now(), k.stats().delivered, k.latency_histogram().sum())
         };
         assert_eq!(run(123), run(123));
+    }
+
+    /// Forwards every call to `next` (same method, no args), so a request
+    /// hops across a chain of endpoints under one trace.
+    struct Relay {
+        next: Option<ObjectAddressElement>,
+    }
+
+    impl Endpoint for Relay {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            if let (Some(next), Some(target), Some(m)) = (self.next, msg.target, msg.method()) {
+                ctx.call(next, target, m, vec![], InvocationEnv::anonymous(), None);
+            }
+        }
+    }
+
+    /// Build a 3-relay chain, push one traced request through it, and
+    /// return the drained span events.
+    fn traced_chain_run(seed: u64) -> Vec<SpanEvent> {
+        let mut k = SimKernel::new(Topology::default(), FaultPlan::none(), seed);
+        k.enable_tracing(1024);
+        let c = k.add_endpoint(Box::new(Relay { next: None }), Location::new(1, 2), "c");
+        let b = k.add_endpoint(
+            Box::new(Relay {
+                next: Some(c.element()),
+            }),
+            Location::new(1, 1),
+            "b",
+        );
+        let a = k.add_endpoint(
+            Box::new(Relay {
+                next: Some(b.element()),
+            }),
+            Location::new(0, 1),
+            "a",
+        );
+        let tc = k.begin_trace("chain");
+        let cid = k.fresh_call_id();
+        let msg = Message::call(
+            cid,
+            Loid::instance(16, 1),
+            "Hop",
+            vec![],
+            InvocationEnv::anonymous().with_trace(tc),
+        );
+        assert!(k.inject(Location::new(0, 0), a.element(), msg));
+        k.run_until_quiescent(1_000);
+        k.end_trace(tc, "ok");
+        k.drain_trace()
+    }
+
+    #[test]
+    fn one_request_across_three_endpoints_is_one_parented_trace() {
+        let events = traced_chain_run(5);
+        // Every event belongs to the single trace the driver opened.
+        let traces: std::collections::BTreeSet<_> = events.iter().map(|e| e.trace).collect();
+        assert_eq!(traces.len(), 1, "{events:?}");
+        let s = legion_obs::analysis::summarize(&events);
+        assert_eq!(s.len(), 1);
+        let s = &s[0];
+        assert_eq!(s.hops.len(), 3, "{:?}", s.hops);
+        // Delivered at three distinct endpoints.
+        let visited: std::collections::BTreeSet<_> = s.hops.iter().filter_map(|h| h.to).collect();
+        assert_eq!(visited.len(), 3);
+        // Parent chain: root span → hop1 → hop2 → hop3.
+        let root = events
+            .iter()
+            .find(|e| e.kind == SpanEventKind::Begin)
+            .unwrap()
+            .span;
+        assert_eq!(s.hops[0].parent, root);
+        assert_eq!(s.hops[1].parent, s.hops[0].span);
+        assert_eq!(s.hops[2].parent, s.hops[1].span);
+        // And the reconstruction accounts (at least) 95% of the latency.
+        let b = legion_obs::analysis::hop_breakdown(&events);
+        assert_eq!(b.requests, 1);
+        assert!(b.min_coverage >= 0.95, "{b:?}");
+    }
+
+    #[test]
+    fn same_seed_trace_export_is_byte_identical() {
+        let a = legion_obs::export::to_jsonl(&traced_chain_run(9));
+        let b = legion_obs::export::to_jsonl(&traced_chain_run(9));
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dropped_message_records_fault_verdict_span() {
+        let mut k = SimKernel::new(Topology::zero(), FaultPlan::none(), 7);
+        k.enable_tracing(64);
+        k.faults_mut().set_drop_probability(1.0);
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        let tc = k.begin_trace("doomed");
+        let cid = k.fresh_call_id();
+        let msg = Message::call(
+            cid,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous().with_trace(tc),
+        );
+        assert!(k.inject(Location::new(0, 0), echo.element(), msg));
+        k.run_until_quiescent(10);
+        k.end_trace(tc, "lost");
+        let events = k.drain_trace();
+        let drop = events
+            .iter()
+            .find(|e| e.kind == SpanEventKind::Drop)
+            .expect("drop span recorded");
+        assert_eq!(drop.label, "drop:silent");
+        assert_eq!(drop.trace, tc.trace);
+    }
+
+    #[test]
+    fn refused_message_records_fault_verdict_span() {
+        let mut k = kernel();
+        k.enable_tracing(64);
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        k.remove_endpoint(echo);
+        let tc = k.begin_trace("stale");
+        let cid = k.fresh_call_id();
+        let msg = Message::call(
+            cid,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous().with_trace(tc),
+        );
+        assert!(!k.inject(Location::new(0, 1), echo.element(), msg));
+        k.end_trace(tc, "refused");
+        let events = k.drain_trace();
+        let refuse = events
+            .iter()
+            .find(|e| e.kind == SpanEventKind::Refuse)
+            .expect("refuse span recorded");
+        assert_eq!(refuse.label, "refused:dead-endpoint");
+        assert_eq!(refuse.trace, tc.trace);
     }
 }

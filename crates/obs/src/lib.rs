@@ -1,0 +1,29 @@
+//! # legion-obs — causal tracing and trace analysis
+//!
+//! The paper's scalability argument (§5.2) is an argument about *where
+//! requests go*; this crate makes that observable per request. A
+//! workload-level operation opens a **trace**; every kernel message hop,
+//! timer, and protocol annotation inside it becomes a **span event**
+//! recorded into a bounded [`sink::TraceSink`]. The kernel in
+//! `legion-net` is the only writer, so traces are exactly as
+//! deterministic as the simulation itself: two runs with the same seed
+//! produce byte-identical JSONL.
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`span`] | The span-event schema (what gets recorded) |
+//! | [`sink`] | Bounded ring-buffer sink + deterministic id allocators |
+//! | [`export`] | JSONL rendering of recorded events |
+//! | [`analysis`] | Per-request hop reconstruction and latency breakdown |
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod export;
+pub mod sink;
+pub mod span;
+
+pub use analysis::{HopBreakdown, RequestPath, TraceSummary};
+pub use sink::TraceSink;
+pub use span::{SpanEvent, SpanEventKind};

@@ -1,0 +1,128 @@
+//! The span-event schema.
+//!
+//! A trace is a flat, time-ordered list of [`SpanEvent`]s. A message hop
+//! is one span: its `Send` event (at the sender, at send time) and its
+//! `Deliver` event (at the receiver, at delivery time) share a span id,
+//! so hop latency falls out of the event list without any state. Faulted
+//! hops get a `Drop`/`Refuse`/`DeadLetter` event instead of a `Deliver`,
+//! tagged with the fault verdict in `label`.
+
+use legion_core::time::SimTime;
+use legion_core::trace::{SpanId, TraceId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What happened at one point of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SpanEventKind {
+    /// A root span opened (one per workload-level request).
+    Begin,
+    /// The request finished (successfully or not — see `label`).
+    End,
+    /// A message hop left its sender.
+    Send,
+    /// A message hop arrived at a live endpoint.
+    Deliver,
+    /// The fault plan silently dropped the hop.
+    Drop,
+    /// The send was detectably refused (dead/unknown endpoint, §4.1.4).
+    Refuse,
+    /// Delivery found the endpoint dead on arrival.
+    DeadLetter,
+    /// A timer armed inside this trace fired.
+    Timer,
+    /// A protocol-level annotation (cache hit/miss, activation, …).
+    Note,
+}
+
+impl fmt::Display for SpanEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpanEventKind::Begin => "begin",
+            SpanEventKind::End => "end",
+            SpanEventKind::Send => "send",
+            SpanEventKind::Deliver => "deliver",
+            SpanEventKind::Drop => "drop",
+            SpanEventKind::Refuse => "refuse",
+            SpanEventKind::DeadLetter => "dead_letter",
+            SpanEventKind::Timer => "timer",
+            SpanEventKind::Note => "note",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded event. ~64 bytes; the sink stores these by value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// The request this event belongs to.
+    pub trace: TraceId,
+    /// The span this event describes.
+    pub span: SpanId,
+    /// The causal parent span (`SpanId::NONE` for roots).
+    pub parent: SpanId,
+    /// What happened.
+    pub kind: SpanEventKind,
+    /// When (virtual time).
+    pub at: SimTime,
+    /// The endpoint where the event was observed (`u64::MAX` when the
+    /// event originated outside the kernel, e.g. a driver injection).
+    pub endpoint: u64,
+    /// Kind-specific detail: method name for hops, counter name for
+    /// notes, outcome for `End`, timer tag for `Timer`.
+    pub label: String,
+}
+
+impl SpanEvent {
+    /// The sentinel endpoint for events originating outside the kernel.
+    pub const EXTERNAL: u64 = u64::MAX;
+}
+
+impl fmt::Display for SpanEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}/{} (parent {}) {} @ep{} [{}]",
+            self.kind, self.trace, self.span, self.parent, self.at, self.endpoint, self.label
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_render_distinctly() {
+        let kinds = [
+            SpanEventKind::Begin,
+            SpanEventKind::End,
+            SpanEventKind::Send,
+            SpanEventKind::Deliver,
+            SpanEventKind::Drop,
+            SpanEventKind::Refuse,
+            SpanEventKind::DeadLetter,
+            SpanEventKind::Timer,
+            SpanEventKind::Note,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(seen.insert(k.to_string()), "duplicate rendering for {k:?}");
+        }
+    }
+
+    #[test]
+    fn event_displays_all_parts() {
+        let e = SpanEvent {
+            trace: TraceId(1),
+            span: SpanId(2),
+            parent: SpanId::NONE,
+            kind: SpanEventKind::Send,
+            at: SimTime(10),
+            endpoint: 3,
+            label: "Ping".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("T1") && s.contains("S2") && s.contains("Ping"));
+    }
+}

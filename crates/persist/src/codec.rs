@@ -478,7 +478,10 @@ mod tests {
             address: addr.clone(),
             expiry: Expiry::At(SimTime::from_secs(12)),
         };
-        assert_eq!(roundtrip(&LegionValue::Address(addr.clone())), LegionValue::Address(addr));
+        assert_eq!(
+            roundtrip(&LegionValue::Address(addr.clone())),
+            LegionValue::Address(addr)
+        );
         assert_eq!(
             roundtrip(&LegionValue::Binding(Box::new(b.clone()))),
             LegionValue::Binding(Box::new(b))

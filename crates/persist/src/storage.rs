@@ -33,7 +33,11 @@ pub struct PersistentAddress {
 
 impl fmt::Display for PersistentAddress {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "jur{}:disk{}:{}", self.jurisdiction, self.disk, self.path)
+        write!(
+            f,
+            "jur{}:disk{}:{}",
+            self.jurisdiction, self.disk, self.path
+        )
     }
 }
 
@@ -330,7 +334,10 @@ mod tests {
         foreign.jurisdiction = 99;
         assert!(matches!(
             s.load_opr(&foreign),
-            Err(StorageError::ForeignJurisdiction { ours: 3, theirs: 99 })
+            Err(StorageError::ForeignJurisdiction {
+                ours: 3,
+                theirs: 99
+            })
         ));
         assert!(!s.exists(&foreign));
     }
@@ -391,10 +398,7 @@ mod tests {
         let mut s = storage();
         let addr = s.store_opr(&opr(1)).unwrap();
         s.corrupt(&addr, 10).unwrap();
-        assert!(matches!(
-            s.load_opr(&addr),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(s.load_opr(&addr), Err(StorageError::Corrupt(_))));
     }
 
     #[test]

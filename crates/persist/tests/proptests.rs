@@ -1,14 +1,14 @@
 //! Property-based tests: codec and OPR roundtrips over arbitrary values,
 //! and corruption detection over arbitrary byte flips.
 
-use legion_persist::codec::{decode_value, encode_value, CodecError};
-use legion_persist::opr::Opr;
-use legion_persist::storage::JurisdictionStorage;
 use legion_core::address::{AddressKind, AddressSemantics, ObjectAddress, ObjectAddressElement};
 use legion_core::binding::Binding;
 use legion_core::loid::Loid;
 use legion_core::time::{Expiry, SimTime};
 use legion_core::value::LegionValue;
+use legion_persist::codec::{decode_value, encode_value, CodecError};
+use legion_persist::opr::Opr;
+use legion_persist::storage::JurisdictionStorage;
 use proptest::prelude::*;
 
 fn arb_loid() -> impl Strategy<Value = Loid> {
@@ -40,8 +40,14 @@ fn arb_semantics() -> impl Strategy<Value = AddressSemantics> {
 }
 
 fn arb_address() -> impl Strategy<Value = ObjectAddress> {
-    (proptest::collection::vec(arb_element(), 0..5), arb_semantics())
-        .prop_map(|(elements, semantics)| ObjectAddress { elements, semantics })
+    (
+        proptest::collection::vec(arb_element(), 0..5),
+        arb_semantics(),
+    )
+        .prop_map(|(elements, semantics)| ObjectAddress {
+            elements,
+            semantics,
+        })
 }
 
 fn arb_expiry() -> impl Strategy<Value = Expiry> {

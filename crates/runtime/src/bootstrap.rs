@@ -81,9 +81,15 @@ impl CoreSystem {
         let legion_binding_agent_ep = mk(LEGION_BINDING_AGENT, "LegionBindingAgent", true);
 
         // Attach: LegionClass first (its id must match the element above).
-        let legion_class =
-            kernel.add_endpoint(Box::new(LegionClassEndpoint::new()), location, "LegionClass");
-        assert_eq!(legion_class.0, legion_class_id, "metaclass id must be stable");
+        let legion_class = kernel.add_endpoint(
+            Box::new(LegionClassEndpoint::new()),
+            location,
+            "LegionClass",
+        );
+        assert_eq!(
+            legion_class.0, legion_class_id,
+            "metaclass id must be stable"
+        );
         let legion_object =
             kernel.add_endpoint(Box::new(legion_object_ep), location, "class:LegionObject");
         let legion_host =

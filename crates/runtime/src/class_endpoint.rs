@@ -72,10 +72,7 @@ enum Pending {
         kind: ClassKind,
     },
     /// The base class is returning its interface for an InheritFrom.
-    BaseInterface {
-        requester: Box<Message>,
-        base: Loid,
-    },
+    BaseInterface { requester: Box<Message>, base: Loid },
     /// A magistrate is deleting a child object.
     DeleteChild {
         requester: Box<Message>,
@@ -189,8 +186,12 @@ impl ClassEndpoint {
         ) {
             Some(call_id) => {
                 ctx.count("class.creates");
-                self.pending
-                    .insert(call_id, Pending::Create { requester: Box::new(msg) });
+                self.pending.insert(
+                    call_id,
+                    Pending::Create {
+                        requester: Box::new(msg),
+                    },
+                );
             }
             None => {
                 self.class.table.remove(&loid);
@@ -210,7 +211,10 @@ impl ClassEndpoint {
         };
         ctx.count("class.get_binding");
         let Some(entry) = self.class.table.get(&target) else {
-            ctx.reply(&msg, Err(format!("{}: unknown object {target}", self.class.loid)));
+            ctx.reply(
+                &msg,
+                Err(format!("{}: unknown object {target}", self.class.loid)),
+            );
             return;
         };
         if !refresh {
@@ -230,7 +234,10 @@ impl ClassEndpoint {
             return;
         };
         let Some(_mag_element) = self.magistrate_element(&mag_loid) else {
-            ctx.reply(&msg, Err(format!("magistrate {mag_loid} has no known address")));
+            ctx.reply(
+                &msg,
+                Err(format!("magistrate {mag_loid} has no known address")),
+            );
             return;
         };
         let first = !self.binding_waiters.contains_key(&target);
@@ -245,7 +252,11 @@ impl ClassEndpoint {
     /// Ask `magistrate` to activate `target` for a pending GetBinding.
     fn consult_magistrate(&mut self, ctx: &mut Ctx<'_>, target: Loid, magistrate: Loid) {
         let Some(mag_element) = self.magistrate_element(&magistrate) else {
-            self.finish_binding(ctx, target, Err(format!("magistrate {magistrate} has no known address")));
+            self.finish_binding(
+                ctx,
+                target,
+                Err(format!("magistrate {magistrate} has no known address")),
+            );
             return;
         };
         let env = self.env();
@@ -263,7 +274,11 @@ impl ClassEndpoint {
                     .insert(call_id, Pending::ActivateForBinding { target, magistrate });
             }
             None => {
-                self.finish_binding(ctx, target, Err(format!("magistrate {magistrate} unreachable")));
+                self.finish_binding(
+                    ctx,
+                    target,
+                    Err(format!("magistrate {magistrate} unreachable")),
+                );
             }
         }
     }
@@ -279,7 +294,9 @@ impl ClassEndpoint {
 
     fn finish_binding(&mut self, ctx: &mut Ctx<'_>, target: Loid, result: Result<Binding, String>) {
         if let Ok(b) = &result {
-            self.class.table.set_address(&target, Some(b.address.clone()));
+            self.class
+                .table
+                .set_address(&target, Some(b.address.clone()));
         }
         let result = result.map(|b| self.stamp(ctx, b));
         for msg in self.binding_waiters.remove(&target).unwrap_or_default() {
@@ -307,7 +324,10 @@ impl ClassEndpoint {
             ctx.count("class.derive_refused");
             ctx.reply(
                 &msg,
-                Err(format!("class {} is Private: Derive() is empty", self.class.loid)),
+                Err(format!(
+                    "class {} is Private: Derive() is empty",
+                    self.class.loid
+                )),
             );
             return;
         }
@@ -374,7 +394,10 @@ impl ClassEndpoint {
             ctx.count("class.inherit_refused");
             ctx.reply(
                 &msg,
-                Err(format!("class {} is Fixed: InheritFrom() is empty", self.class.loid)),
+                Err(format!(
+                    "class {} is Fixed: InheritFrom() is empty",
+                    self.class.loid
+                )),
             );
             return;
         }
@@ -405,7 +428,9 @@ impl ClassEndpoint {
                 None => {
                     ctx.reply(
                         &msg,
-                        Err(format!("cannot locate base {base}: no binding agent configured")),
+                        Err(format!(
+                            "cannot locate base {base}: no binding agent configured"
+                        )),
                     );
                 }
             },
@@ -437,7 +462,10 @@ impl ClassEndpoint {
                 );
             }
             None => {
-                ctx.reply(&msg, Err(format!("base class {} unreachable", base_binding.loid)));
+                ctx.reply(
+                    &msg,
+                    Err(format!("base class {} unreachable", base_binding.loid)),
+                );
             }
         }
     }
@@ -448,13 +476,19 @@ impl ClassEndpoint {
             return;
         };
         let Some(entry) = self.class.table.get(&target) else {
-            ctx.reply(&msg, Err(format!("{}: unknown object {target}", self.class.loid)));
+            ctx.reply(
+                &msg,
+                Err(format!("{}: unknown object {target}", self.class.loid)),
+            );
             return;
         };
         match entry.current_magistrates.first().copied() {
             Some(mag_loid) => {
                 let Some(mag_element) = self.magistrate_element(&mag_loid) else {
-                    ctx.reply(&msg, Err(format!("magistrate {mag_loid} has no known address")));
+                    ctx.reply(
+                        &msg,
+                        Err(format!("magistrate {mag_loid} has no known address")),
+                    );
                     return;
                 };
                 let env = self.env();
@@ -568,7 +602,9 @@ impl ClassEndpoint {
         match p {
             Pending::Create { requester } => match naming_proto::binding_from_result(result) {
                 Some(b) => {
-                    self.class.table.set_address(&b.loid, Some(b.address.clone()));
+                    self.class
+                        .table
+                        .set_address(&b.loid, Some(b.address.clone()));
                     let b = self.stamp(ctx, b);
                     ctx.reply(&requester, Ok(LegionValue::from(b)));
                 }
@@ -643,7 +679,10 @@ impl ClassEndpoint {
                     }
                 },
                 Ok(v) => {
-                    ctx.reply(&requester, Err(format!("unexpected GetInterface reply {v}")));
+                    ctx.reply(
+                        &requester,
+                        Err(format!("unexpected GetInterface reply {v}")),
+                    );
                 }
                 Err(e) => {
                     ctx.reply(&requester, Err(format!("GetInterface failed: {e}")));
@@ -680,9 +719,7 @@ impl Endpoint for ClassEndpoint {
             class_proto::DELETE => self.handle_delete(ctx, msg),
             class_proto::SET_ADDRESS
             | class_proto::ADD_MAGISTRATE
-            | class_proto::REMOVE_MAGISTRATE => {
-                self.handle_table_notification(ctx, &msg, &method)
-            }
+            | class_proto::REMOVE_MAGISTRATE => self.handle_table_notification(ctx, &msg, &method),
             class_proto::ANNOUNCE => self.handle_announce(ctx, &msg),
             legion_core::object::methods::GET_INTERFACE => {
                 // Class names may contain characters illegal in IDL
@@ -703,7 +740,10 @@ impl Endpoint for ClassEndpoint {
                 ctx.reply(&msg, Ok(LegionValue::Loid(self.class.loid)));
             }
             other => {
-                ctx.reply(&msg, Err(format!("class {}: no method {other}", self.class.loid)));
+                ctx.reply(
+                    &msg,
+                    Err(format!("class {}: no method {other}", self.class.loid)),
+                );
             }
         }
     }

@@ -130,11 +130,22 @@ mod tests {
         args: Vec<LegionValue>,
     ) -> Result<LegionValue, String> {
         let id = k.fresh_call_id();
-        let mut msg = Message::call(id, Loid::instance(60, 1), method, args, InvocationEnv::anonymous());
+        let mut msg = Message::call(
+            id,
+            Loid::instance(60, 1),
+            method,
+            args,
+            InvocationEnv::anonymous(),
+        );
         msg.reply_to = Some(probe.element());
         k.inject(Location::new(0, 9), cx.element(), msg);
         k.run_until_quiescent(10_000);
-        k.endpoint::<Probe>(probe).unwrap().replies.last().cloned().unwrap()
+        k.endpoint::<Probe>(probe)
+            .unwrap()
+            .replies
+            .last()
+            .cloned()
+            .unwrap()
     }
 
     #[test]
@@ -148,16 +159,26 @@ mod tests {
         let probe = k.add_endpoint(Box::new(Probe::default()), Location::new(0, 9), "probe");
         let target = Loid::instance(16, 5);
         assert_eq!(
-            call(&mut k, probe, cx, methods::BIND_NAME, vec![
-                LegionValue::Str("home/grimshaw/run1".into()),
-                LegionValue::Loid(target),
-            ]),
+            call(
+                &mut k,
+                probe,
+                cx,
+                methods::BIND_NAME,
+                vec![
+                    LegionValue::Str("home/grimshaw/run1".into()),
+                    LegionValue::Loid(target),
+                ]
+            ),
             Ok(LegionValue::Void)
         );
         assert_eq!(
-            call(&mut k, probe, cx, methods::LOOKUP_NAME, vec![LegionValue::Str(
-                "home/grimshaw/run1".into()
-            )]),
+            call(
+                &mut k,
+                probe,
+                cx,
+                methods::LOOKUP_NAME,
+                vec![LegionValue::Str("home/grimshaw/run1".into())]
+            ),
             Ok(LegionValue::Loid(target))
         );
         // ListNames shows the leaf.
@@ -166,14 +187,22 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(
-            call(&mut k, probe, cx, methods::UNBIND_NAME, vec![LegionValue::Str(
-                "home/grimshaw/run1".into()
-            )]),
+            call(
+                &mut k,
+                probe,
+                cx,
+                methods::UNBIND_NAME,
+                vec![LegionValue::Str("home/grimshaw/run1".into())]
+            ),
             Ok(LegionValue::Void)
         );
-        assert!(call(&mut k, probe, cx, methods::LOOKUP_NAME, vec![LegionValue::Str(
-            "home/grimshaw/run1".into()
-        )])
+        assert!(call(
+            &mut k,
+            probe,
+            cx,
+            methods::LOOKUP_NAME,
+            vec![LegionValue::Str("home/grimshaw/run1".into())]
+        )
         .is_err());
         assert_eq!(k.counters().get("context.lookups"), 2);
     }
@@ -188,7 +217,14 @@ mod tests {
         );
         let probe = k.add_endpoint(Box::new(Probe::default()), Location::new(0, 9), "probe");
         assert!(call(&mut k, probe, cx, methods::BIND_NAME, vec![]).is_err());
-        assert!(call(&mut k, probe, cx, methods::LOOKUP_NAME, vec![LegionValue::Uint(1)]).is_err());
+        assert!(call(
+            &mut k,
+            probe,
+            cx,
+            methods::LOOKUP_NAME,
+            vec![LegionValue::Uint(1)]
+        )
+        .is_err());
         assert!(call(&mut k, probe, cx, "Nope", vec![]).is_err());
     }
 }

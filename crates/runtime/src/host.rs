@@ -10,8 +10,8 @@
 //! system builder — and announce themselves to their class (`LegionHost`
 //! or a subclass) on start.
 
-use crate::protocol::{class as class_proto, host as host_proto, ActivationSpec};
 use crate::object::ActiveObjectEndpoint;
+use crate::protocol::{class as class_proto, host as host_proto, ActivationSpec};
 use legion_core::address::{ObjectAddress, ObjectAddressElement};
 use legion_core::env::InvocationEnv;
 use legion_core::interface::Interface;
@@ -57,8 +57,7 @@ impl HostObjectEndpoint {
             cfg,
             Box::new(|spec: &ActivationSpec| {
                 Box::new(
-                    ActiveObjectEndpoint::new(spec.loid, Interface::new())
-                        .with_state(&spec.state),
+                    ActiveObjectEndpoint::new(spec.loid, Interface::new()).with_state(&spec.state),
                 )
             }),
         )
@@ -252,7 +251,11 @@ mod tests {
             class_addr: None,
         });
         let h = k.add_endpoint(Box::new(host), Location::new(0, 0), "host");
-        let probe = k.add_endpoint(Box::new(Probe { replies: vec![] }), Location::new(0, 0), "probe");
+        let probe = k.add_endpoint(
+            Box::new(Probe { replies: vec![] }),
+            Location::new(0, 0),
+            "probe",
+        );
         (k, h, probe)
     }
 
@@ -270,7 +273,12 @@ mod tests {
         msg.sender = Some(caller);
         k.inject(Location::new(0, 0), to.element(), msg);
         k.run_until_quiescent(1000);
-        k.endpoint::<Probe>(probe).unwrap().replies.last().cloned().unwrap()
+        k.endpoint::<Probe>(probe)
+            .unwrap()
+            .replies
+            .last()
+            .cloned()
+            .unwrap()
     }
 
     fn spec(seq: u64) -> Vec<LegionValue> {
@@ -287,7 +295,14 @@ mod tests {
     #[test]
     fn activate_spawns_and_replies_address() {
         let (mut k, h, probe) = world(4, false);
-        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1));
+        let r = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(1),
+        );
         let Ok(LegionValue::Address(addr)) = r else {
             panic!("expected address, got {r:?}");
         };
@@ -304,7 +319,13 @@ mod tests {
         msg.reply_to = Some(probe.element());
         k.inject(Location::new(0, 0), ep.element(), msg);
         k.run_until_quiescent(1000);
-        let last = k.endpoint::<Probe>(probe).unwrap().replies.last().cloned().unwrap();
+        let last = k
+            .endpoint::<Probe>(probe)
+            .unwrap()
+            .replies
+            .last()
+            .cloned()
+            .unwrap();
         assert_eq!(last, Ok(LegionValue::Uint(0)));
         let host = k.endpoint::<HostObjectEndpoint>(h).unwrap();
         assert_eq!(host.running_count(), 1);
@@ -314,18 +335,58 @@ mod tests {
     #[test]
     fn activate_is_idempotent() {
         let (mut k, h, probe) = world(4, false);
-        let r1 = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1));
-        let r2 = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1));
+        let r1 = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(1),
+        );
+        let r2 = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(1),
+        );
         assert_eq!(r1, r2);
-        assert_eq!(k.endpoint::<HostObjectEndpoint>(h).unwrap().running_count(), 1);
+        assert_eq!(
+            k.endpoint::<HostObjectEndpoint>(h).unwrap().running_count(),
+            1
+        );
     }
 
     #[test]
     fn capacity_is_enforced() {
         let (mut k, h, probe) = world(2, false);
-        assert!(call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1)).is_ok());
-        assert!(call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(2)).is_ok());
-        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(3));
+        assert!(call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(1)
+        )
+        .is_ok());
+        assert!(call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(2)
+        )
+        .is_ok());
+        let r = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(3),
+        );
         assert!(r.unwrap_err().contains("capacity"));
         assert_eq!(k.counters().get("host.capacity_refused"), 1);
     }
@@ -333,8 +394,17 @@ mod tests {
     #[test]
     fn deactivate_kills_the_process() {
         let (mut k, h, probe) = world(4, false);
-        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1));
-        let Ok(LegionValue::Address(addr)) = r else { panic!() };
+        let r = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(1),
+        );
+        let Ok(LegionValue::Address(addr)) = r else {
+            panic!()
+        };
         let obj_ep = EndpointId(addr.primary().unwrap().sim_endpoint().unwrap());
         let r = call_as(
             &mut k,
@@ -366,7 +436,14 @@ mod tests {
         assert!(r.unwrap_err().contains("not my magistrate"));
         assert_eq!(k.counters().get("host.unauthorized"), 1);
         // The real magistrate succeeds.
-        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1));
+        let r = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(1),
+        );
         assert!(r.is_ok());
     }
 
@@ -382,19 +459,59 @@ mod tests {
             vec![LegionValue::Uint(50)],
         );
         assert_eq!(r, Ok(LegionValue::Void));
-        assert!(call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1)).is_ok());
-        assert!(call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(2)).is_ok());
+        assert!(call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(1)
+        )
+        .is_ok());
+        assert!(call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(2)
+        )
+        .is_ok());
         // Half of 4 = 2 slots.
-        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(3));
+        let r = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(3),
+        );
         assert!(r.is_err());
     }
 
     #[test]
     fn get_state_reports() {
         let (mut k, h, probe) = world(4, false);
-        call_as(&mut k, probe, h, magistrate_loid(), host_proto::ACTIVATE, spec(1)).unwrap();
-        let r = call_as(&mut k, probe, h, magistrate_loid(), host_proto::GET_STATE, vec![]);
-        let Ok(LegionValue::List(items)) = r else { panic!() };
+        call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::ACTIVATE,
+            spec(1),
+        )
+        .unwrap();
+        let r = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            host_proto::GET_STATE,
+            vec![],
+        );
+        let Ok(LegionValue::List(items)) = r else {
+            panic!()
+        };
         assert_eq!(items[0], LegionValue::Uint(1)); // running
         assert_eq!(items[1], LegionValue::Uint(4)); // capacity
     }

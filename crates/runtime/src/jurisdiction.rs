@@ -227,7 +227,9 @@ mod tests {
         for i in 1..=4 {
             m.add_host(big, host(i));
         }
-        let new = m.split(big, "big-east", &[host(3), host(4), host(99)]).unwrap();
+        let new = m
+            .split(big, "big-east", &[host(3), host(4), host(99)])
+            .unwrap();
         assert_eq!(
             m.get(big).unwrap().hosts,
             [host(1), host(2)].into_iter().collect()

@@ -19,7 +19,9 @@
 //!   the peer Magistrate (`ReceiveOpr`), optionally delete locally —
 //!   exactly Figure 11's migration-through-storage path.
 
-use crate::protocol::{class as class_proto, host as host_proto, magistrate as mag_proto, ActivationSpec};
+use crate::protocol::{
+    class as class_proto, host as host_proto, magistrate as mag_proto, ActivationSpec,
+};
 use crate::scheduler::{HostView, LeastLoaded, SchedulingPolicy};
 use legion_core::address::{ObjectAddress, ObjectAddressElement};
 use legion_core::binding::Binding;
@@ -82,7 +84,11 @@ enum AfterInert {
 
 enum Pending {
     /// Host is starting `loid`.
-    HostActivate { loid: Loid, host: Loid, attempts: u32 },
+    HostActivate {
+        loid: Loid,
+        host: Loid,
+        attempts: u32,
+    },
     /// Object is saving its state for deactivation.
     SaveState {
         loid: Loid,
@@ -228,7 +234,10 @@ impl MagistrateEndpoint {
     }
 
     fn host_element(&self, loid: &Loid) -> Option<ObjectAddressElement> {
-        self.hosts.iter().find(|h| h.loid == *loid).map(|h| h.element)
+        self.hosts
+            .iter()
+            .find(|h| h.loid == *loid)
+            .map(|h| h.element)
     }
 
     fn bump_host(&mut self, loid: &Loid, delta: i64) {
@@ -335,8 +344,14 @@ impl MagistrateEndpoint {
             Some(me),
         ) {
             Some(call_id) => {
-                self.pending
-                    .insert(call_id, Pending::HostActivate { loid, host, attempts });
+                self.pending.insert(
+                    call_id,
+                    Pending::HostActivate {
+                        loid,
+                        host,
+                        attempts,
+                    },
+                );
             }
             None => {
                 // The Host Object is dead (§2.3's "reaping" case): skip it
@@ -366,7 +381,14 @@ impl MagistrateEndpoint {
                     dst_element,
                     delete_after,
                     requester,
-                } => self.ship(ctx, loid, dst_magistrate, dst_element, delete_after, requester),
+                } => self.ship(
+                    ctx,
+                    loid,
+                    dst_magistrate,
+                    dst_element,
+                    delete_after,
+                    requester,
+                ),
             }
         }
     }
@@ -385,7 +407,10 @@ impl MagistrateEndpoint {
             return;
         };
         let ObjState::Inert { addr } = &record.state else {
-            ctx.reply(&requester, Err(format!("{loid} is not Inert after deactivation")));
+            ctx.reply(
+                &requester,
+                Err(format!("{loid} is not Inert after deactivation")),
+            );
             return;
         };
         let bytes = match self.storage.read_raw(addr) {
@@ -426,7 +451,10 @@ impl MagistrateEndpoint {
                 );
             }
             None => {
-                ctx.reply(&requester, Err(format!("magistrate {dst_magistrate} unreachable")));
+                ctx.reply(
+                    &requester,
+                    Err(format!("magistrate {dst_magistrate} unreachable")),
+                );
             }
         }
     }
@@ -444,7 +472,10 @@ impl MagistrateEndpoint {
         };
         match self.objects.get(&loid) {
             None => {
-                ctx.reply(&msg, Err(format!("{loid} not managed by {}", self.cfg.loid)));
+                ctx.reply(
+                    &msg,
+                    Err(format!("{loid} not managed by {}", self.cfg.loid)),
+                );
             }
             Some(r) => match &r.state {
                 ObjState::Active { element, .. } => {
@@ -492,7 +523,10 @@ impl MagistrateEndpoint {
                 state: ObjState::Inert { addr },
             },
         );
-        self.activate_waiters.entry(spec.loid).or_default().push(msg);
+        self.activate_waiters
+            .entry(spec.loid)
+            .or_default()
+            .push(msg);
         self.start_activation(ctx, spec.loid, None);
     }
 
@@ -531,7 +565,8 @@ impl MagistrateEndpoint {
             Some(me),
         ) {
             Some(call_id) => {
-                self.pending.insert(call_id, Pending::SaveState { loid, requester });
+                self.pending
+                    .insert(call_id, Pending::SaveState { loid, requester });
             }
             None => {
                 if let Some(req) = requester {
@@ -568,8 +603,13 @@ impl MagistrateEndpoint {
                     Some(me),
                 ) {
                     Some(call_id) => {
-                        self.pending
-                            .insert(call_id, Pending::DeleteKill { loid, requester: Box::new(msg) });
+                        self.pending.insert(
+                            call_id,
+                            Pending::DeleteKill {
+                                loid,
+                                requester: Box::new(msg),
+                            },
+                        );
                     }
                     None => {
                         // Host gone: drop the record anyway.
@@ -625,12 +665,15 @@ impl MagistrateEndpoint {
         } else {
             "magistrate.copies"
         });
-        self.after_inert.entry(loid).or_default().push(AfterInert::Ship {
-            dst_magistrate: dst,
-            dst_element,
-            delete_after,
-            requester: Box::new(msg),
-        });
+        self.after_inert
+            .entry(loid)
+            .or_default()
+            .push(AfterInert::Ship {
+                dst_magistrate: dst,
+                dst_element,
+                delete_after,
+                requester: Box::new(msg),
+            });
         // "This function causes the Magistrate to deactivate the object,
         // creating an OPR, and to send the OPR to the other Magistrate."
         self.begin_deactivate(ctx, loid, None);
@@ -646,7 +689,10 @@ impl MagistrateEndpoint {
                 (*l, *c, b.clone(), class_addr)
             }
             _ => {
-                ctx.reply(&msg, Err("ReceiveOpr(loid, class, bytes, class_addr) expected".into()));
+                ctx.reply(
+                    &msg,
+                    Err("ReceiveOpr(loid, class, bytes, class_addr) expected".into()),
+                );
                 return;
             }
         };
@@ -697,11 +743,19 @@ impl MagistrateEndpoint {
             return;
         };
         match p {
-            Pending::HostActivate { loid, host, attempts } => match result {
+            Pending::HostActivate {
+                loid,
+                host,
+                attempts,
+            } => match result {
                 Ok(LegionValue::Address(addr)) => {
                     let element = addr.primary().copied();
                     let Some(element) = element else {
-                        self.answer_activate_waiters(ctx, loid, Err("host returned empty address".into()));
+                        self.answer_activate_waiters(
+                            ctx,
+                            loid,
+                            Err("host returned empty address".into()),
+                        );
                         return;
                     };
                     // The record may have vanished while the host was
@@ -754,7 +808,11 @@ impl MagistrateEndpoint {
                     self.answer_activate_waiters(ctx, loid, Ok(b));
                 }
                 Ok(v) => {
-                    self.answer_activate_waiters(ctx, loid, Err(format!("unexpected host reply {v}")));
+                    self.answer_activate_waiters(
+                        ctx,
+                        loid,
+                        Err(format!("unexpected host reply {v}")),
+                    );
                 }
                 Err(e) => {
                     // The chosen host refused (capacity, policy): try once
@@ -762,8 +820,12 @@ impl MagistrateEndpoint {
                     if attempts < 2 {
                         ctx.count("magistrate.activation_retry");
                         let (class, state, class_addr) = {
-                            let Some(record) = self.objects.get(&loid) else { return };
-                            let ObjState::Inert { addr } = &record.state else { return };
+                            let Some(record) = self.objects.get(&loid) else {
+                                return;
+                            };
+                            let ObjState::Inert { addr } = &record.state else {
+                                return;
+                            };
                             match self.storage.load_opr(addr) {
                                 Ok(o) => (record.class, o.state, record.class_addr),
                                 Err(err) => {
@@ -776,7 +838,15 @@ impl MagistrateEndpoint {
                                 }
                             }
                         };
-                        self.dispatch_to_host(ctx, loid, class, state, class_addr, None, attempts + 1);
+                        self.dispatch_to_host(
+                            ctx,
+                            loid,
+                            class,
+                            state,
+                            class_addr,
+                            None,
+                            attempts + 1,
+                        );
                     } else {
                         self.answer_activate_waiters(ctx, loid, Err(format!("host refused: {e}")));
                     }
@@ -784,7 +854,9 @@ impl MagistrateEndpoint {
             },
             Pending::SaveState { loid, requester } => match result {
                 Ok(LegionValue::Bytes(state)) => {
-                    let Some(record) = self.objects.get(&loid) else { return };
+                    let Some(record) = self.objects.get(&loid) else {
+                        return;
+                    };
                     let ObjState::Active { host, .. } = record.state.clone() else {
                         return;
                     };
@@ -814,8 +886,14 @@ impl MagistrateEndpoint {
                         Some(me),
                     ) {
                         Some(call_id) => {
-                            self.pending
-                                .insert(call_id, Pending::HostDeactivate { loid, addr, requester });
+                            self.pending.insert(
+                                call_id,
+                                Pending::HostDeactivate {
+                                    loid,
+                                    addr,
+                                    requester,
+                                },
+                            );
                         }
                         None => {
                             if let Some(req) = requester {
@@ -835,7 +913,11 @@ impl MagistrateEndpoint {
                     }
                 }
             },
-            Pending::HostDeactivate { loid, addr, requester } => {
+            Pending::HostDeactivate {
+                loid,
+                addr,
+                requester,
+            } => {
                 match result {
                     Ok(_) => {
                         // A racing Delete may have removed the record; the
@@ -843,7 +925,10 @@ impl MagistrateEndpoint {
                         if !self.objects.contains_key(&loid) {
                             let _ = self.storage.delete(&addr);
                             if let Some(req) = requester {
-                                ctx.reply(&req, Err(format!("{loid} was removed during deactivation")));
+                                ctx.reply(
+                                    &req,
+                                    Err(format!("{loid} was removed during deactivation")),
+                                );
                             }
                             return;
                         }

@@ -133,11 +133,9 @@ impl Endpoint for ActiveObjectEndpoint {
                 _ => Err("Set(key, value) expected".into()),
             },
             obj_methods::GET => match msg.args() {
-                [LegionValue::Str(key)] => Ok(self
-                    .obj
-                    .get(key)
-                    .cloned()
-                    .unwrap_or(LegionValue::Void)),
+                [LegionValue::Str(key)] => {
+                    Ok(self.obj.get(key).cloned().unwrap_or(LegionValue::Void))
+                }
                 _ => Err("Get(key) expected".into()),
             },
             other => Err(format!("{}: no method {other}", self.obj.iam())),
@@ -174,7 +172,11 @@ mod tests {
         let loid = Loid::instance(16, 1);
         let obj = ActiveObjectEndpoint::new(loid, object_mandatory_interface(LEGION_OBJECT));
         let oid = k.add_endpoint(Box::new(obj), Location::new(0, 0), "obj");
-        let probe = k.add_endpoint(Box::new(Probe { replies: vec![] }), Location::new(0, 0), "probe");
+        let probe = k.add_endpoint(
+            Box::new(Probe { replies: vec![] }),
+            Location::new(0, 0),
+            "probe",
+        );
         (k, oid, probe, loid)
     }
 
@@ -187,7 +189,13 @@ mod tests {
         args: Vec<LegionValue>,
     ) {
         let id = k.fresh_call_id();
-        let mut msg = Message::call(id, target, method, args, InvocationEnv::solo(Loid::instance(9, 9)));
+        let mut msg = Message::call(
+            id,
+            target,
+            method,
+            args,
+            InvocationEnv::solo(Loid::instance(9, 9)),
+        );
         msg.reply_to = Some(from.element());
         msg.sender = Some(Loid::instance(9, 9));
         k.inject(Location::new(0, 0), to.element(), msg);
@@ -195,7 +203,12 @@ mod tests {
     }
 
     fn last_reply(k: &SimKernel, probe: EndpointId) -> Result<LegionValue, String> {
-        k.endpoint::<Probe>(probe).unwrap().replies.last().cloned().unwrap()
+        k.endpoint::<Probe>(probe)
+            .unwrap()
+            .replies
+            .last()
+            .cloned()
+            .unwrap()
     }
 
     #[test]
@@ -276,7 +289,11 @@ mod tests {
         acl.grant(methods::PING, friend);
         let obj = ActiveObjectEndpoint::new(loid, Interface::new()).with_policy(Box::new(acl));
         let oid = k.add_endpoint(Box::new(obj), Location::new(0, 0), "obj");
-        let probe = k.add_endpoint(Box::new(Probe { replies: vec![] }), Location::new(0, 0), "probe");
+        let probe = k.add_endpoint(
+            Box::new(Probe { replies: vec![] }),
+            Location::new(0, 0),
+            "probe",
+        );
         // Ping is granted to the caller...
         call(&mut k, probe, oid, loid, methods::PING, vec![]);
         assert!(last_reply(&k, probe).is_ok());

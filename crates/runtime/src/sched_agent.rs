@@ -196,7 +196,11 @@ mod tests {
         (loid, ep)
     }
 
-    fn suggest(k: &mut SimKernel, probe: EndpointId, agent: EndpointId) -> Result<LegionValue, String> {
+    fn suggest(
+        k: &mut SimKernel,
+        probe: EndpointId,
+        agent: EndpointId,
+    ) -> Result<LegionValue, String> {
         let id = k.fresh_call_id();
         let mut msg = Message::call(
             id,
@@ -208,7 +212,12 @@ mod tests {
         msg.reply_to = Some(probe.element());
         k.inject(Location::new(0, 9), agent.element(), msg);
         k.run_until_quiescent(10_000);
-        k.endpoint::<Probe>(probe).unwrap().replies.last().cloned().unwrap()
+        k.endpoint::<Probe>(probe)
+            .unwrap()
+            .replies
+            .last()
+            .cloned()
+            .unwrap()
     }
 
     #[test]
@@ -248,7 +257,9 @@ mod tests {
         let r = suggest(&mut k, probe, agent);
         assert_eq!(r, Ok(LegionValue::Loid(h2)), "h2 has more free slots");
         assert_eq!(
-            k.endpoint::<SchedulingAgentEndpoint>(agent).unwrap().suggestions,
+            k.endpoint::<SchedulingAgentEndpoint>(agent)
+                .unwrap()
+                .suggestions,
             1
         );
     }
@@ -317,7 +328,13 @@ mod tests {
         msg.reply_to = Some(probe.element());
         k.inject(Location::new(0, 9), agent.element(), msg);
         k.run_until_quiescent(10_000);
-        let r = k.endpoint::<Probe>(probe).unwrap().replies.last().cloned().unwrap();
+        let r = k
+            .endpoint::<Probe>(probe)
+            .unwrap()
+            .replies
+            .last()
+            .cloned()
+            .unwrap();
         assert!(r.unwrap_err().contains("no method"));
     }
 }

@@ -16,7 +16,9 @@ use legion_net::topology::{Location, Topology};
 use legion_net::FaultPlan;
 use legion_runtime::class_endpoint::{ClassConfig, ClassEndpoint};
 use legion_runtime::magistrate::{MagistrateEndpoint, ObjState};
-use legion_runtime::protocol::{class as class_proto, magistrate as mag_proto, object as obj_proto};
+use legion_runtime::protocol::{
+    class as class_proto, magistrate as mag_proto, object as obj_proto,
+};
 use legion_runtime::CoreSystem;
 
 /// A driver endpoint that issues calls on command and stores replies.
@@ -50,7 +52,11 @@ const HOST_B1: Loid = Loid::instance(3, 3);
 const FILE_CLASS: Loid = Loid::class_object(16);
 
 fn build() -> World {
-    let mut k = SimKernel::new(Topology::fixed(1_000, 10_000, 1_000_000), FaultPlan::none(), 7);
+    let mut k = SimKernel::new(
+        Topology::fixed(1_000, 10_000, 1_000_000),
+        FaultPlan::none(),
+        7,
+    );
     let core = CoreSystem::bootstrap(&mut k, Location::new(0, 0));
 
     // Jurisdiction 0: magistrate A with two hosts. Jurisdiction 1:
@@ -86,7 +92,7 @@ fn build() -> World {
         legion_class: core.legion_class_element(),
         magistrates: vec![(MAG_A, mag_a.element()), (MAG_B, mag_b.element())],
         binding_agent: None,
-            binding_ttl_ns: None,
+        binding_ttl_ns: None,
     };
     let file_class = k.add_endpoint(
         Box::new(ClassEndpoint::new(file, cfg)),
@@ -137,7 +143,12 @@ impl World {
         let mut msg = Message::call(id, target, method, args, InvocationEnv::solo(me));
         msg.reply_to = Some(self.driver.element());
         msg.sender = Some(me);
-        let n_before = self.k.endpoint::<Driver>(self.driver).unwrap().replies.len();
+        let n_before = self
+            .k
+            .endpoint::<Driver>(self.driver)
+            .unwrap()
+            .replies
+            .len();
         if !self.k.inject(Location::new(0, 5), to, msg) {
             return Err("refused".into());
         }
@@ -161,24 +172,23 @@ fn expect_binding(r: Result<LegionValue, String>) -> legion_core::binding::Bindi
 fn announcements_populate_core_class_tables() {
     let mut w = build();
     // LegionHost's table has the three announced hosts.
-    let hosts = w
-        .k
-        .endpoint::<ClassEndpoint>(w.core.legion_host)
-        .unwrap()
-        .class()
-        .table
-        .len();
+    let hosts =
+        w.k.endpoint::<ClassEndpoint>(w.core.legion_host)
+            .unwrap()
+            .class()
+            .table
+            .len();
     assert_eq!(hosts, 3);
-    let mags = w
-        .k
-        .endpoint::<ClassEndpoint>(w.core.legion_magistrate)
-        .unwrap()
-        .class()
-        .table
-        .len();
+    let mags =
+        w.k.endpoint::<ClassEndpoint>(w.core.legion_magistrate)
+            .unwrap()
+            .class()
+            .table
+            .len();
     assert_eq!(mags, 2);
     // And the hosts are reachable through LegionHost's GetBinding.
-    let r = w.call(w.core.legion_host,
+    let r = w.call(
+        w.core.legion_host,
         LEGION_HOST,
         legion_naming::protocol::GET_BINDING,
         vec![LegionValue::Loid(HOST_A1)],
@@ -195,13 +205,19 @@ fn create_then_invoke() {
     assert_eq!(b.loid.class_id.0, 16);
     // Invoke Set/Get on the new object at its bound address.
     let el = *b.address.primary().unwrap();
-    let r = w.call_raw(el,
+    let r = w.call_raw(
+        el,
         b.loid,
         obj_proto::SET,
         vec![LegionValue::Str("x".into()), LegionValue::Uint(5)],
     );
     assert_eq!(r, Ok(LegionValue::Void));
-    let r = w.call_raw(el, b.loid, obj_proto::GET, vec![LegionValue::Str("x".into())]);
+    let r = w.call_raw(
+        el,
+        b.loid,
+        obj_proto::GET,
+        vec![LegionValue::Str("x".into())],
+    );
     assert_eq!(r, Ok(LegionValue::Uint(5)));
 }
 
@@ -209,7 +225,8 @@ fn create_then_invoke() {
 fn class_getbinding_serves_active_object() {
     let mut w = build();
     let b = expect_binding(w.call(w.file_class, FILE_CLASS, class_proto::CREATE, vec![]));
-    let r = w.call(w.file_class,
+    let r = w.call(
+        w.file_class,
         FILE_CLASS,
         legion_naming::protocol::GET_BINDING,
         vec![LegionValue::Loid(b.loid)],
@@ -225,7 +242,8 @@ fn deactivate_then_binding_reactivates() {
     let obj = b.loid;
     // Store some state so we can prove it survives the OPR round trip.
     let el = *b.address.primary().unwrap();
-    w.call_raw(el,
+    w.call_raw(
+        el,
         obj,
         obj_proto::SET,
         vec![LegionValue::Str("n".into()), LegionValue::Uint(77)],
@@ -233,13 +251,21 @@ fn deactivate_then_binding_reactivates() {
     .unwrap();
 
     // Deactivate via the magistrate.
-    let r = w.call(w.mag_a, MAG_A, mag_proto::DEACTIVATE, vec![LegionValue::Loid(obj)]);
+    let r = w.call(
+        w.mag_a,
+        MAG_A,
+        mag_proto::DEACTIVATE,
+        vec![LegionValue::Loid(obj)],
+    );
     assert_eq!(r, Ok(LegionValue::Void));
     {
         let m = w.k.endpoint::<MagistrateEndpoint>(w.mag_a).unwrap();
         assert!(matches!(m.object_state(&obj), Some(ObjState::Inert { .. })));
         let (files, bytes) = m.storage_usage();
-        assert!(files >= 1 && bytes > 0, "OPR written to jurisdiction storage");
+        assert!(
+            files >= 1 && bytes > 0,
+            "OPR written to jurisdiction storage"
+        );
     }
     // The old address is dead (stale binding).
     let r = w.call_raw(el, obj, obj_m::PING, vec![]);
@@ -247,13 +273,18 @@ fn deactivate_then_binding_reactivates() {
 
     // §4.1.2: "referring to the LOID of an Inert object can cause the
     // object to be activated" — GetBinding on the class reactivates.
-    let r = w.call(w.file_class,
+    let r = w.call(
+        w.file_class,
         FILE_CLASS,
         legion_naming::protocol::GET_BINDING,
         vec![LegionValue::Loid(obj)],
     );
     let fresh = expect_binding(r);
-    assert_ne!(fresh.address.primary(), Some(&el), "new process, new address");
+    assert_ne!(
+        fresh.address.primary(),
+        Some(&el),
+        "new process, new address"
+    );
     // State survived through the OPR.
     let el2 = *fresh.address.primary().unwrap();
     let r = w.call_raw(el2, obj, obj_proto::GET, vec![LegionValue::Str("n".into())]);
@@ -266,15 +297,20 @@ fn move_between_jurisdictions() {
     let b = expect_binding(w.call(w.file_class, FILE_CLASS, class_proto::CREATE, vec![]));
     let obj = b.loid;
     let el = *b.address.primary().unwrap();
-    w.call_raw(el,
+    w.call_raw(
+        el,
         obj,
         obj_proto::SET,
-        vec![LegionValue::Str("home".into()), LegionValue::Str("uva".into())],
+        vec![
+            LegionValue::Str("home".into()),
+            LegionValue::Str("uva".into()),
+        ],
     )
     .unwrap();
 
     // Move A → B: deactivates, ships the OPR, deletes locally (Fig. 11).
-    let r = w.call(w.mag_a,
+    let r = w.call(
+        w.mag_a,
         MAG_A,
         mag_proto::MOVE,
         vec![LegionValue::Loid(obj), LegionValue::Loid(MAG_B)],
@@ -284,18 +320,27 @@ fn move_between_jurisdictions() {
         let a = w.k.endpoint::<MagistrateEndpoint>(w.mag_a).unwrap();
         assert_eq!(a.object_state(&obj), None, "A forgot the object");
         let b_m = w.k.endpoint::<MagistrateEndpoint>(w.mag_b).unwrap();
-        assert!(matches!(b_m.object_state(&obj), Some(ObjState::Inert { .. })));
+        assert!(matches!(
+            b_m.object_state(&obj),
+            Some(ObjState::Inert { .. })
+        ));
     }
     // The class's magistrate list now names B (ADD_MAGISTRATE arrived,
     // REMOVE_MAGISTRATE cleared A), so GetBinding activates in B.
-    let r = w.call(w.file_class,
+    let r = w.call(
+        w.file_class,
         FILE_CLASS,
         legion_naming::protocol::GET_BINDING,
         vec![LegionValue::Loid(obj)],
     );
     let fresh = expect_binding(r);
     let el2 = *fresh.address.primary().unwrap();
-    let r = w.call_raw(el2, obj, obj_proto::GET, vec![LegionValue::Str("home".into())]);
+    let r = w.call_raw(
+        el2,
+        obj,
+        obj_proto::GET,
+        vec![LegionValue::Str("home".into())],
+    );
     assert_eq!(r, Ok(LegionValue::Str("uva".into())));
     // And it genuinely runs in jurisdiction 1 now.
     let ep = EndpointId(el2.sim_endpoint().unwrap());
@@ -307,7 +352,8 @@ fn copy_leaves_both_magistrates_holding_oprs() {
     let mut w = build();
     let b = expect_binding(w.call(w.file_class, FILE_CLASS, class_proto::CREATE, vec![]));
     let obj = b.loid;
-    let r = w.call(w.mag_a,
+    let r = w.call(
+        w.mag_a,
         MAG_A,
         mag_proto::COPY,
         vec![LegionValue::Loid(obj), LegionValue::Loid(MAG_B)],
@@ -316,7 +362,10 @@ fn copy_leaves_both_magistrates_holding_oprs() {
     let a = w.k.endpoint::<MagistrateEndpoint>(w.mag_a).unwrap();
     assert!(matches!(a.object_state(&obj), Some(ObjState::Inert { .. })));
     let b_m = w.k.endpoint::<MagistrateEndpoint>(w.mag_b).unwrap();
-    assert!(matches!(b_m.object_state(&obj), Some(ObjState::Inert { .. })));
+    assert!(matches!(
+        b_m.object_state(&obj),
+        Some(ObjState::Inert { .. })
+    ));
     // The class's row lists both magistrates.
     let cls = w.k.endpoint::<ClassEndpoint>(w.file_class).unwrap();
     let entry = cls.class().table.get(&obj).unwrap();
@@ -330,7 +379,8 @@ fn delete_removes_object_everywhere() {
     let b = expect_binding(w.call(w.file_class, FILE_CLASS, class_proto::CREATE, vec![]));
     let obj = b.loid;
     let el = *b.address.primary().unwrap();
-    let r = w.call(w.file_class,
+    let r = w.call(
+        w.file_class,
         FILE_CLASS,
         class_proto::DELETE,
         vec![LegionValue::Loid(obj)],
@@ -345,7 +395,8 @@ fn delete_removes_object_everywhere() {
     assert!(cls.class().table.get(&obj).is_none());
     // Future GetBinding fails ("future attempts to bind the LOID ... will
     // be unsuccessful", §3.8).
-    let r = w.call(w.file_class,
+    let r = w.call(
+        w.file_class,
         FILE_CLASS,
         legion_naming::protocol::GET_BINDING,
         vec![LegionValue::Loid(obj)],
@@ -356,7 +407,8 @@ fn delete_removes_object_everywhere() {
 #[test]
 fn derive_spawns_live_subclass() {
     let mut w = build();
-    let r = w.call(w.file_class,
+    let r = w.call(
+        w.file_class,
         FILE_CLASS,
         class_proto::DERIVE,
         vec![LegionValue::Str("SecureFile".into())],
@@ -375,7 +427,8 @@ fn derive_spawns_live_subclass() {
         other => panic!("unexpected {other:?}"),
     }
     // The parent's table records the subclass; parent GetBinding finds it.
-    let r = w.call(w.file_class,
+    let r = w.call(
+        w.file_class,
         FILE_CLASS,
         legion_naming::protocol::GET_BINDING,
         vec![LegionValue::Loid(b.loid)],
@@ -386,7 +439,8 @@ fn derive_spawns_live_subclass() {
 #[test]
 fn derive_flags_abstract() {
     let mut w = build();
-    let r = w.call(w.file_class,
+    let r = w.call(
+        w.file_class,
         FILE_CLASS,
         class_proto::DERIVE,
         vec![
@@ -408,12 +462,14 @@ fn inherit_from_merges_base_interface_over_the_wire() {
     // not possible over the wire, so inherit File itself into a fresh
     // class derived from LegionObject-ish sibling: simplest demonstration:
     // SecureFile inherits from Printable (a sibling with its own method).
-    let printable = expect_binding(w.call(w.file_class,
+    let printable = expect_binding(w.call(
+        w.file_class,
         FILE_CLASS,
         class_proto::DERIVE,
         vec![LegionValue::Str("Printable".into())],
     ));
-    let secure = expect_binding(w.call(w.file_class,
+    let secure = expect_binding(w.call(
+        w.file_class,
         FILE_CLASS,
         class_proto::DERIVE,
         vec![LegionValue::Str("SecureFile".into())],
@@ -433,7 +489,8 @@ fn inherit_from_merges_base_interface_over_the_wire() {
     // sibling in the File table... it is NOT in SecureFile's own table, so
     // this must fail cleanly without an agent.
     let secure_el = *secure.address.primary().unwrap();
-    let r = w.call_raw(secure_el,
+    let r = w.call_raw(
+        secure_el,
         secure.loid,
         class_proto::INHERIT_FROM,
         vec![LegionValue::Loid(printable.loid)],
@@ -454,12 +511,13 @@ fn inherit_from_merges_base_interface_over_the_wire() {
     // Printable's responsibility pair must exist: it was issued through
     // the live LegionClass during Derive, so FindResponsible(Printable)
     // already resolves to File. Give SecureFile the agent.
-    let se = w.k.endpoint_mut::<ClassEndpoint>(EndpointId(secure_el.sim_endpoint().unwrap()));
+    let se =
+        w.k.endpoint_mut::<ClassEndpoint>(EndpointId(secure_el.sim_endpoint().unwrap()));
     let _ = se; // resolver is constructed from config; rebuild instead:
-    // Simplest: issue the InheritFrom *through* a class built with an
-    // agent. Derive a third class after wiring the agent is not enough
-    // (config snapshot). Instead, exercise resolution by asking the agent
-    // directly for Printable's binding, then verify the full chain works.
+                // Simplest: issue the InheritFrom *through* a class built with an
+                // agent. Derive a third class after wiring the agent is not enough
+                // (config snapshot). Instead, exercise resolution by asking the agent
+                // directly for Printable's binding, then verify the full chain works.
     #[derive(Default)]
     struct Probe {
         got: Option<Result<LegionValue, String>>,
@@ -471,7 +529,8 @@ fn inherit_from_merges_base_interface_over_the_wire() {
             }
         }
     }
-    let probe = w.k.add_endpoint(Box::new(Probe::default()), Location::new(0, 7), "probe");
+    let probe =
+        w.k.add_endpoint(Box::new(Probe::default()), Location::new(0, 7), "probe");
     let id = w.k.fresh_call_id();
     let mut msg = Message::call(
         id,
@@ -511,7 +570,10 @@ fn jurisdiction_split_hands_over_objects() {
             on_a.push(b.loid);
         }
     }
-    assert!(on_a.len() >= 2, "round robin put some objects in jurisdiction 0");
+    assert!(
+        on_a.len() >= 2,
+        "round robin put some objects in jurisdiction 0"
+    );
 
     // Descriptor-level split: hosts A2 moves out into a new jurisdiction.
     let mut jmap = JurisdictionMap::new();
@@ -539,7 +601,10 @@ fn jurisdiction_split_hands_over_objects() {
     // The new Magistrate now owns them; GetBinding reactivates there.
     for obj in &handover {
         let b_m = w.k.endpoint::<MagistrateEndpoint>(w.mag_b).unwrap();
-        assert!(matches!(b_m.object_state(obj), Some(ObjState::Inert { .. })));
+        assert!(matches!(
+            b_m.object_state(obj),
+            Some(ObjState::Inert { .. })
+        ));
         let r = w.call(
             w.file_class,
             FILE_CLASS,
@@ -567,9 +632,18 @@ fn activate_honours_host_suggestion() {
     // Find the object's home magistrate.
     let ep0 = EndpointId(b.address.primary().unwrap().sim_endpoint().unwrap());
     let j = w.k.meta(ep0).unwrap().location.jurisdiction;
-    let (mag, mag_ep) = if j == 0 { (MAG_A, w.mag_a) } else { (MAG_B, w.mag_b) };
-    w.call(mag_ep, mag, mag_proto::DEACTIVATE, vec![LegionValue::Loid(obj)])
-        .unwrap();
+    let (mag, mag_ep) = if j == 0 {
+        (MAG_A, w.mag_a)
+    } else {
+        (MAG_B, w.mag_b)
+    };
+    w.call(
+        mag_ep,
+        mag,
+        mag_proto::DEACTIVATE,
+        vec![LegionValue::Loid(obj)],
+    )
+    .unwrap();
     // Suggest a specific host for reactivation (A2 in jurisdiction 0,
     // B1 in jurisdiction 1).
     let suggestion = if j == 0 { HOST_A2 } else { HOST_B1 };
@@ -581,17 +655,18 @@ fn activate_honours_host_suggestion() {
     );
     let fresh = expect_binding(r);
     // Verify it actually runs on the suggested host by asking the host.
-    let host_ep = w
-        .k
-        .all_meta()
-        .find(|(_, m)| m.name == format!("host:{suggestion}"))
-        .map(|(id, _)| id)
-        .expect("host endpoint");
-    let host = w
-        .k
-        .endpoint::<legion_runtime::HostObjectEndpoint>(host_ep)
-        .expect("host");
-    assert!(host.is_running(&obj), "object reactivated on the suggested host");
+    let host_ep =
+        w.k.all_meta()
+            .find(|(_, m)| m.name == format!("host:{suggestion}"))
+            .map(|(id, _)| id)
+            .expect("host endpoint");
+    let host =
+        w.k.endpoint::<legion_runtime::HostObjectEndpoint>(host_ep)
+            .expect("host");
+    assert!(
+        host.is_running(&obj),
+        "object reactivated on the suggested host"
+    );
     let _ = fresh;
 }
 
@@ -605,23 +680,34 @@ fn magistrate_survives_host_crash() {
     // Find the home magistrate and deactivate the object.
     let ep0 = EndpointId(b.address.primary().unwrap().sim_endpoint().unwrap());
     let j = w.k.meta(ep0).unwrap().location.jurisdiction;
-    let (mag, mag_ep) = if j == 0 { (MAG_A, w.mag_a) } else { (MAG_B, w.mag_b) };
-    w.call(mag_ep, mag, mag_proto::DEACTIVATE, vec![LegionValue::Loid(obj)])
-        .unwrap();
+    let (mag, mag_ep) = if j == 0 {
+        (MAG_A, w.mag_a)
+    } else {
+        (MAG_B, w.mag_b)
+    };
+    w.call(
+        mag_ep,
+        mag,
+        mag_proto::DEACTIVATE,
+        vec![LegionValue::Loid(obj)],
+    )
+    .unwrap();
 
     // Crash the host the object ran on.
-    let dead_host_ep = w
-        .k
-        .all_meta()
-        .find(|(_, m)| {
-            m.location.jurisdiction == j && m.name.starts_with("host:") && m.alive
-        })
-        .map(|(id, _)| id)
-        .expect("a live host");
+    let dead_host_ep =
+        w.k.all_meta()
+            .find(|(_, m)| m.location.jurisdiction == j && m.name.starts_with("host:") && m.alive)
+            .map(|(id, _)| id)
+            .expect("a live host");
     w.k.remove_endpoint(dead_host_ep);
 
     // Reactivation must succeed on the other host of the jurisdiction.
-    let r = w.call(mag_ep, mag, mag_proto::ACTIVATE, vec![LegionValue::Loid(obj)]);
+    let r = w.call(
+        mag_ep,
+        mag,
+        mag_proto::ACTIVATE,
+        vec![LegionValue::Loid(obj)],
+    );
     let fresh = expect_binding(r);
     let new_ep = EndpointId(fresh.address.primary().unwrap().sim_endpoint().unwrap());
     assert!(w.k.meta(new_ep).unwrap().alive);
@@ -630,7 +716,10 @@ fn magistrate_survives_host_crash() {
     // the dead one first (scheduling-order dependent); either way the
     // object is Active again.
     let m = w.k.endpoint::<MagistrateEndpoint>(mag_ep).unwrap();
-    assert!(matches!(m.object_state(&obj), Some(ObjState::Active { .. })));
+    assert!(matches!(
+        m.object_state(&obj),
+        Some(ObjState::Active { .. })
+    ));
 }
 
 /// A full jurisdiction store refuses deactivation cleanly (the object
@@ -638,12 +727,23 @@ fn magistrate_survives_host_crash() {
 #[test]
 fn deactivate_with_full_storage_fails_cleanly() {
     // Build a bespoke world with a tiny disk.
-    let mut k = SimKernel::new(Topology::fixed(1_000, 10_000, 1_000_000), FaultPlan::none(), 9);
+    let mut k = SimKernel::new(
+        Topology::fixed(1_000, 10_000, 1_000_000),
+        FaultPlan::none(),
+        9,
+    );
     let core = legion_runtime::CoreSystem::bootstrap(&mut k, Location::new(0, 0));
     let mag_loid = Loid::instance(4, 7);
     let host_loid = Loid::instance(3, 7);
     let mag = core.start_magistrate(&mut k, mag_loid, Location::new(0, 1), 0, 1, 64); // 64-byte disk!
-    let host = core.start_host(&mut k, host_loid, Location::new(0, 2), 8, Some(mag_loid), None);
+    let host = core.start_host(
+        &mut k,
+        host_loid,
+        Location::new(0, 2),
+        8,
+        Some(mag_loid),
+        None,
+    );
     k.endpoint_mut::<MagistrateEndpoint>(mag)
         .unwrap()
         .add_host(host_loid, host.element(), 8);
@@ -682,7 +782,13 @@ fn deactivate_with_full_storage_fails_cleanly() {
     msg.reply_to = Some(probe.element());
     k.inject(Location::new(0, 3), mag.element(), msg);
     k.run_until_quiescent(100_000);
-    let r = k.endpoint::<Probe>(probe).unwrap().replies.last().cloned().unwrap();
+    let r = k
+        .endpoint::<Probe>(probe)
+        .unwrap()
+        .replies
+        .last()
+        .cloned()
+        .unwrap();
     let err = r.expect_err("tiny disk must refuse the OPR");
     assert!(err.contains("full"), "reported the disk-full cause: {err}");
     // And the magistrate did not keep a phantom record.
@@ -697,7 +803,11 @@ fn magistrate_edge_cases() {
     let mut w = build();
     let unknown = Loid::instance(16, 9999);
     // Activate/Deactivate/Delete of an unmanaged object: clean errors.
-    for method in [mag_proto::ACTIVATE, mag_proto::DEACTIVATE, mag_proto::DELETE] {
+    for method in [
+        mag_proto::ACTIVATE,
+        mag_proto::DEACTIVATE,
+        mag_proto::DELETE,
+    ] {
         let r = w.call(w.mag_a, MAG_A, method, vec![LegionValue::Loid(unknown)]);
         assert!(r.unwrap_err().contains("not managed"), "{method}");
     }
@@ -706,7 +816,11 @@ fn magistrate_edge_cases() {
     let obj = b.loid;
     let ep0 = EndpointId(b.address.primary().unwrap().sim_endpoint().unwrap());
     let j = w.k.meta(ep0).unwrap().location.jurisdiction;
-    let (mag, mag_ep) = if j == 0 { (MAG_A, w.mag_a) } else { (MAG_B, w.mag_b) };
+    let (mag, mag_ep) = if j == 0 {
+        (MAG_A, w.mag_a)
+    } else {
+        (MAG_B, w.mag_b)
+    };
     let stranger = Loid::instance(4, 77);
     let r = w.call(
         mag_ep,
@@ -717,13 +831,28 @@ fn magistrate_edge_cases() {
     assert!(r.unwrap_err().contains("unknown peer"));
     // Activate while already Active: returns the current binding, no new
     // process.
-    let r = w.call(mag_ep, mag, mag_proto::ACTIVATE, vec![LegionValue::Loid(obj)]);
+    let r = w.call(
+        mag_ep,
+        mag,
+        mag_proto::ACTIVATE,
+        vec![LegionValue::Loid(obj)],
+    );
     let again = expect_binding(r);
     assert_eq!(again.address, b.address);
     // Deactivate twice: second is a clean no-op (already Inert).
-    let r1 = w.call(mag_ep, mag, mag_proto::DEACTIVATE, vec![LegionValue::Loid(obj)]);
+    let r1 = w.call(
+        mag_ep,
+        mag,
+        mag_proto::DEACTIVATE,
+        vec![LegionValue::Loid(obj)],
+    );
     assert_eq!(r1, Ok(LegionValue::Void));
-    let r2 = w.call(mag_ep, mag, mag_proto::DEACTIVATE, vec![LegionValue::Loid(obj)]);
+    let r2 = w.call(
+        mag_ep,
+        mag,
+        mag_proto::DEACTIVATE,
+        vec![LegionValue::Loid(obj)],
+    );
     assert_eq!(r2, Ok(LegionValue::Void));
     // Malformed arguments.
     let r = w.call(mag_ep, mag, mag_proto::ACTIVATE, vec![LegionValue::Uint(1)]);
@@ -742,7 +871,11 @@ fn delete_active_object_kills_process() {
     let el = *b.address.primary().unwrap();
     let ep = EndpointId(el.sim_endpoint().unwrap());
     let ep_j = w.k.meta(ep).unwrap().location.jurisdiction;
-    let (mag, mag_ep) = if ep_j == 0 { (MAG_A, w.mag_a) } else { (MAG_B, w.mag_b) };
+    let (mag, mag_ep) = if ep_j == 0 {
+        (MAG_A, w.mag_a)
+    } else {
+        (MAG_B, w.mag_b)
+    };
     let r = w.call(mag_ep, mag, mag_proto::DELETE, vec![LegionValue::Loid(obj)]);
     assert_eq!(r, Ok(LegionValue::Void));
     assert!(!w.k.meta(ep).unwrap().alive, "the process is gone");

@@ -45,7 +45,11 @@ struct World {
 }
 
 fn build() -> World {
-    let mut k = SimKernel::new(Topology::fixed(1_000, 10_000, 1_000_000), FaultPlan::none(), 5);
+    let mut k = SimKernel::new(
+        Topology::fixed(1_000, 10_000, 1_000_000),
+        FaultPlan::none(),
+        5,
+    );
     let core = CoreSystem::bootstrap(&mut k, Location::new(0, 0));
     let mag = core.start_magistrate(&mut k, MAG, Location::new(0, 1), 0, 2, 1 << 20);
     let host = core.start_host(&mut k, HOST, Location::new(0, 2), 8, Some(MAG), None);

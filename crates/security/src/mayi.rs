@@ -124,7 +124,10 @@ impl MethodAcl {
 
     /// Grant `caller` the right to invoke `method`.
     pub fn grant(&mut self, method: impl Into<String>, caller: Loid) -> &mut Self {
-        self.callers.entry(method.into()).or_default().insert(caller);
+        self.callers
+            .entry(method.into())
+            .or_default()
+            .insert(caller);
         self
     }
 
@@ -233,6 +236,7 @@ mod tests {
             responsible: ra,
             security: ra,
             calling: ca,
+            trace: Default::default(),
         }
     }
 

@@ -1,116 +1,5 @@
-//! `legion-exp` — run any reproduction experiment and print its table.
-//!
-//! ```text
-//! legion-exp all            # every experiment at report scale
-//! legion-exp e1 e4 e12      # a subset
-//! legion-exp --quick all    # small/fast configuration
-//! ```
-//!
-//! The printed tables are the ones recorded in EXPERIMENTS.md.
-
-use legion_sim::experiments as exp;
-
-struct Opts {
-    quick: bool,
-    which: Vec<String>,
-}
-
-fn parse_args() -> Opts {
-    let mut quick = false;
-    let mut which = Vec::new();
-    for a in std::env::args().skip(1) {
-        match a.as_str() {
-            "--quick" | "-q" => quick = true,
-            "--help" | "-h" => {
-                eprintln!(
-                    "usage: legion-exp [--quick] (all | e1 e2 ... e14)\n\
-                     Runs the Legion reproduction experiments (see EXPERIMENTS.md)."
-                );
-                std::process::exit(0);
-            }
-            other => which.push(other.to_ascii_lowercase()),
-        }
-    }
-    if which.is_empty() {
-        which.push("all".to_string());
-    }
-    Opts { quick, which }
-}
+//! `legion-exp` — see [`legion_sim::cli`].
 
 fn main() {
-    let opts = parse_args();
-    let all = opts.which.iter().any(|w| w == "all");
-    let want = |name: &str| all || opts.which.iter().any(|w| w == name);
-    let scale = if opts.quick { 1 } else { 2 };
-    let seed = 20260707;
-
-    if want("e1") {
-        exp::e01_binding_path::table(&exp::e01_binding_path::run(scale, seed)).print();
-        println!();
-    }
-    if want("e2") {
-        exp::e02_agent_load::table(&exp::e02_agent_load::run(scale, seed)).print();
-        println!();
-    }
-    if want("e3") {
-        exp::e03_cache_tiers::table(&exp::e03_cache_tiers::run(scale, seed)).print();
-        println!();
-    }
-    if want("e4") {
-        exp::e04_combining_tree::table(&exp::e04_combining_tree::run(scale, seed)).print();
-        println!();
-    }
-    if want("e5") {
-        let depth = if opts.quick { 4 } else { 6 };
-        exp::e05_find_class::table(&exp::e05_find_class::run(depth, seed)).print();
-        println!();
-    }
-    if want("e6") {
-        let creates = if opts.quick { 32 } else { 128 };
-        exp::e06_class_cloning::table(&exp::e06_class_cloning::run(creates, seed)).print();
-        println!();
-    }
-    if want("e7") {
-        let n = if opts.quick { 6 } else { 20 };
-        exp::e07_lifecycle::table(&exp::e07_lifecycle::run(n, seed)).print();
-        println!();
-    }
-    if want("e8") {
-        exp::e08_stale_bindings::table(&exp::e08_stale_bindings::run(scale, seed)).print();
-        println!();
-    }
-    if want("e9") {
-        let n = if opts.quick { 100_000 } else { 1_000_000 };
-        exp::e09_loid::table(&exp::e09_loid::run(n)).print();
-        println!();
-    }
-    if want("e10") {
-        let reqs = if opts.quick { 20 } else { 100 };
-        exp::e10_replication::table(&exp::e10_replication::run(4, reqs, seed)).print();
-        println!();
-    }
-    if want("e11") {
-        let n = if opts.quick { 1_000 } else { 20_000 };
-        exp::e11_object_model::table(&exp::e11_object_model::run(n)).print();
-        println!();
-    }
-    if want("e12") {
-        let points: &[u32] = if opts.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
-        exp::e12_scalability::table(&exp::e12_scalability::run(points, seed)).print();
-        println!();
-    }
-    if want("e13") {
-        let n = if opts.quick { 100_000 } else { 1_000_000 };
-        let micro = exp::e13_security::run_micro(n);
-        let live = exp::e13_security::run_live(50, seed);
-        let (t1, t2) = exp::e13_security::table(&micro, &live);
-        t1.print();
-        t2.print();
-        println!();
-    }
-    if want("e14") {
-        let (clients, ops) = if opts.quick { (16, 200) } else { (64, 1000) };
-        exp::e14_parallel::table(&exp::e14_parallel::run(clients, ops, 256, 8)).print();
-        println!();
-    }
+    legion_sim::cli::main();
 }

@@ -1,0 +1,200 @@
+//! The `legion-exp` command-line driver — run any reproduction
+//! experiment and print its table.
+//!
+//! ```text
+//! legion-exp all            # every experiment at report scale
+//! legion-exp e1 e4 e12      # a subset (e01/e04/e12 also accepted)
+//! legion-exp --quick all    # small/fast configuration
+//! legion-exp e1 --trace-out t.jsonl --metrics-out m.json
+//! ```
+//!
+//! The printed tables are the ones recorded in EXPERIMENTS.md. The
+//! observability flags export the traced E1 run: `--trace-out` writes one
+//! span event per line (JSONL, deterministic for a given seed) and
+//! `--metrics-out` writes the structured metrics snapshot plus the
+//! trace-analysis tables as a single JSON document.
+
+use crate::experiments as exp;
+use crate::obs_run;
+use serde::Serialize;
+
+struct Opts {
+    quick: bool,
+    which: Vec<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+/// Accept `e01`/`E01` spellings for `e1` etc.
+fn normalize(name: &str) -> String {
+    let lower = name.to_ascii_lowercase();
+    match lower.strip_prefix('e') {
+        Some(digits) if digits.chars().all(|c| c.is_ascii_digit()) && !digits.is_empty() => {
+            format!("e{}", digits.trim_start_matches('0'))
+        }
+        _ => lower,
+    }
+}
+
+fn parse_args() -> Opts {
+    let mut quick = false;
+    let mut which = Vec::new();
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--trace-out" => {
+                trace_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            "--metrics-out" => {
+                metrics_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-out needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: legion-exp [--quick] [--trace-out FILE] [--metrics-out FILE] \
+                     (all | e1 e2 ... e14)\n\
+                     Runs the Legion reproduction experiments (see EXPERIMENTS.md).\n\
+                     --trace-out   write the traced E1 run's spans as JSONL\n\
+                     --metrics-out write the traced E1 run's metrics snapshot as JSON"
+                );
+                std::process::exit(0);
+            }
+            other => which.push(normalize(other)),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    Opts {
+        quick,
+        which,
+        trace_out,
+        metrics_out,
+    }
+}
+
+/// Entry point shared by the `legion-exp` binaries (workspace root and
+/// `legion-sim`): parse argv, run the requested experiments, honour the
+/// trace/metrics export flags.
+pub fn main() {
+    let opts = parse_args();
+    let all = opts.which.iter().any(|w| w == "all");
+    let want = |name: &str| all || opts.which.iter().any(|w| w == name);
+    let scale = if opts.quick { 1 } else { 2 };
+    let seed = 20260707;
+
+    if want("e1") {
+        exp::e01_binding_path::table(&exp::e01_binding_path::run(scale, seed)).print();
+        println!();
+        // The traced re-run: same system + workload, span sink enabled.
+        let traced = obs_run::run_e01_traced(scale, seed);
+        let tables = obs_run::analysis_tables(&traced.events);
+        for t in &tables {
+            t.print();
+            println!();
+        }
+        if let Some(path) = &opts.trace_out {
+            let jsonl = legion_obs::export::to_jsonl(&traced.events);
+            if let Err(e) = std::fs::write(path, jsonl) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} spans to {path}", traced.events.len());
+        }
+        if let Some(path) = &opts.metrics_out {
+            let doc = serde::Value::Object(vec![
+                ("experiment".to_string(), serde::Value::Str("e1".into())),
+                ("metrics".to_string(), traced.metrics.to_json_value()),
+                (
+                    "tables".to_string(),
+                    serde::Value::Array(tables.iter().map(|t| t.to_json()).collect()),
+                ),
+            ]);
+            if let Err(e) = std::fs::write(path, serde::json::to_string_pretty(&doc)) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+    } else if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        eprintln!("--trace-out/--metrics-out export the traced E1 run; include e1 (or all)");
+        std::process::exit(2);
+    }
+    if want("e2") {
+        exp::e02_agent_load::table(&exp::e02_agent_load::run(scale, seed)).print();
+        println!();
+    }
+    if want("e3") {
+        exp::e03_cache_tiers::table(&exp::e03_cache_tiers::run(scale, seed)).print();
+        println!();
+    }
+    if want("e4") {
+        exp::e04_combining_tree::table(&exp::e04_combining_tree::run(scale, seed)).print();
+        println!();
+    }
+    if want("e5") {
+        let depth = if opts.quick { 4 } else { 6 };
+        exp::e05_find_class::table(&exp::e05_find_class::run(depth, seed)).print();
+        println!();
+    }
+    if want("e6") {
+        let creates = if opts.quick { 32 } else { 128 };
+        exp::e06_class_cloning::table(&exp::e06_class_cloning::run(creates, seed)).print();
+        println!();
+    }
+    if want("e7") {
+        let n = if opts.quick { 6 } else { 20 };
+        exp::e07_lifecycle::table(&exp::e07_lifecycle::run(n, seed)).print();
+        println!();
+    }
+    if want("e8") {
+        exp::e08_stale_bindings::table(&exp::e08_stale_bindings::run(scale, seed)).print();
+        println!();
+    }
+    if want("e9") {
+        let n = if opts.quick { 100_000 } else { 1_000_000 };
+        exp::e09_loid::table(&exp::e09_loid::run(n)).print();
+        println!();
+    }
+    if want("e10") {
+        let reqs = if opts.quick { 20 } else { 100 };
+        exp::e10_replication::table(&exp::e10_replication::run(4, reqs, seed)).print();
+        println!();
+    }
+    if want("e11") {
+        let n = if opts.quick { 1_000 } else { 20_000 };
+        exp::e11_object_model::table(&exp::e11_object_model::run(n)).print();
+        println!();
+    }
+    if want("e12") {
+        let points: &[u32] = if opts.quick {
+            &[1, 2, 4]
+        } else {
+            &[1, 2, 4, 8]
+        };
+        exp::e12_scalability::table(&exp::e12_scalability::run(points, seed)).print();
+        println!();
+    }
+    if want("e13") {
+        let n = if opts.quick { 100_000 } else { 1_000_000 };
+        let micro = exp::e13_security::run_micro(n);
+        let live = exp::e13_security::run_live(50, seed);
+        let (t1, t2) = exp::e13_security::table(&micro, &live);
+        t1.print();
+        t2.print();
+        println!();
+    }
+    if want("e14") {
+        let (clients, ops) = if opts.quick { (16, 200) } else { (64, 1000) };
+        exp::e14_parallel::table(&exp::e14_parallel::run(clients, ops, 256, 8)).print();
+        println!();
+    }
+}

@@ -84,7 +84,13 @@ pub fn run(scale: u32, seed: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E2: per-agent load vs agent count (§5.2.1)",
-        &["leaf-agents", "clients", "lookups", "max-agent-msgs", "mean-agent-msgs"],
+        &[
+            "leaf-agents",
+            "clients",
+            "lookups",
+            "max-agent-msgs",
+            "mean-agent-msgs",
+        ],
     );
     for r in rows {
         t.row(vec![

@@ -34,7 +34,8 @@ pub struct Row {
 /// Run the 2×2 ablation.
 pub fn run(scale: u32, seed: u64) -> Vec<Row> {
     let mut rows = Vec::new();
-    for &(client_cache, agent_cache) in &[(true, true), (false, true), (true, false), (false, false)]
+    for &(client_cache, agent_cache) in
+        &[(true, true), (false, true), (true, false), (false, false)]
     {
         let cfg = SystemConfig {
             jurisdictions: 2,
@@ -76,7 +77,15 @@ pub fn run(scale: u32, seed: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E3: cache-tier ablation (Fig. 17)",
-        &["client$", "agent$", "lookups", "mean-lat", "p99-lat", "msgs/lookup", "class-consults"],
+        &[
+            "client$",
+            "agent$",
+            "lookups",
+            "mean-lat",
+            "p99-lat",
+            "msgs/lookup",
+            "class-consults",
+        ],
     );
     for r in rows {
         t.row(vec![

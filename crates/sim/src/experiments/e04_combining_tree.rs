@@ -105,7 +105,13 @@ pub fn run(scale: u32, seed: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E4: LegionClass load, forest vs combining tree (§5.2.2)",
-        &["config", "serving-agents", "classes", "lookups", "LegionClass-msgs"],
+        &[
+            "config",
+            "serving-agents",
+            "classes",
+            "lookups",
+            "LegionClass-msgs",
+        ],
     );
     for r in rows {
         t.row(vec![

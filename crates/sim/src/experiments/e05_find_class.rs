@@ -123,7 +123,13 @@ pub fn run(max_depth: u32, seed: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E5: responsible-class location vs derivation depth (§4.1.3)",
-        &["depth", "cold-msgs", "cold-LC-reqs", "warm-msgs", "warm-LC-reqs"],
+        &[
+            "depth",
+            "cold-msgs",
+            "cold-LC-reqs",
+            "warm-msgs",
+            "warm-LC-reqs",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -154,7 +160,10 @@ mod tests {
         // ...but the warm path is depth-independent and LegionClass-free:
         // "the vast majority of accesses occurs locally."
         for r in &rows {
-            assert_eq!(r.warm_legion_class, 0, "warm lookups bypass LegionClass: {r:?}");
+            assert_eq!(
+                r.warm_legion_class, 0,
+                "warm lookups bypass LegionClass: {r:?}"
+            );
             assert!(r.warm_msgs <= 2, "warm lookup is one round trip: {r:?}");
             assert!(r.cold_legion_class >= 1);
         }

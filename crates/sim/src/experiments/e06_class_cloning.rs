@@ -114,7 +114,13 @@ pub fn run(creates: u64, seed: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E6: hot-class cloning (§5.2.2)",
-        &["members", "creates", "max-member-msgs", "makespan", "identical-iface"],
+        &[
+            "members",
+            "creates",
+            "max-member-msgs",
+            "makespan",
+            "identical-iface",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -137,7 +143,10 @@ mod tests {
         let rows = run(32, 61);
         assert_eq!(rows.len(), 4);
         for r in &rows {
-            assert!(r.interfaces_identical, "clones must not change the interface");
+            assert!(
+                r.interfaces_identical,
+                "clones must not change the interface"
+            );
         }
         let one = rows[0].max_member_msgs as f64;
         let eight = rows[3].max_member_msgs as f64;

@@ -59,7 +59,9 @@ pub fn run(n: u64, seed: u64) -> Vec<Row> {
         let t0 = sys.kernel.now();
         let m0 = sys.kernel.stats().sent;
         f(sys);
-        rows[idx].latency.record(sys.kernel.now().saturating_since(t0));
+        rows[idx]
+            .latency
+            .record(sys.kernel.now().saturating_since(t0));
         rows[idx].n += 1;
         msg_totals[idx] += sys.kernel.stats().sent - m0;
     };

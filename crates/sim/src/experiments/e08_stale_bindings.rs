@@ -193,23 +193,13 @@ pub fn run(scale: u32, seed: u64) -> Vec<Row> {
                 .collect();
             let agents: Vec<ObjectAddressElement> =
                 sys.agents.iter().map(|a| a.element()).collect();
-            let churner = ChurnDriver::new(
-                mags,
-                sys.objects.clone(),
-                interval,
-                200,
-                agents,
-                eager,
-            );
+            let churner = ChurnDriver::new(mags, sys.objects.clone(), interval, 200, agents, eager);
             // Creation round-robins across magistrates in creation order,
             // matching `owner` initialisation above only if jurisdiction
             // matches; ChurnDriver derives owners from the recorded
             // creation jurisdiction, which is authoritative.
-            sys.kernel.add_endpoint(
-                Box::new(churner),
-                Location::new(0, 800),
-                "churn-driver",
-            );
+            sys.kernel
+                .add_endpoint(Box::new(churner), Location::new(0, 800), "churn-driver");
         }
 
         let wl = WorkloadConfig {
@@ -252,7 +242,15 @@ pub fn run(scale: u32, seed: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E8: stale bindings under migration churn (§4.1.4)",
-        &["churn", "eager", "ops", "moves", "refreshes", "mean-lat", "msgs/op"],
+        &[
+            "churn",
+            "eager",
+            "ops",
+            "moves",
+            "refreshes",
+            "mean-lat",
+            "msgs/op",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -283,7 +281,10 @@ mod tests {
         assert_eq!(calm.stale_refreshes, 0, "no churn, no staleness: {calm:?}");
         // Under churn, clients detect staleness and recover — operations
         // still complete (the §4.1.4 guarantee of eventual progress).
-        let churned: Vec<&Row> = rows.iter().filter(|r| r.churn_interval_ns != u64::MAX).collect();
+        let churned: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.churn_interval_ns != u64::MAX)
+            .collect();
         assert!(churned.iter().any(|r| r.stale_refreshes > 0), "{churned:?}");
         for r in &rows {
             assert!(

@@ -109,8 +109,11 @@ pub fn run(replicas: usize, requests: u32, seed: u64) -> Vec<Row> {
     ];
     for &sem in &semantics {
         for &crashed in &[0usize, 1, replicas - 1] {
-            let mut kernel =
-                SimKernel::new(Topology::fixed(1_000, 10_000, 1_000_000), FaultPlan::none(), seed);
+            let mut kernel = SimKernel::new(
+                Topology::fixed(1_000, 10_000, 1_000_000),
+                FaultPlan::none(),
+                seed,
+            );
             let loid = Loid::instance(16, 1);
             // Figure 1: four processes at different physical addresses.
             let eps: Vec<EndpointId> = (0..replicas)
@@ -125,8 +128,7 @@ pub fn run(replicas: usize, requests: u32, seed: u64) -> Vec<Row> {
             for ep in eps.iter().take(crashed) {
                 kernel.remove_endpoint(*ep);
             }
-            let addr =
-                ObjectAddress::replicated(eps.iter().map(|e| e.element()).collect(), sem);
+            let addr = ObjectAddress::replicated(eps.iter().map(|e| e.element()).collect(), sem);
             let prober = kernel.add_endpoint(
                 Box::new(Prober {
                     addr,
@@ -200,14 +202,23 @@ mod tests {
         // answers nothing; SendToAll and FirstReachable still answer all.
         assert_eq!(find(&rows, AddressSemantics::Single, 1).answered, 0);
         assert_eq!(find(&rows, AddressSemantics::SendToAll, 1).answered, 20);
-        assert_eq!(find(&rows, AddressSemantics::FirstReachable, 1).answered, 20);
+        assert_eq!(
+            find(&rows, AddressSemantics::FirstReachable, 1).answered,
+            20
+        );
         // Three of four crashed: SendToAll and FirstReachable still reach
         // the survivor.
         assert_eq!(find(&rows, AddressSemantics::SendToAll, 3).answered, 20);
-        assert_eq!(find(&rows, AddressSemantics::FirstReachable, 3).answered, 20);
+        assert_eq!(
+            find(&rows, AddressSemantics::FirstReachable, 3).answered,
+            20
+        );
         // SendToAll costs ~replicas× the messages of FirstReachable.
         let all = find(&rows, AddressSemantics::SendToAll, 0).msgs_per_request;
         let first = find(&rows, AddressSemantics::FirstReachable, 0).msgs_per_request;
-        assert!(all > first * 2.0, "SendToAll {all} vs FirstReachable {first}");
+        assert!(
+            all > first * 2.0,
+            "SendToAll {all} vs FirstReachable {first}"
+        );
     }
 }

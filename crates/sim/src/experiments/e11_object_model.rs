@@ -33,7 +33,9 @@ pub fn run(n: u64) -> Vec<Row> {
     // Create() throughput on one class.
     {
         let mut m = ObjectModel::bootstrap();
-        let c = m.derive(LEGION_CLASS, "Flat", ClassKind::NORMAL).expect("derive");
+        let c = m
+            .derive(LEGION_CLASS, "Flat", ClassKind::NORMAL)
+            .expect("derive");
         let t0 = Instant::now();
         for _ in 0..n {
             m.create(c).expect("create");
@@ -75,7 +77,9 @@ pub fn run(n: u64) -> Vec<Row> {
     {
         let mut m = ObjectModel::bootstrap();
         let fan = (n.min(100)) as u32;
-        let sink = m.derive(LEGION_CLASS, "Sink", ClassKind::NORMAL).expect("derive");
+        let sink = m
+            .derive(LEGION_CLASS, "Sink", ClassKind::NORMAL)
+            .expect("derive");
         let mut bases = Vec::new();
         for b in 0..fan {
             let base = m

@@ -135,7 +135,15 @@ pub fn run(points: &[u32], seed: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E12: max per-component load vs system size (§5.2)",
-        &["config", "hosts", "clients", "lookups", "hottest-component", "msgs", "LegionClass-msgs"],
+        &[
+            "config",
+            "hosts",
+            "clients",
+            "lookups",
+            "hottest-component",
+            "msgs",
+            "LegionClass-msgs",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -163,7 +171,10 @@ mod tests {
         // Central directory load grows with the system (~linearly in the
         // client count).
         let growth_central = central[2].hottest_msgs as f64 / central[0].hottest_msgs as f64;
-        assert!(growth_central > 2.5, "central should grow ~4x: {growth_central}");
+        assert!(
+            growth_central > 2.5,
+            "central should grow ~4x: {growth_central}"
+        );
         // Legion's hottest component stays ~flat: "the number of requests
         // to any particular system component must not be an increasing
         // function of the number of hosts." The single-jurisdiction point

@@ -10,7 +10,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod experiments;
+pub mod obs_run;
 pub mod parallel;
 pub mod report;
 pub mod system;

@@ -1,0 +1,273 @@
+//! Traced experiment runs and trace-analysis rendering.
+//!
+//! `legion-exp --trace-out/--metrics-out` routes through here: the E1
+//! binding-path workload re-run with the kernel's span sink and windowed
+//! counters enabled, plus [`report::Table`](crate::report::Table)
+//! renderings of the per-request critical paths that
+//! [`legion_obs::analysis`] reconstructs from the span stream.
+
+use crate::experiments::common::{attach_clients, run_clients};
+use crate::report::{f, ns, pct, Table};
+use crate::system::{LegionSystem, SystemConfig};
+use crate::workload::WorkloadConfig;
+use legion_naming::tree::TreeShape;
+use legion_net::metrics::MetricsSnapshot;
+use legion_obs::analysis::{hop_breakdown, request_path, summarize, HopBreakdown, HopFate};
+use legion_obs::span::SpanEvent;
+
+/// Span-sink capacity for traced experiment runs — large enough that the
+/// quick and report-scale E1 runs never evict (eviction would silently
+/// truncate the oldest traces).
+pub const TRACE_CAPACITY: usize = 1 << 20;
+
+/// Window width for time-bucketed counters in traced runs (1 virtual ms).
+pub const WINDOW_NS: u64 = 1_000_000;
+
+/// Everything a traced run yields.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// Every span event, in the kernel's deterministic recording order.
+    pub events: Vec<SpanEvent>,
+    /// The structured metrics snapshot taken when the run went quiescent.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Re-run the E1 binding-path workload (locality 0.8, 64-entry client
+/// caches, a quarter of the objects deactivated so some requests walk the
+/// full Fig. 17 path) with causal tracing and windowed counters enabled.
+///
+/// The setup mirrors one sweep point of
+/// [`e01_binding_path::run`](crate::experiments::e01_binding_path::run)
+/// exactly; only the observability switches differ, and those do not
+/// perturb virtual time, so the traced run measures the same system the
+/// untraced table reports on.
+pub fn run_e01_traced(scale: u32, seed: u64) -> TracedRun {
+    let cfg = SystemConfig {
+        jurisdictions: 2 * scale,
+        hosts_per_jurisdiction: 2,
+        classes: 2,
+        objects_per_class: 16 * scale,
+        agent_tree: TreeShape::new(2, 3),
+        seed,
+        ..SystemConfig::default()
+    };
+    let mut sys = LegionSystem::build(cfg);
+    let victims: Vec<(legion_core::loid::Loid, u32)> = sys
+        .objects
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| i % 4 == 0)
+        .map(|(_, o)| o)
+        .collect();
+    for (obj, j) in victims {
+        let mag = crate::system::magistrate_loid(j);
+        let mag_ep = sys
+            .magistrates
+            .iter()
+            .find(|(l, _)| *l == mag)
+            .map(|(_, e)| *e)
+            .expect("magistrate exists");
+        sys.call(
+            mag_ep.element(),
+            mag,
+            legion_runtime::protocol::magistrate::DEACTIVATE,
+            vec![legion_core::value::LegionValue::Loid(obj)],
+        )
+        .expect("deactivation succeeds");
+    }
+    sys.kernel.reset_metrics();
+    sys.kernel.enable_tracing(TRACE_CAPACITY);
+    sys.kernel.enable_windows(WINDOW_NS);
+    let wl = WorkloadConfig {
+        lookups_per_client: 50,
+        locality: 0.8,
+        client_cache_capacity: 64,
+        ..WorkloadConfig::default()
+    };
+    let clients = attach_clients(&mut sys, (4 * scale) as usize, &wl, seed, None);
+    run_clients(&mut sys, &clients);
+    TracedRun {
+        events: sys.kernel.drain_trace(),
+        metrics: sys.kernel.metrics_snapshot(),
+    }
+}
+
+/// Render the aggregate hop breakdown: one row per message kind plus the
+/// network/wait/total accounting. Per-kind times are summed hop latencies
+/// and may overlap (concurrent hops), so their shares can exceed the
+/// network row; the network row is the de-overlapped union.
+pub fn breakdown_table(b: &HopBreakdown) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E1 traced: hop breakdown over {} requests (min coverage {})",
+            b.requests,
+            f(b.min_coverage * 100.0, 1) + "%"
+        ),
+        &["segment", "hops", "time", "share"],
+    );
+    for (label, hops, time) in &b.by_label {
+        t.row(vec![
+            label.clone(),
+            hops.to_string(),
+            ns(*time),
+            pct(*time, b.total_ns),
+        ]);
+    }
+    t.row(vec![
+        "network (union)".into(),
+        "-".into(),
+        ns(b.network_ns),
+        pct(b.network_ns, b.total_ns),
+    ]);
+    t.row(vec![
+        "wait (queue/backoff)".into(),
+        "-".into(),
+        ns(b.wait_ns),
+        pct(b.wait_ns, b.total_ns),
+    ]);
+    t.row(vec![
+        "total".into(),
+        b.faulted_hops.to_string() + " faulted",
+        ns(b.total_ns),
+        pct(b.network_ns + b.wait_ns, b.total_ns),
+    ]);
+    t
+}
+
+/// Render the `top` slowest requests with their critical-path accounting.
+pub fn slowest_requests_table(events: &[SpanEvent], top: usize) -> Table {
+    let mut paths: Vec<_> = summarize(events)
+        .iter()
+        .filter(|s| s.begin_at.is_some() && s.end_at.is_some())
+        .map(request_path)
+        .collect();
+    paths.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.trace.cmp(&b.trace)));
+    paths.truncate(top);
+    let mut t = Table::new(
+        "E1 traced: slowest requests (critical-path accounting)",
+        &[
+            "trace", "op", "hops", "faulted", "network", "wait", "total", "coverage",
+        ],
+    );
+    for p in &paths {
+        let hops: u64 = p.by_label.iter().map(|(_, n, _)| n).sum();
+        t.row(vec![
+            p.trace.to_string(),
+            p.label.clone(),
+            hops.to_string(),
+            p.faulted_hops.to_string(),
+            ns(p.network_ns),
+            ns(p.wait_ns),
+            ns(p.total_ns),
+            f(p.coverage * 100.0, 1) + "%",
+        ]);
+    }
+    t
+}
+
+/// Render how requests ended, per operation label and outcome, with the
+/// fault verdicts observed on their hops.
+pub fn outcomes_table(events: &[SpanEvent]) -> Table {
+    use std::collections::BTreeMap;
+    let mut rows: BTreeMap<(String, String), (u64, u64, u64)> = BTreeMap::new();
+    for s in summarize(events) {
+        if s.begin_at.is_none() || s.end_at.is_none() {
+            continue;
+        }
+        let faulted = s
+            .hops
+            .iter()
+            .filter(|h| !matches!(h.fate, HopFate::Delivered(_)))
+            .count() as u64;
+        let e = rows
+            .entry((s.label.clone(), s.outcome.clone()))
+            .or_insert((0, 0, 0));
+        e.0 += 1;
+        e.1 += faulted;
+        e.2 += s.timers;
+    }
+    let mut t = Table::new(
+        "E1 traced: request outcomes",
+        &["op", "outcome", "requests", "faulted hops", "timer fires"],
+    );
+    for ((op, outcome), (n, faulted, timers)) in rows {
+        t.row(vec![
+            op,
+            outcome,
+            n.to_string(),
+            faulted.to_string(),
+            timers.to_string(),
+        ]);
+    }
+    t
+}
+
+/// All three trace-analysis tables for an event stream.
+pub fn analysis_tables(events: &[SpanEvent]) -> Vec<Table> {
+    vec![
+        breakdown_table(&hop_breakdown(events)),
+        slowest_requests_table(events, 10),
+        outcomes_table(events),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_obs::export::to_jsonl;
+    use serde::Serialize;
+
+    #[test]
+    fn traced_e01_accounts_at_least_95_percent() {
+        let run = run_e01_traced(1, 11);
+        assert!(!run.events.is_empty());
+        let b = hop_breakdown(&run.events);
+        assert!(b.requests > 0, "no complete requests traced");
+        assert!(
+            b.min_coverage >= 0.95,
+            "worst request only {:.1}% accounted",
+            b.min_coverage * 100.0
+        );
+        // The breakdown names the protocol's message kinds.
+        assert!(
+            b.by_label.iter().any(|(l, _, _)| l == "GetBinding"),
+            "{:?}",
+            b.by_label
+        );
+        // Requests cross the client → agent → upstream tiers.
+        let multi_endpoint = summarize(&run.events).iter().any(|s| {
+            s.hops
+                .iter()
+                .filter_map(|h| h.to)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                >= 3
+        });
+        assert!(multi_endpoint, "no request crossed three endpoints");
+    }
+
+    #[test]
+    fn traced_e01_is_deterministic() {
+        let a = run_e01_traced(1, 7);
+        let b = run_e01_traced(1, 7);
+        assert_eq!(to_jsonl(&a.events), to_jsonl(&b.events));
+        assert_eq!(
+            serde::json::to_string(&a.metrics.to_json_value()),
+            serde::json::to_string(&b.metrics.to_json_value())
+        );
+    }
+
+    #[test]
+    fn tables_render_from_traced_run() {
+        let run = run_e01_traced(1, 11);
+        let tables = analysis_tables(&run.events);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert!(!t.is_empty(), "{}", t.render());
+        }
+        // Snapshot carries per-kind histograms and windowed counters.
+        assert!(!run.metrics.by_kind.is_empty());
+        assert!(!run.metrics.windows.is_empty());
+    }
+}

@@ -15,8 +15,8 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use legion_core::binding::Binding;
 use legion_core::loid::Loid;
-use legion_naming::cache::BindingCache;
 use legion_core::time::SimTime;
+use legion_naming::cache::BindingCache;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -149,7 +149,10 @@ impl ParallelKernel {
                 });
             }
         });
-        (t0.elapsed().as_secs_f64(), processed.load(Ordering::Relaxed))
+        (
+            t0.elapsed().as_secs_f64(),
+            processed.load(Ordering::Relaxed),
+        )
     }
 }
 

@@ -4,6 +4,7 @@
 //! them in the aligned form recorded in EXPERIMENTS.md, so `cargo run
 //! --bin legion-exp` output can be pasted verbatim.
 
+use serde::Value;
 use std::fmt::Write as _;
 
 /// A simple aligned table.
@@ -72,6 +73,20 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// The table as a JSON value — `{title, headers, rows}` — so
+    /// `--metrics-out` exports carry the same data machine-readably.
+    pub fn to_json(&self) -> Value {
+        let strs = |v: &[String]| Value::Array(v.iter().map(|s| Value::Str(s.clone())).collect());
+        Value::Object(vec![
+            ("title".to_string(), Value::Str(self.title.clone())),
+            ("headers".to_string(), strs(&self.headers)),
+            (
+                "rows".to_string(),
+                Value::Array(self.rows.iter().map(|r| strs(r)).collect()),
+            ),
+        ])
+    }
 }
 
 /// Format a float with fixed decimals.
@@ -122,6 +137,18 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        let j = t.to_json();
+        assert_eq!(j.get("title").and_then(|v| v.as_str()), Some("demo"));
+        let rows = j.get("rows").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rows.len(), 1);
+        let s = serde::json::to_string(&j);
+        assert!(s.contains("\"headers\""), "{s}");
     }
 
     #[test]

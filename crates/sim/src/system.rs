@@ -141,14 +141,7 @@ impl LegionSystem {
         let mut hosts = Vec::new();
         for j in 0..config.jurisdictions {
             let mloid = magistrate_loid(j);
-            let m = core.start_magistrate(
-                &mut kernel,
-                mloid,
-                Location::new(j, 0),
-                j,
-                2,
-                64 << 20,
-            );
+            let m = core.start_magistrate(&mut kernel, mloid, Location::new(j, 0), j, 2, 64 << 20);
             magistrates.push((mloid, m));
         }
         for j in 0..config.jurisdictions {
@@ -208,10 +201,8 @@ impl LegionSystem {
 
         // User classes: each adopted by LegionClass, each with every
         // magistrate as a candidate (round-robin placement).
-        let mag_list: Vec<(Loid, ObjectAddressElement)> = magistrates
-            .iter()
-            .map(|(l, e)| (*l, e.element()))
-            .collect();
+        let mag_list: Vec<(Loid, ObjectAddressElement)> =
+            magistrates.iter().map(|(l, e)| (*l, e.element())).collect();
         let mut classes = Vec::new();
         for c in 0..config.classes {
             let cl = user_class_loid(c);
@@ -225,7 +216,7 @@ impl LegionSystem {
                 legion_class: core.legion_class_element(),
                 magistrates: mag_list.clone(),
                 binding_agent: agents.last().map(|a| a.element()),
-            binding_ttl_ns: None,
+                binding_ttl_ns: None,
             };
             let j = c % config.jurisdictions.max(1);
             let ep = kernel.add_endpoint(

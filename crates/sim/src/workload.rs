@@ -183,7 +183,10 @@ enum Phase {
         target: Loid,
         attempts: u32,
     },
-    AwaitInvoke { started: SimTime, binding: Binding },
+    AwaitInvoke {
+        started: SimTime,
+        binding: Binding,
+    },
 }
 
 /// A workload client endpoint.
@@ -259,12 +262,20 @@ impl LookupClient {
             self.stale_attempts = 0;
             self.op_error_retries = 0;
             let started = ctx.now();
+            // One trace per logical operation: retries and refreshes stay
+            // inside it, so the critical path of the *request* is visible.
+            ctx.trace_begin(if self.invoke {
+                "lookup+invoke"
+            } else {
+                "lookup"
+            });
             match self.resolver.lookup(ctx, target) {
                 Lookup::Cached(b) => {
                     if self.invoke {
                         self.invoke_binding(ctx, started, b);
                         return;
                     }
+                    ctx.trace_end("ok");
                     self.report.completed += 1;
                     self.report.latency.record(0);
                     continue; // zero-latency: issue the next immediately
@@ -274,6 +285,7 @@ impl LookupClient {
                     return;
                 }
                 Lookup::AgentUnreachable => {
+                    ctx.trace_end("failed");
                     self.report.failed += 1;
                     continue;
                 }
@@ -291,6 +303,7 @@ impl LookupClient {
             self.phase = Phase::Idle;
             ctx.set_timer(self.inter_arrival_ns * 4, TIMER_RETRY);
         } else {
+            ctx.trace_end("failed");
             self.report.failed += 1;
             self.schedule_next(ctx);
         }
@@ -342,11 +355,15 @@ impl LookupClient {
             attempts,
         };
         self.binding_generation += 1;
-        ctx.set_timer(BINDING_TIMEOUT_NS, TIMER_BINDING_BASE + self.binding_generation);
+        ctx.set_timer(
+            BINDING_TIMEOUT_NS,
+            TIMER_BINDING_BASE + self.binding_generation,
+        );
     }
 
     fn invoke_binding(&mut self, ctx: &mut Ctx<'_>, started: SimTime, binding: Binding) {
         let Some(primary) = binding.address.primary().copied() else {
+            ctx.trace_end("failed");
             self.report.failed += 1;
             self.schedule_next(ctx);
             return;
@@ -360,7 +377,8 @@ impl LookupClient {
             Some(self.me),
         ) {
             Some(call_id) => {
-                self.invoke_calls.insert(call_id, (started, binding.clone()));
+                self.invoke_calls
+                    .insert(call_id, (started, binding.clone()));
                 self.phase = Phase::AwaitInvoke { started, binding };
                 // Guard against a Ping dead-lettered by a concurrent
                 // deactivation: silent loss must not hang the client.
@@ -388,6 +406,7 @@ impl LookupClient {
     }
 
     fn complete(&mut self, ctx: &mut Ctx<'_>, started: SimTime) {
+        ctx.trace_end("ok");
         self.report.completed += 1;
         self.report
             .latency
@@ -466,7 +485,10 @@ impl Endpoint for LookupClient {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         // Binding replies route through the resolver.
         if let Some((answered, result)) = self.resolver.handle_reply(&msg) {
-            let Phase::AwaitBinding { started, target, .. } = self.phase else {
+            let Phase::AwaitBinding {
+                started, target, ..
+            } = self.phase
+            else {
                 return;
             };
             if answered != target {
@@ -559,9 +581,7 @@ mod tests {
 
     #[test]
     fn plan_is_deterministic_per_seed() {
-        let objects: Vec<(Loid, u32)> = (0..10)
-            .map(|i| (Loid::instance(1000, i + 1), 0))
-            .collect();
+        let objects: Vec<(Loid, u32)> = (0..10).map(|i| (Loid::instance(1000, i + 1), 0)).collect();
         let cfg = WorkloadConfig::default();
         assert_eq!(
             generate_plan(&objects, 0, &cfg, 9),

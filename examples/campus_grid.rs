@@ -15,7 +15,9 @@
 use legion::core::object::methods as obj_m;
 use legion::core::value::LegionValue;
 use legion::naming::protocol::GET_BINDING;
-use legion::runtime::protocol::{class as class_proto, magistrate as mag_proto, object as obj_proto};
+use legion::runtime::protocol::{
+    class as class_proto, magistrate as mag_proto, object as obj_proto,
+};
 use legion::sim::system::{magistrate_loid, LegionSystem, SystemConfig};
 
 fn main() {

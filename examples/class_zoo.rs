@@ -21,8 +21,12 @@ fn main() {
     println!("bootstrapped {} core classes", m.class_count());
 
     // ---- Figure 8: the Host class hierarchy --------------------------------
-    let unix_host = m.derive(LEGION_HOST, "UnixHost", ClassKind::NORMAL).unwrap();
-    let spmd_host = m.derive(LEGION_HOST, "SPMDHost", ClassKind::NORMAL).unwrap();
+    let unix_host = m
+        .derive(LEGION_HOST, "UnixHost", ClassKind::NORMAL)
+        .unwrap();
+    let spmd_host = m
+        .derive(LEGION_HOST, "SPMDHost", ClassKind::NORMAL)
+        .unwrap();
     let unix_smmp = m.derive(unix_host, "UnixSMMP", ClassKind::NORMAL).unwrap();
     let cm5 = m.derive(spmd_host, "CM-5", ClassKind::NORMAL).unwrap();
     let cray = m.derive(spmd_host, "CrayT3D", ClassKind::NORMAL).unwrap();
@@ -51,16 +55,29 @@ fn main() {
 
     // ---- §2.1.2: Abstract, Private, Fixed -----------------------------------
     println!("\nspecial class kinds (§2.1.2):");
-    let abstract_c = m.derive(LEGION_CLASS, "AbstractThing", ClassKind::ABSTRACT).unwrap();
-    println!("  Abstract: Create() -> {:?}", m.create(abstract_c).err().map(|e| e.to_string()));
-    let private_c = m.derive(LEGION_CLASS, "PrivateThing", ClassKind::PRIVATE).unwrap();
+    let abstract_c = m
+        .derive(LEGION_CLASS, "AbstractThing", ClassKind::ABSTRACT)
+        .unwrap();
+    println!(
+        "  Abstract: Create() -> {:?}",
+        m.create(abstract_c).err().map(|e| e.to_string())
+    );
+    let private_c = m
+        .derive(LEGION_CLASS, "PrivateThing", ClassKind::PRIVATE)
+        .unwrap();
     println!(
         "  Private:  Derive() -> {:?}, Create() ok = {}",
-        m.derive(private_c, "Nope", ClassKind::NORMAL).err().map(|e| e.to_string()),
+        m.derive(private_c, "Nope", ClassKind::NORMAL)
+            .err()
+            .map(|e| e.to_string()),
         m.create(private_c).is_ok()
     );
-    let fixed_c = m.derive(LEGION_CLASS, "FixedThing", ClassKind::FIXED).unwrap();
-    let base = m.derive(LEGION_CLASS, "SomeBase", ClassKind::NORMAL).unwrap();
+    let fixed_c = m
+        .derive(LEGION_CLASS, "FixedThing", ClassKind::FIXED)
+        .unwrap();
+    let base = m
+        .derive(LEGION_CLASS, "SomeBase", ClassKind::NORMAL)
+        .unwrap();
     println!(
         "  Fixed:    InheritFrom() -> {:?}",
         m.inherit_from(fixed_c, base).err().map(|e| e.to_string())
@@ -71,15 +88,23 @@ fn main() {
     // Step 1: Derive.
     let worker = m.derive(LEGION_CLASS, "Worker", ClassKind::NORMAL).unwrap();
     // Step 2: InheritFrom two independent bases defined via IDL.
-    let printable = m.derive(LEGION_CLASS, "Printable", ClassKind::NORMAL).unwrap();
+    let printable = m
+        .derive(LEGION_CLASS, "Printable", ClassKind::NORMAL)
+        .unwrap();
     let idl_text = "interface Printable { void Print(string target); int PageCount(); };";
     for sig in idl::parse_one(idl_text).unwrap().methods {
         m.define_method(printable, sig).unwrap();
     }
-    let persistent = m.derive(LEGION_CLASS, "Persistent", ClassKind::NORMAL).unwrap();
+    let persistent = m
+        .derive(LEGION_CLASS, "Persistent", ClassKind::NORMAL)
+        .unwrap();
     m.define_method(
         persistent,
-        MethodSignature::new("Checkpoint", vec![("dest", ParamType::Str)], ParamType::Bool),
+        MethodSignature::new(
+            "Checkpoint",
+            vec![("dest", ParamType::Str)],
+            ParamType::Bool,
+        ),
     )
     .unwrap();
     m.inherit_from(worker, printable).unwrap();
@@ -92,24 +117,49 @@ fn main() {
     // Conflicting bases are rejected; an own redefinition disambiguates.
     let clash_a = m.derive(LEGION_CLASS, "ClashA", ClassKind::NORMAL).unwrap();
     let clash_b = m.derive(LEGION_CLASS, "ClashB", ClassKind::NORMAL).unwrap();
-    m.define_method(clash_a, MethodSignature::new("Size", vec![], ParamType::Int)).unwrap();
-    m.define_method(clash_b, MethodSignature::new("Size", vec![], ParamType::Str)).unwrap();
-    let chooser = m.derive(LEGION_CLASS, "Chooser", ClassKind::NORMAL).unwrap();
+    m.define_method(
+        clash_a,
+        MethodSignature::new("Size", vec![], ParamType::Int),
+    )
+    .unwrap();
+    m.define_method(
+        clash_b,
+        MethodSignature::new("Size", vec![], ParamType::Str),
+    )
+    .unwrap();
+    let chooser = m
+        .derive(LEGION_CLASS, "Chooser", ClassKind::NORMAL)
+        .unwrap();
     m.inherit_from(chooser, clash_a).unwrap();
     println!(
         "\n  conflicting base rejected: {:?}",
-        m.inherit_from(chooser, clash_b).err().map(|e| e.to_string())
+        m.inherit_from(chooser, clash_b)
+            .err()
+            .map(|e| e.to_string())
     );
-    m.define_method(chooser, MethodSignature::new("Size", vec![], ParamType::Uint)).unwrap();
+    m.define_method(
+        chooser,
+        MethodSignature::new("Size", vec![], ParamType::Uint),
+    )
+    .unwrap();
     m.inherit_from(chooser, clash_b).unwrap();
     println!(
         "  after own redefinition, both bases accepted; Size() returns {}",
-        m.class(&chooser).unwrap().interface.get("Size").unwrap().returns
+        m.class(&chooser)
+            .unwrap()
+            .interface
+            .get("Size")
+            .unwrap()
+            .returns
     );
 
     // Inheritance is live (§2.1: "carried out at run-time"): add a method
     // to a base *after* composition; every dependent sees it.
-    m.define_method(printable, MethodSignature::new("Preview", vec![], ParamType::Bytes)).unwrap();
+    m.define_method(
+        printable,
+        MethodSignature::new("Preview", vec![], ParamType::Bytes),
+    )
+    .unwrap();
     assert!(m.class(&worker).unwrap().interface.contains("Preview"));
     println!("  late base method propagated to Worker: Preview() present");
 

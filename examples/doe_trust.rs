@@ -65,12 +65,13 @@ fn main() {
             disks: 2,
             disk_capacity: 1 << 20,
         };
-        let m = MagistrateEndpoint::new(cfg)
-            .with_mayi(Box::new(ResponsibleAgentSet::new([doe_user])));
+        let m =
+            MagistrateEndpoint::new(cfg).with_mayi(Box::new(ResponsibleAgentSet::new([doe_user])));
         k.add_endpoint(Box::new(m), Location::new(0, 1), "magistrate:DOE")
     };
     // The grad-student Magistrate accepts anything (the default).
-    let grad_mag_ep = core.start_magistrate(&mut k, grad_magistrate, Location::new(1, 1), 1, 2, 1 << 20);
+    let grad_mag_ep =
+        core.start_magistrate(&mut k, grad_magistrate, Location::new(1, 1), 1, 2, 1 << 20);
 
     // A DOE-certified host, locked to the DOE Magistrate: "Host Objects
     // ... ensure that [their] member functions will be invoked only by
@@ -99,7 +100,10 @@ fn main() {
     trust.certify("doe-certified", doe_magistrate);
     let candidates = CandidateMagistrates::TrustLabel("doe-certified".into());
     let certified = trust.members("doe-certified");
-    println!("trust registry: doe-certified has {} member(s)", certified.len());
+    println!(
+        "trust registry: doe-certified has {} member(s)",
+        certified.len()
+    );
     println!(
         "candidate check: DOE magistrate permitted = {}, grad magistrate permitted = {}",
         candidates.permits(doe_magistrate, Some(&certified)),
@@ -118,7 +122,13 @@ fn main() {
         };
         let id = k.fresh_call_id();
         let env = InvocationEnv::solo(ra);
-        let mut msg = Message::call(id, doe_magistrate, mag_proto::CREATE_OBJECT, spec.to_args(), env);
+        let mut msg = Message::call(
+            id,
+            doe_magistrate,
+            mag_proto::CREATE_OBJECT,
+            spec.to_args(),
+            env,
+        );
         msg.reply_to = Some(probe.element());
         msg.sender = Some(ra);
         let before = k.endpoint::<Probe>(probe).expect("probe").replies.len();

@@ -91,22 +91,27 @@ fn main() {
         el,
         loid,
         obj_proto::SET,
-        vec![LegionValue::Str("title".into()), LegionValue::Str("E. coli K-12".into())],
+        vec![
+            LegionValue::Str("title".into()),
+            LegionValue::Str("E. coli K-12".into()),
+        ],
     )
     .expect("set");
     let title = sys
-        .call(el, loid, obj_proto::GET, vec![LegionValue::Str("title".into())])
+        .call(
+            el,
+            loid,
+            obj_proto::GET,
+            vec![LegionValue::Str("title".into())],
+        )
         .expect("get");
     println!("invoke Get(\"title\") = {title}");
 
     // The whole directory, for the curious.
     println!("\nthe name space:");
-    if let Ok(LegionValue::List(items)) = sys.call(
-        context.element(),
-        context_loid,
-        cx::LIST_NAMES,
-        vec![],
-    ) {
+    if let Ok(LegionValue::List(items)) =
+        sys.call(context.element(), context_loid, cx::LIST_NAMES, vec![])
+    {
         for item in items {
             if let LegionValue::List(pair) = item {
                 println!("  /{} -> {}", pair[0].as_str().unwrap_or("?"), pair[1]);

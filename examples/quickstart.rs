@@ -69,14 +69,20 @@ fn main() {
         )
         .expect("agent resolution succeeds");
     assert_eq!(resolved.address, binding.address);
-    println!("\nresolved via Binding Agent: {} -> {}", resolved.loid, resolved.address);
+    println!(
+        "\nresolved via Binding Agent: {} -> {}",
+        resolved.loid, resolved.address
+    );
 
     // LOIDs are structured names (§3.2): class id, class-specific, key.
     let loid: Loid = binding.loid;
     println!("\nLOID anatomy of {loid}:");
     println!("  class id      : {:#x}", loid.class_id.0);
     println!("  class specific: {:#x}", loid.class_specific);
-    println!("  responsible   : {} (derived locally, §4.1.3)", loid.class_loid());
+    println!(
+        "  responsible   : {} (derived locally, §4.1.3)",
+        loid.class_loid()
+    );
 
     println!(
         "\nvirtual time elapsed: {}   messages delivered: {}",

@@ -117,17 +117,13 @@ fn main() {
         AddressSemantics::KOfN(2),
         AddressSemantics::FirstReachable,
     ] {
-        let addr = ObjectAddress::replicated(
-            replicas.iter().map(|e| e.element()).collect(),
-            semantics,
-        );
+        let addr =
+            ObjectAddress::replicated(replicas.iter().map(|e| e.element()).collect(), semantics);
         let before = k.endpoint::<Probe>(probe).expect("probe").replies;
         let (attempted, accepted) = send_ping(&mut k, probe, &addr, service);
         k.run_until_quiescent(10_000);
         let replies = k.endpoint::<Probe>(probe).expect("probe").replies - before;
-        println!(
-            "  {semantics:?}: attempted {attempted}, accepted {accepted}, replies {replies}"
-        );
+        println!("  {semantics:?}: attempted {attempted}, accepted {accepted}, replies {replies}");
     }
 
     // Crash three of the four replicas; FirstReachable still succeeds.

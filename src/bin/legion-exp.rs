@@ -1,0 +1,6 @@
+//! `legion-exp` — see [`legion_sim::cli`]. This shim makes the driver
+//! runnable from the workspace root (`cargo run --bin legion-exp`).
+
+fn main() {
+    legion_sim::cli::main();
+}

@@ -17,6 +17,7 @@
 pub use legion_core as core;
 pub use legion_naming as naming;
 pub use legion_net as net;
+pub use legion_obs as obs;
 pub use legion_persist as persist;
 pub use legion_runtime as runtime;
 pub use legion_security as security;

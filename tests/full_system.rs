@@ -7,7 +7,9 @@ use legion::naming::protocol::GET_BINDING;
 use legion::naming::tree::TreeShape;
 use legion::net::sim::EndpointId;
 use legion::runtime::class_endpoint::ClassEndpoint;
-use legion::runtime::protocol::{class as class_proto, magistrate as mag_proto, object as obj_proto};
+use legion::runtime::protocol::{
+    class as class_proto, magistrate as mag_proto, object as obj_proto,
+};
 use legion::sim::system::{agent_loid, magistrate_loid, LegionSystem, SystemConfig};
 
 fn small() -> SystemConfig {
@@ -224,7 +226,12 @@ fn live_derivation_preserves_behaviour() {
     )
     .expect("set on subclass instance");
     let got = sys
-        .call(el, inst.loid, obj_proto::GET, vec![LegionValue::Str("x".into())])
+        .call(
+            el,
+            inst.loid,
+            obj_proto::GET,
+            vec![LegionValue::Str("x".into())],
+        )
         .expect("get");
     assert_eq!(got, LegionValue::Int(-9));
     // The subclass's interface includes the superclass's "Work" method.
@@ -280,7 +287,11 @@ fn combined_activation_under_storm() {
             msg.reply_to = Some(ctx.self_element());
             ctx.send(self.agent, msg);
         }
-        fn on_message(&mut self, _ctx: &mut legion::net::sim::Ctx<'_>, msg: legion::net::message::Message) {
+        fn on_message(
+            &mut self,
+            _ctx: &mut legion::net::sim::Ctx<'_>,
+            msg: legion::net::message::Message,
+        ) {
             if let legion::net::message::Body::Reply { result, .. } = &msg.body {
                 self.got = Some(match result {
                     Ok(LegionValue::Binding(b)) => Ok((**b).clone()),

@@ -3,11 +3,11 @@
 //! converge with every client finished and the protocol invariants intact.
 
 use legion::naming::tree::TreeShape;
+use legion::net::topology::Location;
 use legion::sim::experiments::common::{attach_clients, run_clients};
 use legion::sim::experiments::e08_stale_bindings::ChurnDriver;
 use legion::sim::system::{LegionSystem, SystemConfig};
 use legion::sim::workload::WorkloadConfig;
-use legion::net::topology::Location;
 
 #[test]
 fn mixed_load_soak_converges() {
@@ -32,14 +32,7 @@ fn mixed_load_soak_converges() {
         .map(|(l, e)| (*l, e.element()))
         .collect();
     let agents: Vec<_> = sys.agents.iter().map(|a| a.element()).collect();
-    let churner = ChurnDriver::new(
-        mags,
-        sys.objects.clone(),
-        10_000_000,
-        150,
-        agents,
-        true,
-    );
+    let churner = ChurnDriver::new(mags, sys.objects.clone(), 10_000_000, 150, agents, true);
     sys.kernel
         .add_endpoint(Box::new(churner), Location::new(0, 800), "churn-driver");
 
@@ -96,14 +89,7 @@ fn mixed_load_soak_converges() {
         .map(|(l, e)| (*l, e.element()))
         .collect();
     let agents2: Vec<_> = sys2.agents.iter().map(|a| a.element()).collect();
-    let churner2 = ChurnDriver::new(
-        mags2,
-        sys2.objects.clone(),
-        10_000_000,
-        150,
-        agents2,
-        true,
-    );
+    let churner2 = ChurnDriver::new(mags2, sys2.objects.clone(), 10_000_000, 150, agents2, true);
     sys2.kernel
         .add_endpoint(Box::new(churner2), Location::new(0, 800), "churn-driver");
     sys2.kernel.faults_mut().set_drop_probability(0.02);

@@ -1,0 +1,217 @@
+//! Vendored minimal stand-in for `crossbeam`.
+//!
+//! Provides only [`channel`]: an unbounded MPMC channel where **both**
+//! senders and receivers are cloneable (std's mpsc receiver is not, and
+//! the parallel actor runtime in `legion-sim` shares one queue among
+//! worker threads). Built on `Mutex` + `Condvar`.
+
+#![deny(missing_docs)]
+
+pub mod channel {
+    //! Unbounded MPMC channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: Mutex<usize>,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (MPMC: each message goes to exactly
+    /// one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when sending into a channel with no receivers left.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a closed channel")
+        }
+    }
+
+    /// Why a blocking receive gave up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived in time.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: Mutex::new(1),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            // Receivers hold an Arc too, so "no receivers" means the only
+            // owners left are senders. Checking strong counts precisely is
+            // racy and unnecessary for this workspace; accept always.
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            q.push_back(value);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            *self
+                .shared
+                .senders
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()) += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut n = self
+                .shared
+                .senders
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            *n -= 1;
+            if *n == 0 {
+                // Wake blocked receivers so they can observe disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a message, giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if *self
+                    .shared
+                    .senders
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    == 0
+                {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(2));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn mpmc_distributes_all_messages() {
+            let (tx, rx) = unbounded();
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = 0u32;
+                        while rx.recv_timeout(Duration::from_millis(50)).is_ok() {
+                            got += 1;
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn disconnect_is_observable() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! a small generative-testing harness under the `proptest` name. It keeps
+//! the *surface* the repo's tests use — `proptest! { fn f(x in strat) }`,
+//! `Strategy::prop_map`/`prop_recursive`, `prop_oneof!`, range and
+//! string-regex strategies, `proptest::collection::vec`,
+//! `proptest::option::of`, `any::<T>()` — with two simplifications:
+//!
+//! * **Deterministic seeding**: each test's RNG is seeded from its own
+//!   name (override with `PROPTEST_SEED`), so failures reproduce exactly.
+//! * **No shrinking**: a failing case reports its panic directly.
+//!
+//! Case count defaults to 64 per test (override with `PROPTEST_CASES`).
+
+#![deny(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Convenient glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The RNG driving all strategies in one test run.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// A deterministic RNG for the named test (seed overridable via
+    /// `PROPTEST_SEED`).
+    pub fn for_test(name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
+            Some(s) => s,
+            None => {
+                // FNV-1a over the test path.
+                let mut h: u64 = 0xcbf29ce484222325;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+                h
+            }
+        };
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `[0, n)`; `n` must be non-zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform length in `[min, max]`.
+    pub fn length(&mut self, min: usize, max: usize) -> usize {
+        min + self.index(max - min + 1)
+    }
+}
+
+/// Cases per property (env `PROPTEST_CASES`, default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat, ...) { body } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_cases = $crate::cases();
+                let mut __pt_rng =
+                    $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __pt_case in 0..__pt_cases {
+                    let ($($pat,)+) = ($(
+                        $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng),
+                    )+);
+                    let _ = __pt_case;
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// A strategy choosing uniformly among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Property assertion (panics on failure; no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

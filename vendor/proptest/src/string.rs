@@ -1,0 +1,212 @@
+//! String strategies from regex-like patterns.
+//!
+//! String literals act as strategies (`"[a-z]{1,8}" as impl
+//! Strategy<Value = String>`), supporting the pattern subset this
+//! workspace uses: literal characters, `.`, character classes with
+//! ranges (`[A-Za-z0-9_]`), and the quantifiers `{m}`, `{m,n}`, `*`,
+//! `+`, `?`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+const UNBOUNDED_MAX: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// `.` — any printable ASCII character.
+    Any,
+    /// A character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_MAX)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => {
+                        let m = m.trim().parse().expect("quantifier min");
+                        let n = if n.trim().is_empty() {
+                            m + UNBOUNDED_MAX
+                        } else {
+                            n.trim().parse().expect("quantifier max")
+                        };
+                        (m, n)
+                    }
+                    None => {
+                        let m: usize = body.trim().parse().expect("quantifier count");
+                        (m, m)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_from(pieces: &[Piece], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in pieces {
+        let count = rng.length(piece.min, piece.max);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Any => {
+                    out.push(char::from_u32(0x20 + (rng.next_u64() % 95) as u32).expect("ascii"))
+                }
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.index(ranges.len())];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let c = char::from_u32(lo as u32 + (rng.next_u64() % span as u64) as u32)
+                        .expect("class range chars");
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing per draw keeps the impl allocation-free at rest; the
+        // patterns in this repo are a handful of characters.
+        generate_from(&parse_pattern(self), rng)
+    }
+}
+
+/// A strategy from a runtime pattern string.
+pub fn string_regex(pattern: &str) -> Result<CompiledPattern, String> {
+    Ok(CompiledPattern {
+        pieces: parse_pattern(pattern),
+    })
+}
+
+/// A pre-parsed pattern strategy (runtime counterpart of `&'static str`).
+pub struct CompiledPattern {
+    pieces: Vec<Piece>,
+}
+
+impl Strategy for CompiledPattern {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from(&self.pieces, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_pattern_shape() {
+        let mut rng = TestRng::for_test("string::tests::ident");
+        let s = "[A-Za-z_][A-Za-z0-9_]{0,12}";
+        for _ in 0..500 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((1..=13).contains(&v.len()), "{v:?}");
+            let mut cs = v.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn dot_pattern_is_printable() {
+        let mut rng = TestRng::for_test("string::tests::dot");
+        let s = ".{0,24}";
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v.len() <= 24);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut rng = TestRng::for_test("string::tests::quant");
+        for _ in 0..100 {
+            assert_eq!(Strategy::generate(&"a{3}", &mut rng), "aaa");
+            let star = Strategy::generate(&"b*", &mut rng);
+            assert!(star.chars().all(|c| c == 'b'));
+            let opt = Strategy::generate(&"c?", &mut rng);
+            assert!(opt.len() <= 1);
+        }
+    }
+}

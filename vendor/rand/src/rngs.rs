@@ -1,0 +1,70 @@
+//! Concrete generators: xoshiro256++ behind `SmallRng` and `StdRng`.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ state, seeded via splitmix64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed(seed: u64) -> Self {
+        // splitmix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! wrapper_rng {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name(Xoshiro256);
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(seed: u64) -> Self {
+                $name(Xoshiro256::from_seed(seed))
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next()
+            }
+        }
+    };
+}
+
+wrapper_rng!(
+    /// The kernel's small, fast generator.
+    SmallRng
+);
+wrapper_rng!(
+    /// The workload generator's RNG (same engine here).
+    StdRng
+);

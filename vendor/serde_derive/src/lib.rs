@@ -1,0 +1,368 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the item declaration with raw `proc_macro` token iteration (no
+//! `syn`/`quote` — the build environment has no crates.io access) and
+//! emits `Serialize`/`Deserialize` impls targeting the `Value` tree.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! named/tuple/unit structs and enums with unit/tuple/struct variants.
+//! Generic types and `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derive `serde::Serialize` (to a `serde::Value` tree).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    let name = &item.name;
+    let _ = write!(
+        out,
+        "impl ::serde::Serialize for {name} {{ \
+         fn to_json_value(&self) -> ::serde::Value {{ "
+    );
+    match &item.shape {
+        Shape::Unit => out.push_str("::serde::Value::Null"),
+        Shape::Tuple(1) => {
+            out.push_str("::serde::Serialize::to_json_value(&self.0)");
+        }
+        Shape::Tuple(n) => {
+            out.push_str("::serde::Value::Array(vec![");
+            for i in 0..*n {
+                let _ = write!(out, "::serde::Serialize::to_json_value(&self.{i}),");
+            }
+            out.push_str("])");
+        }
+        Shape::Named(fields) => {
+            out.push_str("::serde::Value::Object(vec![");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f})),"
+                );
+            }
+            out.push_str("])");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("match self {");
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let _ = write!(out, "{name}::{vname}({}) => ", binds.join(", "));
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        let _ = write!(
+                            out,
+                            "::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),"
+                        );
+                    }
+                    VariantShape::Named(fields) => {
+                        let _ = write!(out, "{name}::{vname} {{ {} }} => ", fields.join(", "));
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_json_value({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "::serde::Value::Object(vec![(\"{vname}\".to_string(), \
+                             ::serde::Value::Object(vec![{}]))]),",
+                            items.join(", ")
+                        );
+                    }
+                }
+            }
+            out.push('}');
+        }
+    }
+    out.push_str(" } }");
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (from a `serde::Value` tree).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    let name = &item.name;
+    let _ = write!(
+        out,
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_json_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ "
+    );
+    match &item.shape {
+        Shape::Unit => {
+            let _ = write!(out, "let _ = v; ::std::result::Result::Ok({name})");
+        }
+        Shape::Tuple(1) => {
+            let _ = write!(
+                out,
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(v)?))"
+            );
+        }
+        Shape::Tuple(n) => {
+            out.push_str(&tuple_from_array("v", name, *n));
+        }
+        Shape::Named(fields) => {
+            let _ = write!(out, "::std::result::Result::Ok({name} {{");
+            for f in fields {
+                let _ = write!(out, "{f}: ::serde::field(v, \"{f}\")?,");
+            }
+            out.push_str("})");
+        }
+        Shape::Enum(variants) => {
+            // Unit variants arrive as a bare string; payload variants as a
+            // one-entry object keyed by the variant name.
+            out.push_str("if let ::serde::Value::Str(s) = v { match s.as_str() {");
+            for v in variants {
+                if matches!(v.shape, VariantShape::Unit) {
+                    let vname = &v.name;
+                    let _ = write!(
+                        out,
+                        "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),"
+                    );
+                }
+            }
+            let _ = write!(
+                out,
+                "other => return ::std::result::Result::Err(::serde::DeError(format!(\
+                 \"unknown {name} variant `{{other}}`\"))), }} }}"
+            );
+            out.push_str(
+                "let pairs = match v { ::serde::Value::Object(pairs) if pairs.len() == 1 \
+                 => pairs, _ => return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"variant string or 1-entry object\", v)) };\
+                 let (tag, inner) = (&pairs[0].0, &pairs[0].1); match tag.as_str() {",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_json_value(inner)?)),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let _ = write!(out, "\"{vname}\" => {{ ");
+                        out.push_str(&tuple_from_array("inner", &format!("{name}::{vname}"), *n));
+                        out.push_str(" },");
+                    }
+                    VariantShape::Named(fields) => {
+                        let _ = write!(
+                            out,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{"
+                        );
+                        for f in fields {
+                            let _ = write!(out, "{f}: ::serde::field(inner, \"{f}\")?,");
+                        }
+                        out.push_str("}),");
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "other => ::std::result::Result::Err(::serde::DeError(format!(\
+                 \"unknown {name} variant `{{other}}`\"))), }}"
+            );
+        }
+    }
+    out.push_str(" } }");
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+/// Code that destructures `src` (an `&Value`) as an n-element array and
+/// builds `ctor(e0, ..)`.
+fn tuple_from_array(src: &str, ctor: &str, n: usize) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "let items = match {src} {{ ::serde::Value::Array(items) => items, _ => \
+         return ::std::result::Result::Err(::serde::DeError::expected(\"array\", {src})) }};\
+         if items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError(\
+         format!(\"expected {n} elements, got {{}}\", items.len()))); }}\
+         ::std::result::Result::Ok({ctor}("
+    );
+    for i in 0..n {
+        let _ = write!(out, "::serde::Deserialize::from_json_value(&items[{i}])?,");
+    }
+    out.push_str("))");
+    out
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) does not support generic types (`{name}`)");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(named_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_top_level_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Advance past leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field/variant list on commas that sit outside any angle
+/// brackets (proc_macro only groups `()[]{}` for us).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Field names of a named-field body: each chunk is `attrs* vis? name :
+/// type`.
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+/// Variants of an enum body: each chunk is `attrs* name payload?` (a
+/// trailing `= discr` is ignored).
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, got {other}"),
+            };
+            i += 1;
+            let shape = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(named_field_names(g.stream()))
+                }
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
