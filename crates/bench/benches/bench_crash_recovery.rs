@@ -1,0 +1,17 @@
+//! E15 bench: crash-recovery availability sweep (heartbeat detection +
+//! automatic re-activation, `legion-ha`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legion_sim::experiments::e15_crash_recovery;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_crash_recovery");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| {
+        b.iter(|| black_box(e15_crash_recovery::run(1, 23)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Recovery timing and outcome accounting.
+//!
+//! The recovery driver (the Magistrate, in `legion-runtime`) feeds this
+//! tracker as it works: a host is confirmed dead, each of its objects
+//! starts re-activation, each finishes (or cannot be recovered). The
+//! tracker turns that into the two latencies E15 reports — time-to-detect
+//! (heartbeat silence at the Dead verdict) and time-to-recover (Dead
+//! verdict to the object answering from its new host) — plus the
+//! recovered / lost / false-positive counts.
+
+use legion_core::loid::Loid;
+use legion_core::time::SimTime;
+use legion_net::metrics::Histogram;
+use std::collections::BTreeMap;
+
+/// Accounting for one Magistrate's recovery activity.
+#[derive(Debug, Default)]
+pub struct RecoveryTracker {
+    /// Heartbeat silence when each crash was confirmed (ns).
+    pub detect: Histogram,
+    /// Dead-verdict → re-activation-complete latency per object (ns).
+    pub recover: Histogram,
+    /// Objects whose re-activation is still in flight (object → start).
+    in_flight: BTreeMap<Loid, SimTime>,
+    /// Hosts confirmed dead.
+    pub hosts_lost: u64,
+    /// Objects successfully re-activated elsewhere.
+    pub recovered: u64,
+    /// Objects that could not be recovered (no OPR, or no live host).
+    pub lost: u64,
+    /// Dead verdicts later contradicted by a heartbeat.
+    pub false_positives: u64,
+}
+
+impl RecoveryTracker {
+    /// Fresh, empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A host was confirmed dead after `silence_ns` of heartbeat silence.
+    pub fn host_dead(&mut self, silence_ns: u64) {
+        self.hosts_lost += 1;
+        self.detect.record(silence_ns);
+    }
+
+    /// Re-activation of `object` (lost with its host) began at `now`.
+    pub fn begin_object(&mut self, object: Loid, now: SimTime) {
+        self.in_flight.insert(object, now);
+    }
+
+    /// Re-activation of `object` completed at `now`.
+    pub fn object_recovered(&mut self, object: &Loid, now: SimTime) {
+        if let Some(start) = self.in_flight.remove(object) {
+            self.recovered += 1;
+            self.recover.record(now.0.saturating_sub(start.0));
+        }
+    }
+
+    /// `object` could not be recovered.
+    pub fn object_lost(&mut self, object: &Loid) {
+        if self.in_flight.remove(object).is_some() {
+            self.lost += 1;
+        }
+    }
+
+    /// A supposedly dead host produced a heartbeat.
+    pub fn false_positive(&mut self) {
+        self.false_positives += 1;
+    }
+
+    /// Is a recovery currently in flight for `object`?
+    pub fn recovering(&self, object: &Loid) -> bool {
+        self.in_flight.contains_key(object)
+    }
+
+    /// Number of recoveries still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_detection_and_recovery_latencies() {
+        let mut t = RecoveryTracker::new();
+        t.host_dead(8_000);
+        let a = Loid::instance(7, 1);
+        let b = Loid::instance(7, 2);
+        t.begin_object(a, SimTime(100));
+        t.begin_object(b, SimTime(100));
+        assert!(t.recovering(&a));
+        t.object_recovered(&a, SimTime(600));
+        t.object_lost(&b);
+        assert_eq!((t.hosts_lost, t.recovered, t.lost), (1, 1, 1));
+        assert_eq!(t.detect.max(), 8_000);
+        assert_eq!(t.recover.max(), 500);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn completion_without_begin_is_ignored() {
+        let mut t = RecoveryTracker::new();
+        let a = Loid::instance(7, 3);
+        t.object_recovered(&a, SimTime(50));
+        t.object_lost(&a);
+        assert_eq!((t.recovered, t.lost), (0, 0));
+    }
+}

@@ -425,6 +425,31 @@ impl SimKernel {
         self.inner.fresh_call_id()
     }
 
+    /// Arm a timer on `to` from outside any handler (bootstrap and test
+    /// harnesses configuring endpoints through `endpoint_mut` after
+    /// their `on_start` already ran). Returns `false` if the endpoint is
+    /// not alive.
+    pub fn set_timer(&mut self, to: EndpointId, delay_ns: u64, tag: u64) -> bool {
+        let alive = self
+            .slots
+            .get(to.0 as usize)
+            .map(|s| s.meta.alive && s.ep.is_some())
+            .unwrap_or(false);
+        if !alive {
+            return false;
+        }
+        let at = self.inner.now.saturating_add(delay_ns);
+        let seq = self.inner.bump_seq();
+        self.inner.queue.push(Reverse(Event {
+            at,
+            seq,
+            to,
+            trace: TraceContext::NONE,
+            kind: EventKind::Timer(tag),
+        }));
+        true
+    }
+
     /// Process the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(Reverse(ev)) = self.inner.queue.pop() else {
@@ -440,17 +465,18 @@ impl SimKernel {
             .map(|s| s.meta.alive && s.ep.is_some())
             .unwrap_or(false);
         if !alive {
-            if matches!(ev.kind, EventKind::Deliver(_)) {
+            if let EventKind::Deliver(msg) = &ev.kind {
                 self.inner.stats.dead_letters += 1;
-                if ev.trace.is_active() {
-                    self.inner.record_span(
-                        ev.trace,
-                        SpanId::NONE,
-                        SpanEventKind::DeadLetter,
-                        idx as u64,
-                        "dead_letter",
-                    );
-                }
+                // Recorded even for untraced messages (trace/span NONE):
+                // a crash-eaten delivery must be visible in the span
+                // stream, not just the dead_letters counter.
+                self.inner.record_span(
+                    ev.trace,
+                    SpanId::NONE,
+                    SpanEventKind::DeadLetter,
+                    idx as u64,
+                    &format!("dead_letter:{}", kind_label(msg)),
+                );
             }
             return true;
         }
@@ -635,17 +661,18 @@ fn send_one(
         let label = kind_label(&msg);
         inner.record_span(msg.env.trace, parent, SpanEventKind::Send, from_ep, &label);
     }
+    // Fault spans (Refuse/Drop/DeadLetter) are recorded whenever the sink
+    // is enabled, even when the message carries no trace context — crash
+    // fallout must be observable without having traced the whole flow.
     let refuse = |inner: &mut Inner, msg: &Message, why: &str| {
         inner.stats.refused += 1;
-        if traced {
-            inner.record_span(
-                msg.env.trace,
-                SpanId::NONE,
-                SpanEventKind::Refuse,
-                from_ep,
-                why,
-            );
-        }
+        inner.record_span(
+            msg.env.trace,
+            SpanId::NONE,
+            SpanEventKind::Refuse,
+            from_ep,
+            why,
+        );
         false
     };
     let Some(ep) = to.sim_endpoint() else {
@@ -665,15 +692,13 @@ fn send_one(
     {
         Verdict::DropSilently => {
             inner.stats.lost += 1;
-            if traced {
-                inner.record_span(
-                    msg.env.trace,
-                    SpanId::NONE,
-                    SpanEventKind::Drop,
-                    from_ep,
-                    "drop:silent",
-                );
-            }
+            inner.record_span(
+                msg.env.trace,
+                SpanId::NONE,
+                SpanEventKind::Drop,
+                from_ep,
+                "drop:silent",
+            );
             true
         }
         Verdict::Deliver => {
@@ -1522,5 +1547,73 @@ mod tests {
             .expect("refuse span recorded");
         assert_eq!(refuse.label, "refused:dead-endpoint");
         assert_eq!(refuse.trace, tc.trace);
+    }
+
+    #[test]
+    fn untraced_crash_fallout_still_records_fault_spans() {
+        // A message without any trace context refused by a crashed
+        // endpoint, and one already queued to it when it dies, must both
+        // show up in the span stream (trace id NONE) — crash fallout is
+        // observable without whole-flow tracing.
+        let mut k = kernel();
+        k.enable_tracing(64);
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        let cid = k.fresh_call_id();
+        let msg = Message::call(
+            cid,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous(),
+        );
+        // Queued delivery, then the endpoint dies: dead letter.
+        assert!(k.inject(Location::new(0, 1), echo.element(), msg.clone()));
+        k.remove_endpoint(echo);
+        k.run_until_quiescent(10);
+        // And a post-crash send: detectable refusal.
+        assert!(!k.inject(Location::new(0, 1), echo.element(), msg));
+        let events = k.drain_trace();
+        let dead = events
+            .iter()
+            .find(|e| e.kind == SpanEventKind::DeadLetter)
+            .expect("dead-letter span for untraced message");
+        assert_eq!(dead.label, "dead_letter:Ping");
+        assert_eq!(dead.trace, legion_core::trace::TraceId::NONE);
+        let refuse = events
+            .iter()
+            .find(|e| e.kind == SpanEventKind::Refuse)
+            .expect("refuse span for untraced message");
+        assert_eq!(refuse.label, "refused:dead-endpoint");
+        assert_eq!(refuse.trace, legion_core::trace::TraceId::NONE);
+    }
+
+    #[test]
+    fn external_set_timer_fires_and_respects_liveness() {
+        struct Ticker {
+            tags: Vec<u64>,
+        }
+        impl Endpoint for Ticker {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, tag: u64) {
+                self.tags.push(tag);
+            }
+        }
+        let mut k = kernel();
+        let t = k.add_endpoint(
+            Box::new(Ticker { tags: Vec::new() }),
+            Location::new(0, 0),
+            "ticker",
+        );
+        assert!(k.set_timer(t, 5_000, 7));
+        assert!(k.set_timer(t, 1_000, 3));
+        k.run_until_quiescent(10);
+        assert_eq!(k.endpoint::<Ticker>(t).unwrap().tags, vec![3, 7]);
+        assert_eq!(k.now(), SimTime(5_000));
+        k.remove_endpoint(t);
+        assert!(!k.set_timer(t, 1_000, 9), "dead endpoint: refused");
     }
 }

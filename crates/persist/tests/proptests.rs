@@ -160,6 +160,71 @@ proptest! {
         prop_assert!(Opr::decode(&bytes).is_err(), "flip at {pos} undetected");
     }
 
+    /// Every strict prefix of an encoded OPR fails to decode cleanly —
+    /// a truncated vault record (torn write, short read during crash
+    /// recovery) is always an `Err`, never a panic and never a silently
+    /// shortened object state.
+    #[test]
+    fn opr_truncation_always_errs(
+        class_id in 1u64..,
+        seq in 1u64..,
+        state in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let opr = Opr::new(
+            Loid::instance(class_id, seq),
+            Loid::class_object(class_id),
+            7,
+            state,
+        );
+        let bytes = opr.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(Opr::decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+    }
+
+    /// Decoding arbitrary byte soup as an OPR returns an error rather
+    /// than panicking (no index-out-of-bounds, no allocation from a
+    /// corrupt length prefix).
+    #[test]
+    fn opr_decode_of_garbage_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // The checksum makes an accidental pass astronomically unlikely,
+        // but the property under test is "no panic", so a rare Ok on
+        // adversarially-shaped input is tolerated by construction.
+        let _ = Opr::decode(&bytes);
+    }
+
+    /// Multi-byte corruption (not just single flips) of a valid OPR is
+    /// rejected without panicking.
+    #[test]
+    fn opr_multi_flip_errs_or_roundtrips(
+        state in proptest::collection::vec(any::<u8>(), 0..128),
+        flips in proptest::collection::vec((any::<usize>(), 1u8..), 1..8),
+    ) {
+        let opr = Opr::new(Loid::instance(5, 6), Loid::class_object(5), 1, state);
+        let original = opr.encode().to_vec();
+        let mut bytes = original.clone();
+        for (pos_seed, flip) in flips {
+            let pos = pos_seed % bytes.len();
+            bytes[pos] ^= flip;
+        }
+        // Flips at the same position can cancel out; only a net change
+        // must be detected.
+        if bytes != original {
+            prop_assert!(Opr::decode(&bytes).is_err(), "corruption undetected");
+        }
+    }
+
+    /// The value codec also never panics on arbitrary input (the OPR
+    /// state payload may embed encoded values).
+    #[test]
+    fn value_decode_of_garbage_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = decode_value(&bytes);
+    }
+
     /// Storage: store → load returns the same OPR; delete frees exactly
     /// what was used.
     #[test]

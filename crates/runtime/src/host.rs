@@ -39,6 +39,20 @@ pub struct HostConfig {
     pub class_addr: Option<ObjectAddressElement>,
 }
 
+/// Timer tag for the periodic liveness heartbeat (see
+/// [`HostObjectEndpoint::enable_heartbeat`]).
+pub const TIMER_HEARTBEAT: u64 = 0x4841_5254; // "HART"
+
+/// Heartbeat settings, configured after construction.
+struct Heartbeat {
+    magistrate_loid: Loid,
+    magistrate: ObjectAddressElement,
+    interval_ns: u64,
+    /// Stop re-arming once virtual time passes this (keeps experiment
+    /// kernels quiescable).
+    horizon_ns: u64,
+}
+
 /// The Host Object endpoint.
 pub struct HostObjectEndpoint {
     cfg: HostConfig,
@@ -46,8 +60,11 @@ pub struct HostObjectEndpoint {
     running: HashMap<Loid, EndpointId>,
     cpu_load_limit: u64,
     memory_limit: u64,
+    heartbeat: Option<Heartbeat>,
     /// Activations refused (capacity or security).
     pub refused: u64,
+    /// Heartbeats sent to the Magistrate.
+    pub heartbeats_sent: u64,
 }
 
 impl HostObjectEndpoint {
@@ -71,8 +88,31 @@ impl HostObjectEndpoint {
             running: HashMap::new(),
             cpu_load_limit: 100,
             memory_limit: u64::MAX,
+            heartbeat: None,
             refused: 0,
+            heartbeats_sent: 0,
         }
+    }
+
+    /// Report liveness to `magistrate` every `interval_ns` until virtual
+    /// time reaches `horizon_ns` (§3.9: the Host Object is the host's
+    /// representative — its silence is the host's silence). Configuration
+    /// happens after `on_start` has already run, so the first timer must
+    /// be armed externally: `SimKernel::set_timer(host_ep, interval_ns,
+    /// TIMER_HEARTBEAT)`.
+    pub fn enable_heartbeat(
+        &mut self,
+        magistrate_loid: Loid,
+        magistrate: ObjectAddressElement,
+        interval_ns: u64,
+        horizon_ns: u64,
+    ) {
+        self.heartbeat = Some(Heartbeat {
+            magistrate_loid,
+            magistrate,
+            interval_ns,
+            horizon_ns,
+        });
     }
 
     /// Objects currently running here.
@@ -115,6 +155,35 @@ impl Endpoint for HostObjectEndpoint {
                 InvocationEnv::solo(me),
                 Some(me),
             );
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag != TIMER_HEARTBEAT {
+            return;
+        }
+        let Some(hb) = &self.heartbeat else {
+            return;
+        };
+        let me = self.cfg.loid;
+        // Fire-and-forget: the Magistrate never replies, so a dead
+        // Magistrate cannot wedge its hosts.
+        let mut msg = Message::call(
+            ctx.fresh_call_id(),
+            hb.magistrate_loid,
+            legion_ha::protocol::HEARTBEAT,
+            legion_ha::protocol::heartbeat_args(me, self.running.len()),
+            InvocationEnv::solo(me),
+        );
+        msg.sender = Some(me);
+        let magistrate = hb.magistrate;
+        let interval = hb.interval_ns;
+        let horizon = hb.horizon_ns;
+        ctx.send(magistrate, msg);
+        self.heartbeats_sent += 1;
+        ctx.count("host.heartbeats");
+        if ctx.now().0.saturating_add(interval) <= horizon {
+            ctx.set_timer(interval, TIMER_HEARTBEAT);
         }
     }
 

@@ -29,6 +29,10 @@ use legion_core::env::InvocationEnv;
 use legion_core::loid::Loid;
 use legion_core::object::methods as obj_methods;
 use legion_core::value::LegionValue;
+use legion_ha::detector::FailureDetector;
+use legion_ha::policy::{Health, SuspicionPolicy};
+use legion_ha::recovery::RecoveryTracker;
+use legion_naming::stale;
 use legion_net::message::{Body, CallId, Message};
 use legion_net::sim::{Ctx, Endpoint};
 use legion_persist::opr::Opr;
@@ -45,6 +49,10 @@ pub enum ObjState {
         host: Loid,
         /// The object's endpoint element.
         element: ObjectAddressElement,
+        /// With HA enabled: the OPR checkpoint retained at activation
+        /// (§3.1's vault), so the object survives its host. `None` when
+        /// HA is off — the OPR is consumed by activation as before.
+        vault: Option<PersistentAddress>,
     },
     /// Resting in jurisdiction storage.
     Inert {
@@ -110,6 +118,24 @@ enum Pending {
     },
 }
 
+/// Timer tag for the periodic failure-detector sweep (armed externally
+/// after [`MagistrateEndpoint::enable_ha`]).
+pub const TIMER_HA_SWEEP: u64 = 0x5357_4550; // "SWEP"
+
+/// Failure-detection and recovery state (see
+/// [`MagistrateEndpoint::enable_ha`]).
+struct HaState {
+    detector: FailureDetector,
+    tracker: RecoveryTracker,
+    sweep_interval_ns: u64,
+    /// Stop re-arming the sweep once virtual time passes this (keeps
+    /// experiment kernels quiescable).
+    horizon_ns: u64,
+    /// Binding Agents to invalidate through / push fresh bindings to
+    /// when a recovered object comes back at a new address (§4.1.4).
+    agents: Vec<ObjectAddressElement>,
+}
+
 /// Configuration of a Magistrate.
 pub struct MagistrateConfig {
     /// The Magistrate's LOID (instance of a `LegionMagistrate` subclass).
@@ -137,6 +163,7 @@ pub struct MagistrateEndpoint {
     after_inert: HashMap<Loid, Vec<AfterInert>>,
     peers: HashMap<Loid, ObjectAddressElement>,
     salt: u64,
+    ha: Option<HaState>,
 }
 
 impl MagistrateEndpoint {
@@ -155,8 +182,53 @@ impl MagistrateEndpoint {
             after_inert: HashMap::new(),
             peers: HashMap::new(),
             salt: 0,
+            ha: None,
             cfg,
         }
+    }
+
+    /// Enable heartbeat failure detection and automatic recovery. Every
+    /// currently registered host is monitored from `now`; silence is
+    /// classified by `policy` each sweep, and a Dead verdict triggers the
+    /// recovery driver (re-activate lost objects from their vault OPRs on
+    /// surviving hosts, invalidate stale bindings through `agents`).
+    ///
+    /// Configuration happens after `on_start` has already run, so the
+    /// first sweep timer must be armed externally:
+    /// `SimKernel::set_timer(magistrate_ep, sweep_interval_ns,
+    /// TIMER_HA_SWEEP)`.
+    pub fn enable_ha(
+        &mut self,
+        policy: Box<dyn SuspicionPolicy>,
+        heartbeat_interval_ns: u64,
+        sweep_interval_ns: u64,
+        horizon_ns: u64,
+        agents: Vec<ObjectAddressElement>,
+        now: legion_core::time::SimTime,
+    ) {
+        let mut detector = FailureDetector::new(policy, heartbeat_interval_ns);
+        for h in &self.hosts {
+            if h.alive {
+                detector.register(h.loid, now);
+            }
+        }
+        self.ha = Some(HaState {
+            detector,
+            tracker: RecoveryTracker::new(),
+            sweep_interval_ns,
+            horizon_ns,
+            agents,
+        });
+    }
+
+    /// Recovery accounting, when HA is enabled.
+    pub fn ha_tracker(&self) -> Option<&RecoveryTracker> {
+        self.ha.as_ref().map(|h| &h.tracker)
+    }
+
+    /// Detector's view of a host's health, when HA is enabled.
+    pub fn host_health(&self, loid: &Loid) -> Option<Health> {
+        self.ha.as_ref().and_then(|h| h.detector.health(loid))
     }
 
     /// Replace the scheduling policy (a Scheduling Agent hook, §3.8).
@@ -260,13 +332,37 @@ impl MagistrateEndpoint {
         }
     }
 
-    /// Answer every queued Activate waiter for `loid`.
+    /// Answer every queued Activate waiter for `loid`. This is also the
+    /// single point every activation — including a crash recovery —
+    /// concludes at, so the HA bookkeeping hooks in here.
     fn answer_activate_waiters(
         &mut self,
         ctx: &mut Ctx<'_>,
         loid: Loid,
         result: Result<Binding, String>,
     ) {
+        let me = self.cfg.loid;
+        if let Some(ha) = &mut self.ha {
+            if ha.tracker.recovering(&loid) {
+                match &result {
+                    Ok(b) => {
+                        ha.tracker.object_recovered(&loid, ctx.now());
+                        ctx.count("magistrate.ha_recovered");
+                        ctx.trace_note("ha.object_recovered");
+                        // Push the fresh binding down the agent tree so
+                        // clients stop chasing the dead address (§4.1.4's
+                        // "explicitly propagating news").
+                        let agents = ha.agents.clone();
+                        stale::propagate_binding(ctx, me, &agents, b);
+                    }
+                    Err(_) => {
+                        ha.tracker.object_lost(&loid);
+                        ctx.count("magistrate.ha_object_lost");
+                        ctx.trace_note("ha.object_lost");
+                    }
+                }
+            }
+        }
         for msg in self.activate_waiters.remove(&loid).unwrap_or_default() {
             let payload = result.clone().map(LegionValue::from);
             ctx.reply(&msg, payload);
@@ -459,6 +555,127 @@ impl MagistrateEndpoint {
         }
     }
 
+    // ----- failure detection and recovery -----------------------------------
+
+    /// A Host Object reported in. Fire-and-forget: no reply.
+    fn handle_heartbeat(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        let Some((host, _running)) = legion_ha::protocol::parse_heartbeat(msg) else {
+            return;
+        };
+        ctx.count("magistrate.heartbeats");
+        let Some(ha) = &mut self.ha else {
+            return;
+        };
+        let Some(transition) = ha.detector.heartbeat(host, ctx.now()) else {
+            return;
+        };
+        // A Suspect (or, with message loss, even Dead) host turned out to
+        // be alive: re-admit it to scheduling. Its objects may already
+        // have been re-homed elsewhere — the class's address row points at
+        // the recovered copies, so any survivors on the resurrected host
+        // are unreferenced orphans awaiting the §2.3 reap.
+        if transition.from == Health::Dead {
+            ha.tracker.false_positive();
+            ctx.count("magistrate.ha_false_positive");
+            ctx.trace_note("ha.false_positive");
+        }
+        if let Some(h) = self.hosts.iter_mut().find(|h| h.loid == host) {
+            h.alive = true;
+        }
+    }
+
+    /// Periodic detector sweep: classify every monitored host, recover
+    /// the objects of any host newly confirmed Dead.
+    fn ha_sweep(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(ha) = &mut self.ha else {
+            return;
+        };
+        let now = ctx.now();
+        let transitions = ha.detector.sweep(now);
+        let sweep_interval = ha.sweep_interval_ns;
+        let horizon = ha.horizon_ns;
+        for t in transitions {
+            match t.to {
+                Health::Suspect => {
+                    ctx.count("magistrate.ha_suspect");
+                }
+                Health::Dead => self.recover_host(ctx, t.host, t.silence_ns),
+                Health::Alive => {}
+            }
+        }
+        if now.0.saturating_add(sweep_interval) <= horizon {
+            ctx.set_timer(sweep_interval, TIMER_HA_SWEEP);
+        }
+    }
+
+    /// A host is confirmed dead: re-activate everything it was running
+    /// from the vault OPRs, on surviving hosts.
+    fn recover_host(&mut self, ctx: &mut Ctx<'_>, host: Loid, silence_ns: u64) {
+        ctx.count("magistrate.ha_host_dead");
+        self.mark_host_dead(&host);
+        if let Some(ha) = &mut self.ha {
+            ha.tracker.host_dead(silence_ns);
+        }
+        // Root span for this host's recovery: the HostActivate calls made
+        // below inherit it, so their replies (and the completion notes in
+        // `answer_activate_waiters`) stay causally linked to the verdict.
+        ctx.trace_begin(&format!("ha.recovery:{host}"));
+        ctx.trace_note(&format!("ha.detected:silence={silence_ns}ns"));
+        let mut lost: Vec<Loid> = self
+            .objects
+            .iter()
+            .filter(|(_, r)| matches!(&r.state, ObjState::Active { host: h, .. } if *h == host))
+            .map(|(l, _)| *l)
+            .collect();
+        lost.sort(); // deterministic recovery order
+        for loid in lost {
+            self.recover_object(ctx, loid, host);
+        }
+        ctx.trace_end("ha.recovery-dispatched");
+    }
+
+    /// Re-home one object that died with `dead_host`.
+    fn recover_object(&mut self, ctx: &mut Ctx<'_>, loid: Loid, dead_host: Loid) {
+        let me = self.cfg.loid;
+        let Some(record) = self.objects.get(&loid) else {
+            return;
+        };
+        let ObjState::Active { vault, .. } = &record.state else {
+            return;
+        };
+        let Some(vault) = vault.clone() else {
+            // No checkpoint to restart from (HA was enabled after this
+            // activation): the object is gone until someone re-creates it.
+            ctx.count("magistrate.ha_unrecoverable");
+            ctx.trace_note("ha.unrecoverable");
+            self.bump_host(&dead_host, -1);
+            return;
+        };
+        let (class, class_addr) = (record.class, record.class_addr);
+        self.bump_host(&dead_host, -1);
+        // Back to Inert at the vault checkpoint, then through the normal
+        // activation path — the scheduler picks a surviving host.
+        self.objects.get_mut(&loid).expect("checked above").state = ObjState::Inert { addr: vault };
+        let agents = if let Some(ha) = &mut self.ha {
+            ha.tracker.begin_object(loid, ctx.now());
+            ha.agents.clone()
+        } else {
+            Vec::new()
+        };
+        ctx.count("magistrate.ha_recoveries");
+        // The old binding is now stale everywhere: purge agent caches and
+        // clear the class's address row until re-activation sets it.
+        stale::propagate_invalidation(ctx, me, &agents, loid);
+        self.notify_class(
+            ctx,
+            class_addr,
+            class,
+            class_proto::SET_ADDRESS,
+            vec![LegionValue::Loid(loid), LegionValue::Void],
+        );
+        self.start_activation(ctx, loid, None);
+    }
+
     // ----- request handlers --------------------------------------------------
 
     fn handle_activate(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
@@ -628,7 +845,10 @@ impl MagistrateEndpoint {
             if let ObjState::Inert { addr } = &record.state {
                 let _ = self.storage.delete(addr);
             }
-            if let ObjState::Active { host, .. } = &record.state {
+            if let ObjState::Active { host, vault, .. } = &record.state {
+                if let Some(vault) = vault {
+                    let _ = self.storage.delete(vault);
+                }
                 self.bump_host(&host.clone(), -1);
             }
             // The class row update is driven by the class (it called us);
@@ -782,14 +1002,26 @@ impl MagistrateEndpoint {
                         );
                         return;
                     }
-                    // Consume the Inert OPR (it will be rewritten at the
-                    // next deactivation) and mark Active.
+                    // Mark Active. With HA on, the Inert OPR is retained
+                    // as the vault checkpoint the object restarts from if
+                    // this host dies; without HA it is consumed as before
+                    // (rewritten at the next deactivation).
+                    let keep_vault = self.ha.is_some();
                     let (class, class_addr) = {
                         let record = self.objects.get_mut(&loid).expect("checked above");
-                        if let ObjState::Inert { addr } = &record.state {
-                            let _ = self.storage.delete(addr);
-                        }
-                        record.state = ObjState::Active { host, element };
+                        let vault = match &record.state {
+                            ObjState::Inert { addr } if keep_vault => Some(addr.clone()),
+                            ObjState::Inert { addr } => {
+                                let _ = self.storage.delete(addr);
+                                None
+                            }
+                            _ => None,
+                        };
+                        record.state = ObjState::Active {
+                            host,
+                            element,
+                            vault,
+                        };
                         (record.class, record.class_addr)
                     };
                     self.bump_host(&host, 1);
@@ -938,6 +1170,14 @@ impl MagistrateEndpoint {
                                 ObjState::Active { host, .. } => Some(*host),
                                 _ => None,
                             };
+                            // The fresh OPR supersedes the activation-time
+                            // vault checkpoint.
+                            if let ObjState::Active {
+                                vault: Some(vault), ..
+                            } = &record.state
+                            {
+                                let _ = self.storage.delete(&vault.clone());
+                            }
                             record.state = ObjState::Inert { addr };
                             (record.class, record.class_addr, host)
                         };
@@ -1027,6 +1267,12 @@ impl Endpoint for MagistrateEndpoint {
         }
     }
 
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == TIMER_HA_SWEEP {
+            self.ha_sweep(ctx);
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         if msg.is_reply() {
             self.handle_reply(ctx, &msg);
@@ -1035,6 +1281,13 @@ impl Endpoint for MagistrateEndpoint {
         let Some(method) = msg.method().map(str::to_owned) else {
             return;
         };
+        // Heartbeats are a liveness signal, not a §3.8 request: no MayI
+        // gate (a paranoid policy must not blind the failure detector)
+        // and no reply (a dead Magistrate must not wedge its hosts).
+        if method == legion_ha::protocol::HEARTBEAT {
+            self.handle_heartbeat(ctx, &msg);
+            return;
+        }
         // "Member function calls on Magistrates should be thought of as
         // requests rather than commands."
         if let Decision::Deny(reason) = self.mayi.may_i(&msg.env, &method) {

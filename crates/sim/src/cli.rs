@@ -60,7 +60,7 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: legion-exp [--quick] [--trace-out FILE] [--metrics-out FILE] \
-                     (all | e1 e2 ... e14)\n\
+                     (all | e1 e2 ... e15)\n\
                      Runs the Legion reproduction experiments (see EXPERIMENTS.md).\n\
                      --trace-out   write the traced E1 run's spans as JSONL\n\
                      --metrics-out write the traced E1 run's metrics snapshot as JSON"
@@ -195,6 +195,10 @@ pub fn main() {
     if want("e14") {
         let (clients, ops) = if opts.quick { (16, 200) } else { (64, 1000) };
         exp::e14_parallel::table(&exp::e14_parallel::run(clients, ops, 256, 8)).print();
+        println!();
+    }
+    if want("e15") {
+        exp::e15_crash_recovery::table(&exp::e15_crash_recovery::run(scale, seed)).print();
         println!();
     }
 }

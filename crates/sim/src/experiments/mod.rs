@@ -20,3 +20,4 @@ pub mod e11_object_model;
 pub mod e12_scalability;
 pub mod e13_security;
 pub mod e14_parallel;
+pub mod e15_crash_recovery;

@@ -16,6 +16,7 @@ use legion_core::loid::Loid;
 use legion_core::object::object_mandatory_interface;
 use legion_core::value::LegionValue;
 use legion_core::wellknown::{LEGION_BINDING_AGENT, LEGION_OBJECT};
+use legion_ha::policy::MissThreshold;
 use legion_naming::agent::{AgentConfig, BindingAgentEndpoint};
 use legion_naming::tree::TreeShape;
 use legion_net::message::{Body, Message};
@@ -23,7 +24,8 @@ use legion_net::sim::{Ctx, Endpoint, EndpointId, SimKernel};
 use legion_net::topology::{Location, Topology};
 use legion_net::FaultPlan;
 use legion_runtime::class_endpoint::{ClassConfig, ClassEndpoint, LegionClassEndpoint};
-use legion_runtime::magistrate::MagistrateEndpoint;
+use legion_runtime::host::{HostObjectEndpoint, TIMER_HEARTBEAT};
+use legion_runtime::magistrate::{MagistrateEndpoint, TIMER_HA_SWEEP};
 use legion_runtime::protocol::class as class_proto;
 use legion_runtime::CoreSystem;
 
@@ -69,6 +71,12 @@ pub struct SystemConfig {
     pub classes: u32,
     /// Objects created per class at build time.
     pub objects_per_class: u32,
+    /// Enable heartbeat failure detection + automatic recovery
+    /// (`legion-ha`) during build, *before* the initial objects are
+    /// created — activations then retain their OPR vault checkpoints, so
+    /// every build-time object is recoverable. `None` = HA off (the
+    /// seed's exact semantics).
+    pub ha: Option<HaConfig>,
     /// Network model.
     pub topology: Topology,
     /// RNG seed (full determinism per seed).
@@ -87,8 +95,37 @@ impl Default for SystemConfig {
             agent_cache_enabled: true,
             classes: 1,
             objects_per_class: 8,
+            ha: None,
             topology: Topology::default(),
             seed: 42,
+        }
+    }
+}
+
+/// Failure-detection and recovery knobs for [`LegionSystem::enable_ha`].
+#[derive(Debug, Clone)]
+pub struct HaConfig {
+    /// Host → Magistrate heartbeat period (virtual ns).
+    pub heartbeat_interval_ns: u64,
+    /// Magistrate detector sweep period (virtual ns).
+    pub sweep_interval_ns: u64,
+    /// Heartbeats and sweeps stop re-arming past this virtual time, so
+    /// the kernel can still reach quiescence after the workload drains.
+    pub horizon_ns: u64,
+    /// Missed heartbeat intervals before a host is Suspect.
+    pub suspect_after: u32,
+    /// Missed heartbeat intervals before a host is Dead (recovery runs).
+    pub dead_after: u32,
+}
+
+impl Default for HaConfig {
+    fn default() -> Self {
+        HaConfig {
+            heartbeat_interval_ns: 2_000_000, // 2 ms
+            sweep_interval_ns: 2_000_000,
+            horizon_ns: 5_000_000_000, // 5 s
+            suspect_after: 2,
+            dead_after: 4,
         }
     }
 }
@@ -252,6 +289,14 @@ impl LegionSystem {
             config,
         };
 
+        // HA state on before the first activation, so the initial
+        // population retains vault checkpoints — but no timers yet
+        // (build's run-to-quiescence calls would drain the recurring
+        // heartbeats all the way to the horizon).
+        if let Some(ha) = sys.config.ha.clone() {
+            sys.configure_magistrate_ha(&ha);
+        }
+
         // Create the initial object population through the real protocol.
         for c in 0..sys.config.classes {
             let (cl, cep) = sys.classes[c as usize];
@@ -275,12 +320,94 @@ impl LegionSystem {
                 }
             }
         }
+
+        // Now that the population exists, start the heartbeat/sweep
+        // machinery (re-registering hosts at this instant).
+        if let Some(ha) = sys.config.ha.clone() {
+            sys.enable_ha(&ha);
+        }
         sys
     }
 
     /// The build configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Switch on heartbeat failure detection and automatic recovery:
+    /// every host reports to its jurisdiction's Magistrate, every
+    /// Magistrate sweeps its detector and re-homes the objects of hosts
+    /// confirmed dead (`legion-ha`). Call after `build` (the endpoints
+    /// already ran `on_start`, so the first timers are armed here,
+    /// externally).
+    pub fn enable_ha(&mut self, ha: &HaConfig) {
+        self.configure_magistrate_ha(ha);
+        for (_, mep) in self.magistrates.clone() {
+            self.kernel
+                .set_timer(mep, ha.sweep_interval_ns, TIMER_HA_SWEEP);
+        }
+        for (hloid, hep, j) in self.hosts.clone() {
+            let (mloid, mep) = self.magistrates[j as usize];
+            let mel = mep.element();
+            self.kernel
+                .endpoint_mut::<HostObjectEndpoint>(hep)
+                .expect("host exists")
+                .enable_heartbeat(mloid, mel, ha.heartbeat_interval_ns, ha.horizon_ns);
+            self.kernel
+                .set_timer(hep, ha.heartbeat_interval_ns, TIMER_HEARTBEAT);
+            let _ = hloid;
+        }
+    }
+
+    /// Flip each Magistrate into HA mode (detector state, vault
+    /// retention) *without* arming any timers. `build` calls this before
+    /// object creation so the initial activations retain their vault
+    /// checkpoints; [`enable_ha`](Self::enable_ha) calls it again to
+    /// re-register hosts at the arming instant (resetting `last_seen` so
+    /// build time does not count as heartbeat silence).
+    fn configure_magistrate_ha(&mut self, ha: &HaConfig) {
+        let agents: Vec<ObjectAddressElement> = self.agents.iter().map(|a| a.element()).collect();
+        let now = self.kernel.now();
+        for (_, mep) in self.magistrates.clone() {
+            self.kernel
+                .endpoint_mut::<MagistrateEndpoint>(mep)
+                .expect("magistrate exists")
+                .enable_ha(
+                    Box::new(MissThreshold {
+                        suspect_after: ha.suspect_after,
+                        dead_after: ha.dead_after,
+                    }),
+                    ha.heartbeat_interval_ns,
+                    ha.sweep_interval_ns,
+                    ha.horizon_ns,
+                    agents.clone(),
+                    now,
+                );
+        }
+    }
+
+    /// Crash the machine behind `self.hosts[host_index]`: the Host Object
+    /// endpoint *and* every object process at its location die together
+    /// (in the kernel, spawned objects are separate endpoints co-located
+    /// with their host). Returns the number of endpoints killed.
+    pub fn crash_host(&mut self, host_index: usize) -> usize {
+        let (_, hep, _) = self.hosts[host_index];
+        let Some(loc) = self.kernel.meta(hep).map(|m| m.location) else {
+            return 0;
+        };
+        let victims: Vec<EndpointId> = self
+            .kernel
+            .all_meta()
+            .filter(|(id, m)| {
+                m.alive && m.location == loc && (*id == hep || m.name.starts_with("obj:"))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let n = victims.len();
+        for id in victims {
+            self.kernel.remove_endpoint(id);
+        }
+        n
     }
 
     /// Issue a call from the driver and run to quiescence; returns the

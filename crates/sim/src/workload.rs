@@ -20,6 +20,7 @@ use legion_core::loid::Loid;
 use legion_core::object::methods as obj_m;
 use legion_core::time::SimTime;
 use legion_core::{address::ObjectAddressElement, env::InvocationEnv};
+use legion_ha::backoff::Backoff;
 use legion_naming::resolver::{ClientResolver, Lookup};
 use legion_net::message::{Body, CallId, Message};
 use legion_net::metrics::Histogram;
@@ -46,6 +47,11 @@ pub struct WorkloadConfig {
     /// After resolving, invoke `Ping` on the object (exercises stale
     /// bindings); otherwise the workload is lookup-only.
     pub invoke_after_resolve: bool,
+    /// Whole-operation retries after a terminal error, on a capped
+    /// exponential backoff (base `4 × inter_arrival`, doubling, capped at
+    /// `32 × inter_arrival`). E15 raises this so clients ride out the
+    /// crash-detection window.
+    pub op_retry_attempts: u32,
 }
 
 impl Default for WorkloadConfig {
@@ -58,6 +64,7 @@ impl Default for WorkloadConfig {
             client_cache_capacity: 64,
             client_cache_enabled: true,
             invoke_after_resolve: false,
+            op_retry_attempts: 2,
         }
     }
 }
@@ -205,8 +212,10 @@ pub struct LookupClient {
     binding_generation: u64,
     /// Stale-refresh attempts for the current operation (capped).
     stale_attempts: u32,
-    /// Whole-op retries after terminal errors (capped).
+    /// Whole-op retries after terminal errors (counts into `retry`).
     op_error_retries: u32,
+    /// Capped exponential backoff schedule for whole-op retries.
+    retry: Backoff,
     /// An op waiting for its retry timer: `(started, target)`.
     pending_retry: Option<(SimTime, Loid)>,
     /// Public so drivers can collect it when the run ends.
@@ -237,6 +246,12 @@ impl LookupClient {
             binding_generation: 0,
             stale_attempts: 0,
             op_error_retries: 0,
+            retry: Backoff {
+                base_ns: cfg.inter_arrival_ns.max(1) * 4,
+                factor: 2,
+                max_delay_ns: cfg.inter_arrival_ns.max(1) * 32,
+                max_attempts: cfg.op_retry_attempts,
+            },
             pending_retry: None,
             report: ClientReport::default(),
             done: false,
@@ -294,14 +309,17 @@ impl LookupClient {
     }
 
     /// A terminal error for the current operation: retry the whole op
-    /// (fresh lookup) after a backoff, up to twice, then record failure.
+    /// (fresh lookup) on the capped exponential backoff schedule, then
+    /// record failure once the schedule is exhausted. The widening gaps
+    /// let a crashed host be detected and its objects recovered while the
+    /// op is still in flight (E15).
     fn op_failed(&mut self, ctx: &mut Ctx<'_>, started: SimTime, target: Loid) {
-        if self.op_error_retries < 2 {
+        if let Some(delay_ns) = self.retry.delay_ns(self.op_error_retries) {
             self.op_error_retries += 1;
             ctx.count("client.op_retry");
             self.pending_retry = Some((started, target));
             self.phase = Phase::Idle;
-            ctx.set_timer(self.inter_arrival_ns * 4, TIMER_RETRY);
+            ctx.set_timer(delay_ns, TIMER_RETRY);
         } else {
             ctx.trace_end("failed");
             self.report.failed += 1;
@@ -309,8 +327,13 @@ impl LookupClient {
         }
     }
 
-    /// Begin (or re-begin) an operation against `target`.
+    /// Begin (or re-begin) an operation against `target`. Each attempt
+    /// gets a fresh stale-refresh budget: the cap bounds spinning within
+    /// one attempt, while attempts themselves are spaced by the widening
+    /// backoff — without the reset, one exhausted attempt would make
+    /// every later retry give up on its first stale hit.
     fn start_op(&mut self, ctx: &mut Ctx<'_>, started: SimTime, target: Loid) {
+        self.stale_attempts = 0;
         match self.resolver.lookup(ctx, target) {
             Lookup::Cached(b) => {
                 if self.invoke {

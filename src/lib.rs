@@ -15,6 +15,7 @@
 //! ```
 
 pub use legion_core as core;
+pub use legion_ha as ha;
 pub use legion_naming as naming;
 pub use legion_net as net;
 pub use legion_obs as obs;
