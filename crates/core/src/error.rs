@@ -57,6 +57,20 @@ pub enum CoreError {
     Deleted(Loid),
     /// A malformed or out-of-range value was supplied.
     Invalid(String),
+    /// A call named a method absent from the receiving interface
+    /// (the uniform unknown-method reply of `legion_core::dispatch`).
+    UnknownMethod {
+        /// The method name that failed to resolve.
+        method: String,
+    },
+    /// A call's arguments did not match the method's declared signature
+    /// (the uniform bad-arguments reply of `legion_core::dispatch`).
+    SignatureMismatch {
+        /// Canonical rendering of the declared signature.
+        signature: String,
+        /// What was wrong: arity, or a positional type mismatch.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -94,6 +108,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::Deleted(l) => write!(f, "object {l} has been deleted"),
             CoreError::Invalid(msg) => write!(f, "invalid value: {msg}"),
+            CoreError::UnknownMethod { method } => {
+                write!(f, "no method {method} in interface")
+            }
+            CoreError::SignatureMismatch { signature, detail } => {
+                write!(f, "bad arguments: expected {signature} ({detail})")
+            }
         }
     }
 }

@@ -41,6 +41,9 @@ pub enum ParamType {
     Binding,
     /// A (homogeneously erased) list of values.
     List,
+    /// Any value: the parameter is deliberately untyped (generic
+    /// key/value state methods). Every wire value conforms.
+    Any,
 }
 
 impl ParamType {
@@ -58,6 +61,7 @@ impl ParamType {
             ParamType::Address => "address",
             ParamType::Binding => "binding",
             ParamType::List => "list",
+            ParamType::Any => "any",
         }
     }
 
@@ -75,6 +79,7 @@ impl ParamType {
             "address" => ParamType::Address,
             "binding" => ParamType::Binding,
             "list" => ParamType::List,
+            "any" => ParamType::Any,
             _ => return None,
         })
     }

@@ -34,6 +34,7 @@ pub mod binding;
 pub mod class;
 pub mod clone;
 pub mod context;
+pub mod dispatch;
 pub mod env;
 pub mod error;
 pub mod idl;

@@ -113,7 +113,8 @@ impl LegionValue {
     /// (every element checked against `List`'s erased element type —
     /// Legion's IDL subset uses homogeneous erased lists).
     pub fn conforms_to(&self, ty: &ParamType) -> bool {
-        self.param_type() == *ty
+        *ty == ParamType::Any
+            || self.param_type() == *ty
             || matches!((self, ty), (LegionValue::Int(i), ParamType::Uint) if *i >= 0)
     }
 }
@@ -193,6 +194,11 @@ impl From<Binding> for LegionValue {
 impl From<Vec<LegionValue>> for LegionValue {
     fn from(v: Vec<LegionValue>) -> Self {
         LegionValue::List(v)
+    }
+}
+impl From<Vec<u8>> for LegionValue {
+    fn from(b: Vec<u8>) -> Self {
+        LegionValue::Bytes(b)
     }
 }
 

@@ -18,6 +18,11 @@
 //! evicted and the resolution bypasses both cache and parent, going
 //! straight to the class ("the Binding Agent might contact the class
 //! object for an updated binding", §3.6).
+//!
+//! Upstream replies resume typed continuations from the shared
+//! [`Continuations`] store; a per-call timer injects the
+//! [`UPSTREAM_TIMEOUT`] sentinel into the same continuation, so the
+//! retry policy lives in exactly one place.
 
 use crate::cache::BindingCache;
 use crate::protocol::{
@@ -26,12 +31,22 @@ use crate::protocol::{
 use legion_core::address::ObjectAddressElement;
 use legion_core::binding::Binding;
 use legion_core::env::InvocationEnv;
+use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::value::LegionValue;
 use legion_core::wellknown::{is_core_class, LEGION_CLASS};
-use legion_net::message::{Body, CallId, Message};
+use legion_net::dispatch::{
+    cont, reply_id, reply_result, serve, Continuation, Continuations, MethodTable, Outcome,
+    TableBuilder,
+};
+use legion_net::message::{CallId, Message};
 use legion_net::sim::{Ctx, Endpoint};
 use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The error a timed-out upstream call injects into its continuation.
+/// Distinguished from real upstream errors: timeouts retry, errors don't.
+const UPSTREAM_TIMEOUT: &str = "upstream timeout";
 
 /// Configuration of one Binding Agent.
 #[derive(Debug, Clone)]
@@ -83,14 +98,6 @@ enum Waiter {
     Chained { next_target: Loid },
 }
 
-/// Why an upstream reply is expected.
-enum PendingKind {
-    /// Awaiting a binding for `target` (from parent, class, or LegionClass).
-    Binding { target: Loid },
-    /// Awaiting LegionClass's `FindResponsible(target)`.
-    Responsible { target: Loid },
-}
-
 /// Per-target in-flight bookkeeping (request combining).
 struct Inflight {
     attempts: u32,
@@ -108,19 +115,22 @@ pub struct BindingAgentEndpoint {
     cache: BindingCache,
     waiting: HashMap<Loid, Vec<Waiter>>,
     inflight: HashMap<Loid, Inflight>,
-    pending: HashMap<CallId, PendingKind>,
+    continuations: Continuations<Self>,
+    table: Rc<MethodTable<Self>>,
 }
 
 impl BindingAgentEndpoint {
     /// Build from config.
     pub fn new(cfg: AgentConfig) -> Self {
         let cache = BindingCache::new(cfg.cache_capacity);
+        let table = Self::table(cfg.loid);
         BindingAgentEndpoint {
             cfg,
             cache,
             waiting: HashMap::new(),
             inflight: HashMap::new(),
-            pending: HashMap::new(),
+            continuations: Continuations::new(),
+            table,
         }
     }
 
@@ -139,22 +149,72 @@ impl BindingAgentEndpoint {
         &self.cfg
     }
 
+    fn table(loid: Loid) -> Rc<MethodTable<Self>> {
+        TableBuilder::new("ba", "LegionBindingAgent", loid)
+            .get_interface()
+            .method::<(BindingArg,), _>(
+                GET_BINDING,
+                &["target"],
+                ParamType::Binding,
+                |e: &mut Self, ctx, msg, (arg,)| match arg {
+                    BindingArg::Loid(l) => e.handle_get(ctx, msg, l, false, None),
+                    BindingArg::Binding(stale) => {
+                        // Refresh: evict the stale binding and bypass the
+                        // cache and parent on the way to the class.
+                        ctx.count("ba.refresh");
+                        e.cache.invalidate_exact(&stale);
+                        let target = stale.loid;
+                        e.handle_get(ctx, msg, target, true, Some(stale))
+                    }
+                },
+            )
+            .method::<(BindingArg,), _>(
+                INVALIDATE_BINDING,
+                &["target"],
+                ParamType::Void,
+                |e: &mut Self, _ctx, _msg, (arg,)| {
+                    match arg {
+                        BindingArg::Loid(l) => {
+                            e.cache.invalidate(&l);
+                        }
+                        BindingArg::Binding(b) => {
+                            e.cache.invalidate_exact(&b);
+                        }
+                    }
+                    Outcome::Reply(Ok(LegionValue::Void))
+                },
+            )
+            .method::<(Binding,), _>(
+                ADD_BINDING,
+                &["binding"],
+                ParamType::Void,
+                |e: &mut Self, _ctx, _msg, (b,)| {
+                    // "used ... to explicitly propagate binding information
+                    // for performance purposes" (§3.6).
+                    if e.cfg.cache_enabled {
+                        e.cache.insert(b);
+                    }
+                    Outcome::Reply(Ok(LegionValue::Void))
+                },
+            )
+            .seal()
+    }
+
     // ----- resolution machinery -------------------------------------------
 
     fn handle_get(
         &mut self,
         ctx: &mut Ctx<'_>,
-        msg: Message,
+        msg: &Message,
         target: Loid,
         force_fresh: bool,
         stale: Option<Binding>,
-    ) {
+    ) -> Outcome {
         if !force_fresh && self.cfg.cache_enabled {
             if let Some(b) = self.cache.get(&target, ctx.now()) {
                 ctx.count("ba.cache_hit");
                 ctx.trace_note(&format!("ba.cache_hit:{target}"));
-                ctx.reply(&msg, Ok(LegionValue::from(b)));
-                return;
+                return Outcome::Reply(Ok(LegionValue::from(b)));
             }
         }
         ctx.count("ba.cache_miss");
@@ -162,10 +222,11 @@ impl BindingAgentEndpoint {
         self.enqueue(
             ctx,
             target,
-            Waiter::External(Box::new(msg)),
+            Waiter::External(Box::new(msg.clone())),
             force_fresh,
             stale,
         );
+        Outcome::Pending
     }
 
     /// Add a waiter for `target`, starting an upstream resolution if none
@@ -198,6 +259,47 @@ impl BindingAgentEndpoint {
         self.start_upstream(ctx, target);
     }
 
+    /// The continuation for an expected binding reply: timeouts retry,
+    /// everything else completes the resolution.
+    fn binding_continuation(target: Loid) -> Continuation<Self> {
+        cont(
+            move |e: &mut Self, ctx, result| match protocol::binding_from_result(&result) {
+                Some(b) => e.complete(ctx, target, Ok(b)),
+                None => {
+                    let reason = match result {
+                        Err(err) => err,
+                        Ok(v) => format!("unexpected payload {v}"),
+                    };
+                    if reason == UPSTREAM_TIMEOUT {
+                        e.retry_or_fail(ctx, target, UPSTREAM_TIMEOUT);
+                    } else {
+                        e.complete(ctx, target, Err(reason));
+                    }
+                }
+            },
+        )
+    }
+
+    /// The continuation for LegionClass's `FindResponsible(target)`.
+    fn responsible_continuation(target: Loid) -> Continuation<Self> {
+        cont(move |e: &mut Self, ctx, result| match result {
+            Ok(LegionValue::Loid(responsible)) => {
+                e.ensure_class_then_ask(ctx, responsible, target);
+            }
+            Ok(v) => {
+                let v = format!("unexpected payload {v}");
+                e.complete(ctx, target, Err(v));
+            }
+            Err(err) => {
+                if err == UPSTREAM_TIMEOUT {
+                    e.retry_or_fail(ctx, target, UPSTREAM_TIMEOUT);
+                } else {
+                    e.complete(ctx, target, Err(err));
+                }
+            }
+        })
+    }
+
     /// Issue (or re-issue) the upstream request for `target`.
     fn start_upstream(&mut self, ctx: &mut Ctx<'_>, target: Loid) {
         let force_fresh = self
@@ -222,7 +324,7 @@ impl BindingAgentEndpoint {
                     LEGION_CLASS, // nominal target loid of the call frame
                     GET_BINDING,
                     vec![LegionValue::Loid(target)],
-                    PendingKind::Binding { target },
+                    Self::binding_continuation(target),
                 ) {
                     return;
                 }
@@ -247,7 +349,7 @@ impl BindingAgentEndpoint {
                 LEGION_CLASS,
                 GET_BINDING,
                 vec![LegionValue::Loid(target)],
-                PendingKind::Binding { target },
+                Self::binding_continuation(target),
             ) {
                 self.complete(ctx, target, Err("LegionClass unreachable".into()));
             }
@@ -262,7 +364,7 @@ impl BindingAgentEndpoint {
                 LEGION_CLASS,
                 FIND_RESPONSIBLE,
                 vec![LegionValue::Loid(target)],
-                PendingKind::Responsible { target },
+                Self::responsible_continuation(target),
             ) {
                 self.complete(ctx, target, Err("LegionClass unreachable".into()));
             }
@@ -326,9 +428,7 @@ impl BindingAgentEndpoint {
             class_binding.loid,
             GET_BINDING,
             vec![arg],
-            PendingKind::Binding {
-                target: next_target,
-            },
+            Self::binding_continuation(next_target),
         ) {
             // The class endpoint itself is unreachable — its cached
             // binding is stale. Evict and retry through the full path.
@@ -337,7 +437,7 @@ impl BindingAgentEndpoint {
         }
     }
 
-    /// Send a call, register the pending entry, and arm its timeout.
+    /// Send a call, register its continuation, and arm its timeout.
     /// Returns `false` on a detectable refusal (nothing registered).
     fn send_pending(
         &mut self,
@@ -346,12 +446,12 @@ impl BindingAgentEndpoint {
         frame_target: Loid,
         method: &str,
         args: Vec<LegionValue>,
-        kind: PendingKind,
+        k: Continuation<Self>,
     ) -> bool {
         let env = InvocationEnv::solo(self.cfg.loid);
         match ctx.call(to, frame_target, method, args, env, Some(self.cfg.loid)) {
             Some(call_id) => {
-                self.pending.insert(call_id, kind);
+                self.continuations.insert(call_id, k);
                 ctx.set_timer(self.cfg.request_timeout_ns, call_id.0);
                 true
             }
@@ -406,112 +506,29 @@ impl BindingAgentEndpoint {
             }
         }
     }
-
-    fn handle_reply(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
-        let Body::Reply {
-            in_reply_to,
-            result,
-        } = &msg.body
-        else {
-            return;
-        };
-        let Some(kind) = self.pending.remove(in_reply_to) else {
-            ctx.count("ba.late_reply");
-            return;
-        };
-        match kind {
-            PendingKind::Binding { target } => match protocol::binding_from_result(result) {
-                Some(b) => self.complete(ctx, target, Ok(b)),
-                None => {
-                    let reason = match result {
-                        Err(e) => e.clone(),
-                        Ok(v) => format!("unexpected payload {v}"),
-                    };
-                    self.complete(ctx, target, Err(reason));
-                }
-            },
-            PendingKind::Responsible { target } => match result {
-                Ok(LegionValue::Loid(responsible)) => {
-                    self.ensure_class_then_ask(ctx, *responsible, target);
-                }
-                Ok(v) => {
-                    let v = format!("unexpected payload {v}");
-                    self.complete(ctx, target, Err(v));
-                }
-                Err(e) => {
-                    let e = e.clone();
-                    self.complete(ctx, target, Err(e));
-                }
-            },
-        }
-    }
 }
 
 impl Endpoint for BindingAgentEndpoint {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        if msg.is_reply() {
-            self.handle_reply(ctx, &msg);
+        if let Some(id) = reply_id(&msg) {
+            match self.continuations.take(&id) {
+                Some(resume) => resume(self, ctx, reply_result(&msg)),
+                None => ctx.count("ba.late_reply"),
+            }
             return;
         }
-        match msg.method() {
-            Some(GET_BINDING) => match protocol::parse_binding_arg(&msg) {
-                Some(BindingArg::Loid(l)) => self.handle_get(ctx, msg, l, false, None),
-                Some(BindingArg::Binding(stale)) => {
-                    // Refresh: evict the stale binding and bypass the
-                    // cache and parent on the way to the class.
-                    ctx.count("ba.refresh");
-                    self.cache.invalidate_exact(&stale);
-                    let target = stale.loid;
-                    self.handle_get(ctx, msg, target, true, Some(stale));
-                }
-                None => {
-                    ctx.reply(&msg, Err("GetBinding: expected loid or binding".into()));
-                }
-            },
-            Some(INVALIDATE_BINDING) => {
-                match protocol::parse_binding_arg(&msg) {
-                    Some(BindingArg::Loid(l)) => {
-                        self.cache.invalidate(&l);
-                    }
-                    Some(BindingArg::Binding(b)) => {
-                        self.cache.invalidate_exact(&b);
-                    }
-                    None => {
-                        ctx.reply(&msg, Err("InvalidateBinding: bad argument".into()));
-                        return;
-                    }
-                }
-                ctx.reply(&msg, Ok(LegionValue::Void));
-            }
-            Some(ADD_BINDING) => match protocol::parse_binding(&msg) {
-                Some(b) => {
-                    // "used ... to explicitly propagate binding information
-                    // for performance purposes" (§3.6).
-                    if self.cfg.cache_enabled {
-                        self.cache.insert(b);
-                    }
-                    ctx.reply(&msg, Ok(LegionValue::Void));
-                }
-                None => {
-                    ctx.reply(&msg, Err("AddBinding: expected a binding".into()));
-                }
-            },
-            Some(other) => {
-                ctx.reply(&msg, Err(format!("BindingAgent: no method {other}")));
-            }
-            None => {}
+        if msg.is_reply() {
+            return;
         }
+        let table = Rc::clone(&self.table);
+        serve(&table, self, ctx, &msg);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         let call_id = CallId(tag);
-        if let Some(kind) = self.pending.remove(&call_id) {
+        if let Some(resume) = self.continuations.take(&call_id) {
             ctx.count("ba.timeout");
-            let target = match kind {
-                PendingKind::Binding { target } => target,
-                PendingKind::Responsible { target } => target,
-            };
-            self.retry_or_fail(ctx, target, "upstream timeout");
+            resume(self, ctx, Err(UPSTREAM_TIMEOUT.into()));
         }
     }
 }

@@ -6,9 +6,10 @@
 //! overloading.
 
 use legion_core::binding::Binding;
+use legion_core::dispatch::FromArg;
+use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::value::LegionValue;
-use legion_net::message::Message;
 
 /// `binding GetBinding(LOID)` / `binding GetBinding(binding)` (§3.6).
 pub const GET_BINDING: &str = "GetBinding";
@@ -40,28 +41,18 @@ impl BindingArg {
     }
 }
 
-/// Parse the single argument of an overloaded binding method.
-pub fn parse_binding_arg(msg: &Message) -> Option<BindingArg> {
-    match msg.args() {
-        [LegionValue::Loid(l)] => Some(BindingArg::Loid(*l)),
-        [LegionValue::Binding(b)] => Some(BindingArg::Binding((**b).clone())),
-        _ => None,
-    }
-}
+/// Codec impl for the overload: the *published* parameter type is `loid`
+/// (the common case), but a `binding` value is accepted too — exactly the
+/// paper's "passed an LOID or a binding".
+impl FromArg for BindingArg {
+    const PARAM: ParamType = ParamType::Loid;
 
-/// Parse a single-LOID argument list.
-pub fn parse_loid_arg(msg: &Message) -> Option<Loid> {
-    match msg.args() {
-        [LegionValue::Loid(l)] => Some(*l),
-        _ => None,
-    }
-}
-
-/// Parse a single-binding argument list.
-pub fn parse_binding(msg: &Message) -> Option<Binding> {
-    match msg.args() {
-        [LegionValue::Binding(b)] => Some((**b).clone()),
-        _ => None,
+    fn from_value(v: &LegionValue) -> Option<Self> {
+        match v {
+            LegionValue::Loid(l) => Some(BindingArg::Loid(*l)),
+            LegionValue::Binding(b) => Some(BindingArg::Binding((**b).clone())),
+            _ => None,
+        }
     }
 }
 
@@ -77,18 +68,6 @@ pub fn binding_from_result(result: &Result<LegionValue, String>) -> Option<Bindi
 mod tests {
     use super::*;
     use legion_core::address::{ObjectAddress, ObjectAddressElement};
-    use legion_core::env::InvocationEnv;
-    use legion_net::message::CallId;
-
-    fn call_with(args: Vec<LegionValue>) -> Message {
-        Message::call(
-            CallId(1),
-            Loid::class_object(5),
-            GET_BINDING,
-            args,
-            InvocationEnv::anonymous(),
-        )
-    }
 
     fn binding() -> Binding {
         Binding::forever(
@@ -99,35 +78,29 @@ mod tests {
 
     #[test]
     fn loid_overload_parses() {
-        let m = call_with(vec![LegionValue::Loid(Loid::instance(16, 2))]);
-        match parse_binding_arg(&m) {
+        let v = LegionValue::Loid(Loid::instance(16, 2));
+        match BindingArg::from_value(&v) {
             Some(BindingArg::Loid(l)) => assert_eq!(l, Loid::instance(16, 2)),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(parse_loid_arg(&m), Some(Loid::instance(16, 2)));
-        assert_eq!(parse_binding(&m), None);
     }
 
     #[test]
     fn binding_overload_parses() {
         let b = binding();
-        let m = call_with(vec![LegionValue::from(b.clone())]);
-        match parse_binding_arg(&m) {
+        let v = LegionValue::from(b.clone());
+        match BindingArg::from_value(&v) {
             Some(BindingArg::Binding(got)) => assert_eq!(got, b),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(parse_binding_arg(&m).unwrap().loid(), b.loid);
-        assert_eq!(parse_loid_arg(&m), None);
+        assert_eq!(BindingArg::from_value(&v).unwrap().loid(), b.loid);
     }
 
     #[test]
-    fn wrong_arity_is_rejected() {
-        let m = call_with(vec![]);
-        assert_eq!(parse_binding_arg(&m), None);
-        let m2 = call_with(vec![LegionValue::Uint(1), LegionValue::Uint(2)]);
-        assert_eq!(parse_binding_arg(&m2), None);
-        let m3 = call_with(vec![LegionValue::Str("x".into())]);
-        assert_eq!(parse_binding_arg(&m3), None);
+    fn wrong_type_is_rejected() {
+        assert_eq!(BindingArg::from_value(&LegionValue::Uint(1)), None);
+        assert_eq!(BindingArg::from_value(&LegionValue::Str("x".into())), None);
+        assert_eq!(BindingArg::PARAM, ParamType::Loid);
     }
 
     #[test]

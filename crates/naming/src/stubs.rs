@@ -5,16 +5,20 @@
 //! (they cooperate with Magistrates to activate Inert objects). These
 //! stubs serve the naming crate's tests and the naming-only benchmarks,
 //! where every object is permanently Active and the interesting variable
-//! is the resolution path itself.
+//! is the resolution path itself. They still answer through the shared
+//! dispatch layer, so their error behaviour matches the real endpoints.
 
-use crate::protocol::{self, BindingArg, FIND_RESPONSIBLE, GET_BINDING};
+use crate::protocol::{BindingArg, FIND_RESPONSIBLE, GET_BINDING};
 use legion_core::binding::Binding;
+use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::value::LegionValue;
 use legion_core::wellknown::{is_core_class, LEGION_CLASS};
+use legion_net::dispatch::{serve, MethodTable, Outcome, TableBuilder};
 use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// A class endpoint that answers `GetBinding` from a fixed table.
 pub struct StaticClassEndpoint {
@@ -24,6 +28,7 @@ pub struct StaticClassEndpoint {
     pub table: HashMap<Loid, Binding>,
     /// `GetBinding` requests served (per-component load, §5.2).
     pub requests: u64,
+    dispatch: Rc<MethodTable<Self>>,
 }
 
 impl StaticClassEndpoint {
@@ -33,6 +38,7 @@ impl StaticClassEndpoint {
             loid,
             table: HashMap::new(),
             requests: 0,
+            dispatch: Self::dispatch_table(loid),
         }
     }
 
@@ -41,6 +47,25 @@ impl StaticClassEndpoint {
         self.table.insert(binding.loid, binding);
         self
     }
+
+    fn dispatch_table(loid: Loid) -> Rc<MethodTable<Self>> {
+        TableBuilder::new("class", "StaticClass", loid)
+            .get_interface()
+            .method::<(BindingArg,), _>(
+                GET_BINDING,
+                &["target"],
+                ParamType::Binding,
+                |e: &mut Self, ctx, _msg, (arg,)| {
+                    e.requests += 1;
+                    ctx.count("class.get_binding");
+                    Outcome::Reply(match e.table.get(&arg.loid()) {
+                        Some(b) => Ok(LegionValue::from(b.clone())),
+                        None => Err(format!("{}: unknown object {}", e.loid, arg.loid())),
+                    })
+                },
+            )
+            .seal()
+    }
 }
 
 impl Endpoint for StaticClassEndpoint {
@@ -48,24 +73,8 @@ impl Endpoint for StaticClassEndpoint {
         if msg.is_reply() {
             return;
         }
-        match msg.method() {
-            Some(GET_BINDING) => {
-                self.requests += 1;
-                ctx.count("class.get_binding");
-                let result = match protocol::parse_binding_arg(&msg) {
-                    Some(arg) => match self.table.get(&arg.loid()) {
-                        Some(b) => Ok(LegionValue::from(b.clone())),
-                        None => Err(format!("{}: unknown object {}", self.loid, arg.loid())),
-                    },
-                    None => Err("GetBinding: bad argument".into()),
-                };
-                ctx.reply(&msg, result);
-            }
-            Some(other) => {
-                ctx.reply(&msg, Err(format!("StaticClass: no method {other}")));
-            }
-            None => {}
-        }
+        let table = Rc::clone(&self.dispatch);
+        serve(&table, self, ctx, &msg);
     }
 }
 
@@ -81,6 +90,7 @@ pub struct StaticLegionClassEndpoint {
     pub find_requests: u64,
     /// `GetBinding` requests served.
     pub binding_requests: u64,
+    dispatch: Rc<MethodTable<Self>>,
 }
 
 impl Default for StaticLegionClassEndpoint {
@@ -97,6 +107,7 @@ impl StaticLegionClassEndpoint {
             class_bindings: HashMap::new(),
             find_requests: 0,
             binding_requests: 0,
+            dispatch: Self::dispatch_table(),
         }
     }
 
@@ -116,6 +127,46 @@ impl StaticLegionClassEndpoint {
     pub fn total_requests(&self) -> u64 {
         self.find_requests + self.binding_requests
     }
+
+    fn dispatch_table() -> Rc<MethodTable<Self>> {
+        TableBuilder::new("legion_class", "LegionClass", LEGION_CLASS)
+            .get_interface()
+            .method::<(Loid,), _>(
+                FIND_RESPONSIBLE,
+                &["target"],
+                ParamType::Loid,
+                |e: &mut Self, ctx, _msg, (target,)| {
+                    e.find_requests += 1;
+                    ctx.count("legion_class.find");
+                    Outcome::Reply(if !target.is_class() {
+                        Ok(LegionValue::Loid(target.class_loid()))
+                    } else {
+                        match e.responsible.get(&target) {
+                            Some(creator) => Ok(LegionValue::Loid(*creator)),
+                            None if is_core_class(&target) || target == LEGION_CLASS => {
+                                Ok(LegionValue::Loid(LEGION_CLASS))
+                            }
+                            None => Err(format!("no responsibility pair for {target}")),
+                        }
+                    })
+                },
+            )
+            .method::<(BindingArg,), _>(
+                GET_BINDING,
+                &["target"],
+                ParamType::Binding,
+                |e: &mut Self, ctx, _msg, (arg,)| {
+                    e.binding_requests += 1;
+                    ctx.count("legion_class.get_binding");
+                    let l = arg.loid();
+                    Outcome::Reply(match e.class_bindings.get(&l) {
+                        Some(b) => Ok(LegionValue::from(b.clone())),
+                        None => Err(format!("LegionClass has no binding for {l}")),
+                    })
+                },
+            )
+            .seal()
+    }
 }
 
 impl Endpoint for StaticLegionClassEndpoint {
@@ -123,44 +174,7 @@ impl Endpoint for StaticLegionClassEndpoint {
         if msg.is_reply() {
             return;
         }
-        match msg.method() {
-            Some(FIND_RESPONSIBLE) => {
-                self.find_requests += 1;
-                ctx.count("legion_class.find");
-                let result = match protocol::parse_loid_arg(&msg) {
-                    Some(target) if !target.is_class() => {
-                        Ok(LegionValue::Loid(target.class_loid()))
-                    }
-                    Some(target) => match self.responsible.get(&target) {
-                        Some(creator) => Ok(LegionValue::Loid(*creator)),
-                        None if is_core_class(&target) || target == LEGION_CLASS => {
-                            Ok(LegionValue::Loid(LEGION_CLASS))
-                        }
-                        None => Err(format!("no responsibility pair for {target}")),
-                    },
-                    None => Err("FindResponsible: expected a loid".into()),
-                };
-                ctx.reply(&msg, result);
-            }
-            Some(GET_BINDING) => {
-                self.binding_requests += 1;
-                ctx.count("legion_class.get_binding");
-                let result = match protocol::parse_binding_arg(&msg) {
-                    Some(BindingArg::Loid(l))
-                    | Some(BindingArg::Binding(Binding { loid: l, .. })) => {
-                        match self.class_bindings.get(&l) {
-                            Some(b) => Ok(LegionValue::from(b.clone())),
-                            None => Err(format!("LegionClass has no binding for {l}")),
-                        }
-                    }
-                    None => Err("GetBinding: bad argument".into()),
-                };
-                ctx.reply(&msg, result);
-            }
-            Some(other) => {
-                ctx.reply(&msg, Err(format!("LegionClass: no method {other}")));
-            }
-            None => {}
-        }
+        let table = Rc::clone(&self.dispatch);
+        serve(&table, self, ctx, &msg);
     }
 }

@@ -1,0 +1,325 @@
+//! Transport binding for the unified invocation layer.
+//!
+//! [`legion_core::dispatch`] owns the model half of method dispatch —
+//! signatures, typed argument codecs, uniform errors, verdicts, and the
+//! generic method-table / continuation stores. This module instantiates
+//! those generics with the transport types (`Message`, [`Ctx`], `CallId`)
+//! and drives the per-message flow every endpoint shares:
+//!
+//! 1. replies are routed to the endpoint's [`Continuations`] store;
+//! 2. a call with **no method name** is *dead-lettered* — counted and
+//!    annotated, never silently dropped;
+//! 3. unknown methods and signature mismatches are answered with the
+//!    uniform `CoreError` rendering;
+//! 4. the MayI gate (§2.4) runs once here, for every gated method of
+//!    every endpoint — with the heartbeat bypass expressed as an
+//!    *ungated, one-way* registration rather than endpoint-specific code;
+//! 5. the span annotation `(method, verdict)` is recorded at this
+//!    boundary. The kernel's per-delivery span already carries the method
+//!    name, so the boundary only adds an explicit `dispatch.…` note for
+//!    non-`allowed` verdicts — keeping same-seed traces of healthy runs
+//!    byte-identical while making every refusal visible.
+//!
+//! Endpoints register methods against a [`TableBuilder`] at construction
+//! and keep the sealed table in an `Rc`; `on_message` becomes a call to
+//! [`serve`] plus a continuation take for replies.
+
+use crate::message::{Body, CallId, Message};
+use crate::sim::Ctx;
+use legion_core::dispatch::{
+    self as model, FromArg, FromArgs, InvocationGate, MethodTable as ModelTable, Verdict,
+};
+use legion_core::idl;
+use legion_core::interface::{Interface, MethodSignature, ParamType};
+use legion_core::loid::Loid;
+use legion_core::object::methods::GET_INTERFACE;
+use legion_core::value::LegionValue;
+use std::rc::Rc;
+
+/// What a method handler tells the dispatch boundary to do next.
+pub enum Outcome {
+    /// Reply with this result now.
+    Reply(Result<LegionValue, String>),
+    /// The handler started asynchronous work (registered a continuation
+    /// or forwarded the call); a reply is sent later, by someone else.
+    Pending,
+    /// One-way by design (heartbeats): no reply, ever.
+    NoReply,
+    /// Internal: the typed codec rejected the arguments (the uniform
+    /// signature-mismatch error, pre-rendered). Produced by the codec
+    /// wrapper, not by user handlers.
+    Invalid(String),
+}
+
+/// A type-erased method handler bound to endpoint type `E`.
+pub type Handler<E> = Box<dyn Fn(&mut E, &mut Ctx<'_>, &Message, &[LegionValue]) -> Outcome>;
+
+/// A continuation awaiting the reply to one outbound call.
+pub type Continuation<E> = Box<dyn FnOnce(&mut E, &mut Ctx<'_>, Result<LegionValue, String>)>;
+
+/// The shared call-id → continuation store, keyed by [`CallId`].
+pub type Continuations<E> = model::Continuations<CallId, Continuation<E>>;
+
+/// Box a plain continuation closure.
+pub fn cont<E, F>(f: F) -> Continuation<E>
+where
+    F: FnOnce(&mut E, &mut Ctx<'_>, Result<LegionValue, String>) + 'static,
+{
+    Box::new(f)
+}
+
+/// Box a *typed* continuation: the reply payload is decoded to `T` before
+/// the closure runs; a payload of the wrong type becomes an `Err`.
+pub fn cont_expecting<E, T: FromArg, F>(f: F) -> Continuation<E>
+where
+    F: FnOnce(&mut E, &mut Ctx<'_>, Result<T, String>) + 'static,
+{
+    Box::new(move |e, ctx, r| {
+        let typed = match r {
+            Err(err) => Err(err),
+            Ok(v) => T::from_value(&v).ok_or_else(|| format!("unexpected payload {v}")),
+        };
+        f(e, ctx, typed)
+    })
+}
+
+/// If `msg` is a reply, yield the call-id it answers. Endpoints use this
+/// to route replies into their [`Continuations`] store before serving.
+pub fn reply_id(msg: &Message) -> Option<CallId> {
+    match &msg.body {
+        Body::Reply { in_reply_to, .. } => Some(*in_reply_to),
+        Body::Call { .. } => None,
+    }
+}
+
+/// The reply payload, for messages [`reply_id`] matched.
+pub fn reply_result(msg: &Message) -> Result<LegionValue, String> {
+    match &msg.body {
+        Body::Reply { result, .. } => result.clone(),
+        Body::Call { .. } => Err("not a reply".into()),
+    }
+}
+
+/// A sealed per-endpoint method table: the model-layer registry plus the
+/// derived interface (rendered once) and the gate accessor.
+pub struct MethodTable<E> {
+    inner: ModelTable<Handler<E>>,
+    gate: Option<fn(&E) -> &dyn InvocationGate>,
+    prefix: &'static str,
+    interface: Interface,
+    interface_idl: String,
+    intrinsic_get_interface: bool,
+}
+
+impl<E> MethodTable<E> {
+    /// The interface derived from the registered methods — exactly what
+    /// `GetInterface()` replies (§3.4).
+    pub fn interface(&self) -> &Interface {
+        &self.interface
+    }
+
+    /// The rendered IDL of [`MethodTable::interface`].
+    pub fn interface_idl(&self) -> &str {
+        &self.interface_idl
+    }
+
+    /// The counter namespace (`magistrate`, `host`, …).
+    pub fn prefix(&self) -> &'static str {
+        self.prefix
+    }
+
+    /// The registered signature of `method`, if any.
+    pub fn signature(&self, method: &str) -> Option<&MethodSignature> {
+        self.inner.get(method).map(|e| e.signature())
+    }
+}
+
+/// Builds a [`MethodTable`]: registration happens in the endpoint's
+/// constructor, `seal()` derives the interface and freezes the table.
+pub struct TableBuilder<E> {
+    name: String,
+    inner: ModelTable<Handler<E>>,
+    gate: Option<fn(&E) -> &dyn InvocationGate>,
+    prefix: &'static str,
+    intrinsic_get_interface: bool,
+}
+
+impl<E> TableBuilder<E> {
+    /// A builder for an endpoint whose derived interface is rendered as
+    /// `interface name` and whose counters live under `prefix.…`;
+    /// `owner` is the provenance LOID recorded on interface entries.
+    pub fn new(prefix: &'static str, name: impl Into<String>, owner: Loid) -> Self {
+        TableBuilder {
+            name: name.into(),
+            inner: ModelTable::new(owner),
+            gate: None,
+            prefix,
+            intrinsic_get_interface: false,
+        }
+    }
+
+    /// Install the MayI gate accessor: given the endpoint, return its
+    /// gate. Gated methods are checked here, at the boundary, once.
+    pub fn gate(mut self, f: fn(&E) -> &dyn InvocationGate) -> Self {
+        self.gate = Some(f);
+        self
+    }
+
+    fn push<A: FromArgs + 'static, F>(mut self, sig: MethodSignature, gated: bool, f: F) -> Self
+    where
+        F: Fn(&mut E, &mut Ctx<'_>, &Message, A) -> Outcome + 'static,
+    {
+        let err_sig = sig.clone();
+        let handler: Handler<E> = Box::new(move |e, ctx, msg, args| match A::from_args(args) {
+            Ok(a) => f(e, ctx, msg, a),
+            Err(err) => Outcome::Invalid(model::mismatch(&err_sig, err).to_string()),
+        });
+        self.inner.define(sig, gated, handler);
+        self
+    }
+
+    /// Register a gated method. `A` (a [`FromArgs`] type) both decodes the
+    /// arguments and publishes the parameter types of the signature.
+    pub fn method<A: FromArgs + 'static, F>(
+        self,
+        name: &str,
+        param_names: &[&str],
+        returns: ParamType,
+        f: F,
+    ) -> Self
+    where
+        F: Fn(&mut E, &mut Ctx<'_>, &Message, A) -> Outcome + 'static,
+    {
+        let sig = model::signature_of::<A>(name, param_names, returns);
+        self.push(sig, true, f)
+    }
+
+    /// Register an *ungated* method — exempt from the MayI check. Used
+    /// for `MayI` itself and for the heartbeat bypass.
+    pub fn ungated_method<A: FromArgs + 'static, F>(
+        self,
+        name: &str,
+        param_names: &[&str],
+        returns: ParamType,
+        f: F,
+    ) -> Self
+    where
+        F: Fn(&mut E, &mut Ctx<'_>, &Message, A) -> Outcome + 'static,
+    {
+        let sig = model::signature_of::<A>(name, param_names, returns);
+        self.push(sig, false, f)
+    }
+
+    /// Register a method under an explicit signature (when the published
+    /// signature differs from `A::params()`, e.g. the paper's overloaded
+    /// `GetBinding(LOID|binding)`).
+    pub fn method_with_signature<A: FromArgs + 'static, F>(
+        self,
+        sig: MethodSignature,
+        gated: bool,
+        f: F,
+    ) -> Self
+    where
+        F: Fn(&mut E, &mut Ctx<'_>, &Message, A) -> Outcome + 'static,
+    {
+        self.push(sig, gated, f)
+    }
+
+    /// Register the intrinsic `GetInterface()`: answered by the table
+    /// itself with the interface derived from every registered method —
+    /// including this one — so the published interface can never drift
+    /// from the dispatch table.
+    pub fn get_interface(mut self) -> Self {
+        self.intrinsic_get_interface = true;
+        self.push::<(), _>(
+            MethodSignature::new(GET_INTERFACE, vec![], ParamType::Str),
+            true,
+            |_, _, _, _| Outcome::NoReply,
+        )
+    }
+
+    /// Derive the interface, render it, and freeze the table.
+    pub fn seal(self) -> Rc<MethodTable<E>> {
+        let interface = self.inner.interface();
+        let interface_idl = idl::render(&self.name, &interface);
+        Rc::new(MethodTable {
+            inner: self.inner,
+            gate: self.gate,
+            prefix: self.prefix,
+            interface,
+            interface_idl,
+            intrinsic_get_interface: self.intrinsic_get_interface,
+        })
+    }
+}
+
+/// How [`serve`] disposed of one incoming message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// A call was dispatched with this verdict.
+    Call(Verdict),
+    /// The message is a reply — the endpoint resolves its continuations.
+    Reply,
+}
+
+/// The dispatch boundary: route one incoming message through the table.
+///
+/// Callers pass a *clone* of the endpoint's `Rc<MethodTable<_>>` so the
+/// handler can borrow the endpoint mutably while the table stays alive.
+pub fn serve<E>(
+    table: &MethodTable<E>,
+    endpoint: &mut E,
+    ctx: &mut Ctx<'_>,
+    msg: &Message,
+) -> Served {
+    if msg.is_reply() {
+        return Served::Reply;
+    }
+    let prefix = table.prefix;
+    let Some(method) = msg.method().filter(|m| !m.is_empty()) else {
+        // A call with no method name (empty on the wire) used to vanish
+        // silently in per-endpoint dispatch; dead-letter it visibly.
+        ctx.count(&format!("{prefix}.dead_letter"));
+        ctx.trace_note(&format!(
+            "dispatch.{}:{prefix}",
+            Verdict::DeadLetter.label()
+        ));
+        return Served::Call(Verdict::DeadLetter);
+    };
+    let entry = match table.inner.resolve(method) {
+        Ok(e) => e,
+        Err(err) => {
+            ctx.count(&format!("{prefix}.unknown_method"));
+            ctx.trace_note(&format!("dispatch.{}:{method}", Verdict::Unknown.label()));
+            ctx.reply(msg, Err(err.to_string()));
+            return Served::Call(Verdict::Unknown);
+        }
+    };
+    if entry.gated() {
+        if let Some(gate) = table.gate {
+            if let Err(reason) = gate(endpoint).check(&msg.env, method) {
+                ctx.count(&format!("{prefix}.refused"));
+                ctx.trace_note(&format!("dispatch.{}:{method}", Verdict::Denied.label()));
+                ctx.reply(msg, Err(format!("MayI refused: {reason}")));
+                return Served::Call(Verdict::Denied);
+            }
+        }
+    }
+    if table.intrinsic_get_interface && method == GET_INTERFACE {
+        ctx.reply(msg, Ok(LegionValue::Str(table.interface_idl.clone())));
+        return Served::Call(Verdict::Allowed);
+    }
+    match (entry.handler())(endpoint, ctx, msg, msg.args()) {
+        Outcome::Reply(result) => {
+            ctx.reply(msg, result);
+            Served::Call(Verdict::Allowed)
+        }
+        Outcome::Pending | Outcome::NoReply => Served::Call(Verdict::Allowed),
+        Outcome::Invalid(rendered) => {
+            ctx.count(&format!("{prefix}.bad_args"));
+            ctx.trace_note(&format!("dispatch.{}:{method}", Verdict::BadArgs.label()));
+            ctx.reply(msg, Err(rendered));
+            Served::Call(Verdict::BadArgs)
+        }
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod dispatch;
 pub mod faults;
 pub mod message;
 pub mod metrics;

@@ -3,7 +3,7 @@
 //! A class object is "responsible for creating and locating its instances
 //! and subclasses". The [`ClassEndpoint`] owns the per-class state
 //! ([`ClassObject`]: interface, LOID allocator, logical table) and serves
-//! the class-mandatory member functions over messages:
+//! the class-mandatory member functions through the shared dispatch layer:
 //!
 //! * `Create()` — pick a Magistrate (a scheduling decision "left up to the
 //!   class"), hand it an activation spec, record the new row;
@@ -14,20 +14,30 @@
 //! * `Derive(name[, flags])` — obtain a Class Identifier from LegionClass,
 //!   then spawn the new class object with this class's interface;
 //! * `InheritFrom(base)` — resolve the base (through the class's own
-//!   Binding Agent — classes are objects too), fetch its interface as IDL
-//!   text, and merge it;
+//!   Binding Agent — classes are objects too), fetch its *instance*
+//!   interface as IDL text, and merge it;
 //! * table-maintenance notifications (`SetAddress`, `Add/RemoveMagistrate`,
 //!   `Announce`).
+//!
+//! Two interfaces coexist here: `GetInterface()` (a table intrinsic)
+//! describes the class object's *own* member functions, while
+//! `GetInstanceInterface()` returns the run-time interface the class
+//! confers on its instances (§2.1 class data).
 //!
 //! [`LegionClassEndpoint`] is the metaclass: the Class Identifier
 //! authority and the keeper of responsibility pairs (§4.1.3).
 
-use crate::protocol::{class as class_proto, magistrate as mag_proto, ActivationSpec};
+use crate::protocol::{
+    class as class_proto, magistrate as mag_proto, ActivationSpec, CreateArgs, DeriveArgs,
+    SetAddressArgs,
+};
 use legion_core::address::{ObjectAddress, ObjectAddressElement};
 use legion_core::binding::Binding;
 use legion_core::class::{ClassKind, ClassObject, TableEntry};
+use legion_core::dispatch::InvocationGate;
 use legion_core::env::InvocationEnv;
 use legion_core::idl;
+use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::metaclass::LegionClassAuthority;
 use legion_core::value::LegionValue;
@@ -35,9 +45,14 @@ use legion_naming::protocol::{
     self as naming_proto, BindingArg, FIND_RESPONSIBLE, GET_BINDING, ISSUE_CLASS_ID,
 };
 use legion_naming::resolver::{ClientResolver, Lookup};
-use legion_net::message::{Body, CallId, Message};
+use legion_net::dispatch::{
+    cont, reply_id, reply_result, serve, Continuations, MethodTable, Outcome, TableBuilder,
+};
+use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint};
+use legion_security::mayi::{AllowAll, MayIPolicy};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Shared configuration for class endpoints (inherited by subclasses
 /// spawned through `Derive`).
@@ -55,29 +70,12 @@ pub struct ClassConfig {
     pub binding_ttl_ns: Option<u64>,
 }
 
-enum Pending {
-    /// Magistrate is creating an instance.
-    Create { requester: Box<Message> },
-    /// Magistrate is activating `target` for a GetBinding.
-    ActivateForBinding {
-        target: Loid,
-        /// The magistrate consulted — dropped from the row's list if it
-        /// disclaims the object, so the class heals its own stale state.
-        magistrate: Loid,
-    },
-    /// LegionClass is issuing a Class Identifier for a Derive.
-    IssueId {
-        requester: Box<Message>,
-        name: String,
-        kind: ClassKind,
-    },
-    /// The base class is returning its interface for an InheritFrom.
-    BaseInterface { requester: Box<Message>, base: Loid },
-    /// A magistrate is deleting a child object.
-    DeleteChild {
-        requester: Box<Message>,
-        target: Loid,
-    },
+/// Class names may contain characters illegal in IDL identifiers (clones
+/// are named "X#clone"); sanitize before rendering.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// A live class object.
@@ -85,7 +83,9 @@ pub struct ClassEndpoint {
     class: ClassObject,
     cfg: ClassConfig,
     resolver: Option<ClientResolver>,
-    pending: HashMap<CallId, Pending>,
+    policy: Box<dyn MayIPolicy>,
+    table: Rc<MethodTable<Self>>,
+    continuations: Continuations<Self>,
     /// GetBinding requests combined while a Magistrate activates a target.
     binding_waiters: HashMap<Loid, Vec<Message>>,
     /// InheritFrom requests waiting on base resolution.
@@ -100,11 +100,14 @@ impl ClassEndpoint {
         let resolver = cfg
             .binding_agent
             .map(|agent| ClientResolver::new(class.loid, agent, 128));
+        let table = Self::table(class.loid, &class.name);
         ClassEndpoint {
             class,
             cfg,
             resolver,
-            pending: HashMap::new(),
+            policy: Box::new(AllowAll),
+            table,
+            continuations: Continuations::new(),
             binding_waiters: HashMap::new(),
             inherit_waiters: HashMap::new(),
             next_magistrate: 0,
@@ -119,6 +122,119 @@ impl ClassEndpoint {
     /// Mutable access (bootstrap wiring).
     pub fn class_mut(&mut self) -> &mut ClassObject {
         &mut self.class
+    }
+
+    fn table(loid: Loid, name: &str) -> Rc<MethodTable<Self>> {
+        TableBuilder::new("class", sanitize(name), loid)
+            .gate(|e: &Self| &e.policy as &dyn InvocationGate)
+            .get_interface()
+            .method::<CreateArgs, _>(
+                class_proto::CREATE,
+                &["state"],
+                ParamType::Binding,
+                |e, ctx, msg, a| e.handle_create(ctx, msg, a),
+            )
+            .method::<(BindingArg,), _>(
+                GET_BINDING,
+                &["target"],
+                ParamType::Binding,
+                |e, ctx, msg, (arg,)| e.handle_get_binding(ctx, msg, arg),
+            )
+            .method::<DeriveArgs, _>(
+                class_proto::DERIVE,
+                &["name", "flags"],
+                ParamType::Binding,
+                |e, ctx, msg, a| e.handle_derive(ctx, msg, a),
+            )
+            .method::<(Loid,), _>(
+                class_proto::INHERIT_FROM,
+                &["base"],
+                ParamType::Void,
+                |e, ctx, msg, (base,)| e.handle_inherit_from(ctx, msg, base),
+            )
+            .method::<(Loid,), _>(
+                class_proto::DELETE,
+                &["target"],
+                ParamType::Void,
+                |e, ctx, msg, (target,)| e.handle_delete(ctx, msg, target),
+            )
+            .method::<SetAddressArgs, _>(
+                class_proto::SET_ADDRESS,
+                &["loid", "address"],
+                ParamType::Void,
+                |e, _ctx, _msg, a| {
+                    Outcome::Reply(if e.class.table.set_address(&a.loid, a.address) {
+                        Ok(LegionValue::Void)
+                    } else {
+                        Err("SetAddress: no such row".into())
+                    })
+                },
+            )
+            .method::<(Loid, Loid), _>(
+                class_proto::ADD_MAGISTRATE,
+                &["loid", "magistrate"],
+                ParamType::Void,
+                |e, _ctx, _msg, (l, m)| {
+                    Outcome::Reply(if e.class.table.add_magistrate(&l, m) {
+                        Ok(LegionValue::Void)
+                    } else {
+                        Err("AddMagistrate: no such row".into())
+                    })
+                },
+            )
+            .method::<(Loid, Loid), _>(
+                class_proto::REMOVE_MAGISTRATE,
+                &["loid", "magistrate"],
+                ParamType::Void,
+                |e, _ctx, _msg, (l, m)| {
+                    Outcome::Reply(if e.class.table.remove_magistrate(&l, m) {
+                        Ok(LegionValue::Void)
+                    } else {
+                        Err("RemoveMagistrate: no such row".into())
+                    })
+                },
+            )
+            // §4.2.1 announcement from an externally started instance
+            // (Host Object or Magistrate): record (or refresh) its row.
+            .method::<(Loid, ObjectAddress), _>(
+                class_proto::ANNOUNCE,
+                &["loid", "address"],
+                ParamType::Void,
+                |e, ctx, _msg, (loid, address)| {
+                    ctx.count("class.announcements");
+                    if e.class.table.get(&loid).is_none() {
+                        e.class.table.insert(loid, TableEntry::new(false));
+                    }
+                    e.class.table.set_address(&loid, Some(address));
+                    Outcome::Reply(Ok(LegionValue::Void))
+                },
+            )
+            // The interface this class confers on its *instances* —
+            // run-time data, distinct from the intrinsic GetInterface.
+            .method::<(), _>(
+                class_proto::GET_INSTANCE_INTERFACE,
+                &[],
+                ParamType::Str,
+                |e, _ctx, _msg, ()| {
+                    let text = idl::render(&sanitize(&e.class.name), &e.class.interface);
+                    Outcome::Reply(Ok(LegionValue::Str(text)))
+                },
+            )
+            .method::<(), _>(
+                legion_core::object::methods::PING,
+                &[],
+                ParamType::Uint,
+                |e, _ctx, _msg, ()| {
+                    Outcome::Reply(Ok(LegionValue::Uint(e.class.table.len() as u64)))
+                },
+            )
+            .method::<(), _>(
+                legion_core::object::methods::IAM,
+                &[],
+                ParamType::Loid,
+                |e, _ctx, _msg, ()| Outcome::Reply(Ok(LegionValue::Loid(e.class.loid))),
+            )
+            .seal()
     }
 
     fn env(&self) -> InvocationEnv {
@@ -144,33 +260,23 @@ impl ClassEndpoint {
 
     // ----- handlers -------------------------------------------------------
 
-    fn handle_create(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let state = match msg.args() {
-            [] => Vec::new(),
-            [LegionValue::Bytes(b)] => b.clone(),
-            _ => {
-                ctx.reply(&msg, Err("Create([state]) expected".into()));
-                return;
-            }
-        };
+    fn handle_create(&mut self, ctx: &mut Ctx<'_>, msg: &Message, a: CreateArgs) -> Outcome {
         let loid = match self.class.create_instance() {
             Ok(l) => l,
             Err(e) => {
                 ctx.count("class.create_refused");
-                ctx.reply(&msg, Err(e.to_string()));
-                return;
+                return Outcome::Reply(Err(e.to_string()));
             }
         };
         let Some((mag_loid, mag_element)) = self.pick_magistrate() else {
             self.class.table.remove(&loid);
-            ctx.reply(&msg, Err("class has no candidate magistrates".into()));
-            return;
+            return Outcome::Reply(Err("class has no candidate magistrates".into()));
         };
         self.class.table.add_magistrate(&loid, mag_loid);
         let spec = ActivationSpec {
             loid,
             class: self.class.loid,
-            state,
+            state: a.state,
             class_addr: Some(ctx.self_element()),
             magistrate_addr: Some(mag_element),
         };
@@ -186,67 +292,72 @@ impl ClassEndpoint {
         ) {
             Some(call_id) => {
                 ctx.count("class.creates");
-                self.pending.insert(
+                let requester = msg.clone();
+                self.continuations.insert(
                     call_id,
-                    Pending::Create {
-                        requester: Box::new(msg),
-                    },
+                    cont(
+                        move |e: &mut Self, ctx, result| match naming_proto::binding_from_result(
+                            &result,
+                        ) {
+                            Some(b) => {
+                                e.class.table.set_address(&b.loid, Some(b.address.clone()));
+                                let b = e.stamp(ctx, b);
+                                ctx.reply(&requester, Ok(LegionValue::from(b)));
+                            }
+                            None => {
+                                let err = match result {
+                                    Err(err) => err,
+                                    Ok(v) => format!("unexpected magistrate reply {v}"),
+                                };
+                                ctx.reply(&requester, Err(format!("Create failed: {err}")));
+                            }
+                        },
+                    ),
                 );
+                Outcome::Pending
             }
             None => {
                 self.class.table.remove(&loid);
-                ctx.reply(&msg, Err(format!("magistrate {mag_loid} unreachable")));
+                Outcome::Reply(Err(format!("magistrate {mag_loid} unreachable")))
             }
         }
     }
 
-    fn handle_get_binding(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let (target, refresh) = match naming_proto::parse_binding_arg(&msg) {
-            Some(BindingArg::Loid(l)) => (l, false),
-            Some(BindingArg::Binding(b)) => (b.loid, true),
-            None => {
-                ctx.reply(&msg, Err("GetBinding: expected loid or binding".into()));
-                return;
-            }
+    fn handle_get_binding(&mut self, ctx: &mut Ctx<'_>, msg: &Message, arg: BindingArg) -> Outcome {
+        let (target, refresh) = match arg {
+            BindingArg::Loid(l) => (l, false),
+            BindingArg::Binding(b) => (b.loid, true),
         };
         ctx.count("class.get_binding");
         let Some(entry) = self.class.table.get(&target) else {
-            ctx.reply(
-                &msg,
-                Err(format!("{}: unknown object {target}", self.class.loid)),
-            );
-            return;
+            return Outcome::Reply(Err(format!("{}: unknown object {target}", self.class.loid)));
         };
         if !refresh {
             if let Some(addr) = &entry.address {
                 let b = self.stamp(ctx, Binding::forever(target, addr.clone()));
-                ctx.reply(&msg, Ok(LegionValue::from(b)));
-                return;
+                return Outcome::Reply(Ok(LegionValue::from(b)));
             }
         }
         // The address column is NIL (or suspect): consult a Magistrate
         // from the Current Magistrate List via Activate (§4.1.2).
         let Some(mag_loid) = entry.current_magistrates.first().copied() else {
-            ctx.reply(
-                &msg,
-                Err(format!("{target} is Inert and has no magistrate on record")),
-            );
-            return;
+            return Outcome::Reply(Err(format!(
+                "{target} is Inert and has no magistrate on record"
+            )));
         };
-        let Some(_mag_element) = self.magistrate_element(&mag_loid) else {
-            ctx.reply(
-                &msg,
-                Err(format!("magistrate {mag_loid} has no known address")),
-            );
-            return;
-        };
-        let first = !self.binding_waiters.contains_key(&target);
-        self.binding_waiters.entry(target).or_default().push(msg);
-        if !first {
-            return;
+        if self.magistrate_element(&mag_loid).is_none() {
+            return Outcome::Reply(Err(format!("magistrate {mag_loid} has no known address")));
         }
-        ctx.count("class.activates_for_binding");
-        self.consult_magistrate(ctx, target, mag_loid);
+        let first = !self.binding_waiters.contains_key(&target);
+        self.binding_waiters
+            .entry(target)
+            .or_default()
+            .push(msg.clone());
+        if first {
+            ctx.count("class.activates_for_binding");
+            self.consult_magistrate(ctx, target, mag_loid);
+        }
+        Outcome::Pending
     }
 
     /// Ask `magistrate` to activate `target` for a pending GetBinding.
@@ -270,8 +381,12 @@ impl ClassEndpoint {
             Some(me),
         ) {
             Some(call_id) => {
-                self.pending
-                    .insert(call_id, Pending::ActivateForBinding { target, magistrate });
+                self.continuations.insert(
+                    call_id,
+                    cont(move |e: &mut Self, ctx, result| {
+                        e.on_activate_for_binding(ctx, target, magistrate, result)
+                    }),
+                );
             }
             None => {
                 self.finish_binding(
@@ -279,6 +394,41 @@ impl ClassEndpoint {
                     target,
                     Err(format!("magistrate {magistrate} unreachable")),
                 );
+            }
+        }
+    }
+
+    fn on_activate_for_binding(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        target: Loid,
+        magistrate: Loid,
+        result: Result<LegionValue, String>,
+    ) {
+        match naming_proto::binding_from_result(&result) {
+            Some(b) => self.finish_binding(ctx, target, Ok(b)),
+            None => {
+                let e = match result {
+                    Err(e) => e,
+                    Ok(v) => format!("unexpected magistrate reply {v}"),
+                };
+                // Self-healing (§3.7 list semantics): a magistrate that
+                // disclaims the object leaves the row's Current Magistrate
+                // List; try the next one.
+                if e.contains("not managed") {
+                    ctx.count("class.magistrate_disclaimed");
+                    self.class.table.remove_magistrate(&target, magistrate);
+                    let next = self
+                        .class
+                        .table
+                        .get(&target)
+                        .and_then(|row| row.current_magistrates.first().copied());
+                    if let Some(next_mag) = next {
+                        self.consult_magistrate(ctx, target, next_mag);
+                        return;
+                    }
+                }
+                self.finish_binding(ctx, target, Err(e));
             }
         }
     }
@@ -304,32 +454,13 @@ impl ClassEndpoint {
         }
     }
 
-    fn handle_derive(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let (name, kind) = match msg.args() {
-            [LegionValue::Str(n)] => (n.clone(), ClassKind::NORMAL),
-            [LegionValue::Str(n), LegionValue::Str(flags)] => {
-                let kind = ClassKind {
-                    is_abstract: flags.contains("abstract"),
-                    is_private: flags.contains("private"),
-                    is_fixed: flags.contains("fixed"),
-                };
-                (n.clone(), kind)
-            }
-            _ => {
-                ctx.reply(&msg, Err("Derive(name[, flags]) expected".into()));
-                return;
-            }
-        };
+    fn handle_derive(&mut self, ctx: &mut Ctx<'_>, msg: &Message, a: DeriveArgs) -> Outcome {
         if self.class.kind.is_private {
             ctx.count("class.derive_refused");
-            ctx.reply(
-                &msg,
-                Err(format!(
-                    "class {} is Private: Derive() is empty",
-                    self.class.loid
-                )),
-            );
-            return;
+            return Outcome::Reply(Err(format!(
+                "class {} is Private: Derive() is empty",
+                self.class.loid
+            )));
         }
         let env = self.env();
         let me = self.class.loid;
@@ -344,18 +475,26 @@ impl ClassEndpoint {
         ) {
             Some(call_id) => {
                 ctx.count("class.derives");
-                self.pending.insert(
+                let requester = msg.clone();
+                let DeriveArgs { name, kind } = a;
+                self.continuations.insert(
                     call_id,
-                    Pending::IssueId {
-                        requester: Box::new(msg),
-                        name,
-                        kind,
-                    },
+                    cont(move |e: &mut Self, ctx, result| match result {
+                        Ok(LegionValue::Uint(class_id)) => {
+                            let b = e.spawn_subclass(ctx, class_id, name, kind);
+                            ctx.reply(&requester, Ok(LegionValue::from(b)));
+                        }
+                        Ok(v) => {
+                            ctx.reply(&requester, Err(format!("unexpected LegionClass reply {v}")));
+                        }
+                        Err(err) => {
+                            ctx.reply(&requester, Err(format!("Derive failed: {err}")));
+                        }
+                    }),
                 );
+                Outcome::Pending
             }
-            None => {
-                ctx.reply(&msg, Err("LegionClass unreachable".into()));
-            }
+            None => Outcome::Reply(Err("LegionClass unreachable".into())),
         }
     }
 
@@ -385,25 +524,16 @@ impl ClassEndpoint {
         Binding::forever(loid, address)
     }
 
-    fn handle_inherit_from(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let Some(base) = naming_proto::parse_loid_arg(&msg) else {
-            ctx.reply(&msg, Err("InheritFrom(base) expected".into()));
-            return;
-        };
+    fn handle_inherit_from(&mut self, ctx: &mut Ctx<'_>, msg: &Message, base: Loid) -> Outcome {
         if self.class.kind.is_fixed {
             ctx.count("class.inherit_refused");
-            ctx.reply(
-                &msg,
-                Err(format!(
-                    "class {} is Fixed: InheritFrom() is empty",
-                    self.class.loid
-                )),
-            );
-            return;
+            return Outcome::Reply(Err(format!(
+                "class {} is Fixed: InheritFrom() is empty",
+                self.class.loid
+            )));
         }
         if base == self.class.loid {
-            ctx.reply(&msg, Err("a class cannot inherit from itself".into()));
-            return;
+            return Outcome::Reply(Err("a class cannot inherit from itself".into()));
         }
         // Resolve the base class, preferring our own table (it may be our
         // subclass), then the Binding Agent.
@@ -414,29 +544,37 @@ impl ClassEndpoint {
             .and_then(|e| e.address.clone())
             .map(|address| Binding::forever(base, address));
         match known {
-            Some(b) => self.fetch_base_interface(ctx, &b, msg),
+            Some(b) => {
+                self.fetch_base_interface(ctx, &b, msg.clone());
+                Outcome::Pending
+            }
             None => match &mut self.resolver {
                 Some(resolver) => match resolver.lookup(ctx, base) {
-                    Lookup::Cached(b) => self.fetch_base_interface(ctx, &b, msg),
+                    Lookup::Cached(b) => {
+                        self.fetch_base_interface(ctx, &b, msg.clone());
+                        Outcome::Pending
+                    }
                     Lookup::Requested(_) => {
-                        self.inherit_waiters.entry(base).or_default().push(msg);
+                        self.inherit_waiters
+                            .entry(base)
+                            .or_default()
+                            .push(msg.clone());
+                        Outcome::Pending
                     }
                     Lookup::AgentUnreachable => {
-                        ctx.reply(&msg, Err("binding agent unreachable".into()));
+                        Outcome::Reply(Err("binding agent unreachable".into()))
                     }
                 },
-                None => {
-                    ctx.reply(
-                        &msg,
-                        Err(format!(
-                            "cannot locate base {base}: no binding agent configured"
-                        )),
-                    );
-                }
+                None => Outcome::Reply(Err(format!(
+                    "cannot locate base {base}: no binding agent configured"
+                ))),
             },
         }
     }
 
+    /// Fetch the base's *instance* interface for an InheritFrom merge.
+    /// Replies to `msg` itself on every path (also reached from the
+    /// resolver's reply fan-out, where there is no dispatch outcome).
     fn fetch_base_interface(&mut self, ctx: &mut Ctx<'_>, base_binding: &Binding, msg: Message) {
         let Some(primary) = base_binding.address.primary().copied() else {
             ctx.reply(&msg, Err("base class has an empty address".into()));
@@ -447,18 +585,18 @@ impl ClassEndpoint {
         match ctx.call(
             primary,
             base_binding.loid,
-            legion_core::object::methods::GET_INTERFACE,
+            class_proto::GET_INSTANCE_INTERFACE,
             vec![],
             env,
             Some(me),
         ) {
             Some(call_id) => {
-                self.pending.insert(
+                let base = base_binding.loid;
+                self.continuations.insert(
                     call_id,
-                    Pending::BaseInterface {
-                        requester: Box::new(msg),
-                        base: base_binding.loid,
-                    },
+                    cont(move |e: &mut Self, ctx, result| {
+                        e.on_base_interface(ctx, msg, base, result)
+                    }),
                 );
             }
             None => {
@@ -470,26 +608,53 @@ impl ClassEndpoint {
         }
     }
 
-    fn handle_delete(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let Some(target) = naming_proto::parse_loid_arg(&msg) else {
-            ctx.reply(&msg, Err("Delete(target) expected".into()));
-            return;
-        };
+    fn on_base_interface(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        requester: Message,
+        base: Loid,
+        result: Result<LegionValue, String>,
+    ) {
+        match result {
+            Ok(LegionValue::Str(text)) => match idl::parse_one(&text) {
+                Ok(parsed) => {
+                    let base_if = parsed.into_interface(base);
+                    match self.class.inherit_from(base, &base_if) {
+                        Ok(()) => {
+                            ctx.count("class.inherits");
+                            ctx.reply(&requester, Ok(LegionValue::Void));
+                        }
+                        Err(e) => {
+                            ctx.reply(&requester, Err(e.to_string()));
+                        }
+                    }
+                }
+                Err(e) => {
+                    ctx.reply(&requester, Err(format!("base interface unparseable: {e}")));
+                }
+            },
+            Ok(v) => {
+                ctx.reply(
+                    &requester,
+                    Err(format!("unexpected GetInterface reply {v}")),
+                );
+            }
+            Err(e) => {
+                ctx.reply(&requester, Err(format!("GetInterface failed: {e}")));
+            }
+        }
+    }
+
+    fn handle_delete(&mut self, ctx: &mut Ctx<'_>, msg: &Message, target: Loid) -> Outcome {
         let Some(entry) = self.class.table.get(&target) else {
-            ctx.reply(
-                &msg,
-                Err(format!("{}: unknown object {target}", self.class.loid)),
-            );
-            return;
+            return Outcome::Reply(Err(format!("{}: unknown object {target}", self.class.loid)));
         };
         match entry.current_magistrates.first().copied() {
             Some(mag_loid) => {
                 let Some(mag_element) = self.magistrate_element(&mag_loid) else {
-                    ctx.reply(
-                        &msg,
-                        Err(format!("magistrate {mag_loid} has no known address")),
-                    );
-                    return;
+                    return Outcome::Reply(Err(format!(
+                        "magistrate {mag_loid} has no known address"
+                    )));
                 };
                 let env = self.env();
                 let me = self.class.loid;
@@ -502,202 +667,33 @@ impl ClassEndpoint {
                     Some(me),
                 ) {
                     Some(call_id) => {
-                        self.pending.insert(
+                        let requester = msg.clone();
+                        self.continuations.insert(
                             call_id,
-                            Pending::DeleteChild {
-                                requester: Box::new(msg),
-                                target,
-                            },
+                            cont(move |e: &mut Self, ctx, result| match result {
+                                Ok(_) => {
+                                    let _ = e.class.delete_child(&target);
+                                    ctx.count("class.deletes");
+                                    ctx.reply(&requester, Ok(LegionValue::Void));
+                                }
+                                Err(err) => {
+                                    ctx.reply(&requester, Err(format!("Delete failed: {err}")));
+                                }
+                            }),
                         );
+                        Outcome::Pending
                     }
                     None => {
                         // Magistrate gone; drop the row anyway.
                         let _ = self.class.delete_child(&target);
-                        ctx.reply(&msg, Ok(LegionValue::Void));
+                        Outcome::Reply(Ok(LegionValue::Void))
                     }
                 }
             }
             None => {
                 let _ = self.class.delete_child(&target);
-                ctx.reply(&msg, Ok(LegionValue::Void));
+                Outcome::Reply(Ok(LegionValue::Void))
             }
-        }
-    }
-
-    fn handle_table_notification(&mut self, ctx: &mut Ctx<'_>, msg: &Message, method: &str) {
-        let ok = match (method, msg.args()) {
-            (class_proto::SET_ADDRESS, [LegionValue::Loid(l), LegionValue::Address(a)]) => {
-                self.class.table.set_address(l, Some(a.clone()))
-            }
-            (class_proto::SET_ADDRESS, [LegionValue::Loid(l), LegionValue::Void]) => {
-                self.class.table.set_address(l, None)
-            }
-            (class_proto::ADD_MAGISTRATE, [LegionValue::Loid(l), LegionValue::Loid(m)]) => {
-                self.class.table.add_magistrate(l, *m)
-            }
-            (class_proto::REMOVE_MAGISTRATE, [LegionValue::Loid(l), LegionValue::Loid(m)]) => {
-                self.class.table.remove_magistrate(l, *m)
-            }
-            _ => {
-                ctx.reply(msg, Err(format!("{method}: bad arguments")));
-                return;
-            }
-        };
-        ctx.reply(
-            msg,
-            if ok {
-                Ok(LegionValue::Void)
-            } else {
-                Err(format!("{method}: no such row"))
-            },
-        );
-    }
-
-    /// §4.2.1 announcement from an externally started instance (Host
-    /// Object or Magistrate): record (or refresh) its row with its address.
-    fn handle_announce(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
-        let (loid, address) = match msg.args() {
-            [LegionValue::Loid(l), LegionValue::Address(a)] => (*l, a.clone()),
-            _ => {
-                ctx.reply(msg, Err("Announce(loid, address) expected".into()));
-                return;
-            }
-        };
-        ctx.count("class.announcements");
-        if self.class.table.get(&loid).is_none() {
-            self.class.table.insert(loid, TableEntry::new(false));
-        }
-        self.class.table.set_address(&loid, Some(address));
-        ctx.reply(msg, Ok(LegionValue::Void));
-    }
-
-    fn handle_reply(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
-        // Binding-agent replies feed the resolver first.
-        if let Some((base, result)) = self.resolver.as_mut().and_then(|r| r.handle_reply(msg)) {
-            let waiters = self.inherit_waiters.remove(&base).unwrap_or_default();
-            match result {
-                Ok(binding) => {
-                    for m in waiters {
-                        self.fetch_base_interface(ctx, &binding, m);
-                    }
-                }
-                Err(e) => {
-                    for m in waiters {
-                        ctx.reply(&m, Err(format!("cannot locate base {base}: {e}")));
-                    }
-                }
-            }
-            return;
-        }
-        let Body::Reply {
-            in_reply_to,
-            result,
-        } = &msg.body
-        else {
-            return;
-        };
-        let Some(p) = self.pending.remove(in_reply_to) else {
-            return;
-        };
-        match p {
-            Pending::Create { requester } => match naming_proto::binding_from_result(result) {
-                Some(b) => {
-                    self.class
-                        .table
-                        .set_address(&b.loid, Some(b.address.clone()));
-                    let b = self.stamp(ctx, b);
-                    ctx.reply(&requester, Ok(LegionValue::from(b)));
-                }
-                None => {
-                    let e = match result {
-                        Err(e) => e.clone(),
-                        Ok(v) => format!("unexpected magistrate reply {v}"),
-                    };
-                    ctx.reply(&requester, Err(format!("Create failed: {e}")));
-                }
-            },
-            Pending::ActivateForBinding { target, magistrate } => {
-                match naming_proto::binding_from_result(result) {
-                    Some(b) => self.finish_binding(ctx, target, Ok(b)),
-                    None => {
-                        let e = match result {
-                            Err(e) => e.clone(),
-                            Ok(v) => format!("unexpected magistrate reply {v}"),
-                        };
-                        // Self-healing (§3.7 list semantics): a magistrate
-                        // that disclaims the object leaves the row's
-                        // Current Magistrate List; try the next one.
-                        if e.contains("not managed") {
-                            ctx.count("class.magistrate_disclaimed");
-                            self.class.table.remove_magistrate(&target, magistrate);
-                            let next = self
-                                .class
-                                .table
-                                .get(&target)
-                                .and_then(|row| row.current_magistrates.first().copied());
-                            if let Some(next_mag) = next {
-                                self.consult_magistrate(ctx, target, next_mag);
-                                return;
-                            }
-                        }
-                        self.finish_binding(ctx, target, Err(e));
-                    }
-                }
-            }
-            Pending::IssueId {
-                requester,
-                name,
-                kind,
-            } => match result {
-                Ok(LegionValue::Uint(class_id)) => {
-                    let b = self.spawn_subclass(ctx, *class_id, name, kind);
-                    ctx.reply(&requester, Ok(LegionValue::from(b)));
-                }
-                Ok(v) => {
-                    ctx.reply(&requester, Err(format!("unexpected LegionClass reply {v}")));
-                }
-                Err(e) => {
-                    ctx.reply(&requester, Err(format!("Derive failed: {e}")));
-                }
-            },
-            Pending::BaseInterface { requester, base } => match result {
-                Ok(LegionValue::Str(text)) => match idl::parse_one(text) {
-                    Ok(parsed) => {
-                        let base_if = parsed.into_interface(base);
-                        match self.class.inherit_from(base, &base_if) {
-                            Ok(()) => {
-                                ctx.count("class.inherits");
-                                ctx.reply(&requester, Ok(LegionValue::Void));
-                            }
-                            Err(e) => {
-                                ctx.reply(&requester, Err(e.to_string()));
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        ctx.reply(&requester, Err(format!("base interface unparseable: {e}")));
-                    }
-                },
-                Ok(v) => {
-                    ctx.reply(
-                        &requester,
-                        Err(format!("unexpected GetInterface reply {v}")),
-                    );
-                }
-                Err(e) => {
-                    ctx.reply(&requester, Err(format!("GetInterface failed: {e}")));
-                }
-            },
-            Pending::DeleteChild { requester, target } => match result {
-                Ok(_) => {
-                    let _ = self.class.delete_child(&target);
-                    ctx.count("class.deletes");
-                    ctx.reply(&requester, Ok(LegionValue::Void));
-                }
-                Err(e) => {
-                    ctx.reply(&requester, Err(format!("Delete failed: {e}")));
-                }
-            },
         }
     }
 }
@@ -705,47 +701,33 @@ impl ClassEndpoint {
 impl Endpoint for ClassEndpoint {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         if msg.is_reply() {
-            self.handle_reply(ctx, &msg);
+            // Binding-agent replies feed the resolver first.
+            if let Some((base, result)) = self.resolver.as_mut().and_then(|r| r.handle_reply(&msg))
+            {
+                let waiters = self.inherit_waiters.remove(&base).unwrap_or_default();
+                match result {
+                    Ok(binding) => {
+                        for m in waiters {
+                            self.fetch_base_interface(ctx, &binding, m);
+                        }
+                    }
+                    Err(e) => {
+                        for m in waiters {
+                            ctx.reply(&m, Err(format!("cannot locate base {base}: {e}")));
+                        }
+                    }
+                }
+                return;
+            }
+            if let Some(id) = reply_id(&msg) {
+                if let Some(resume) = self.continuations.take(&id) {
+                    resume(self, ctx, reply_result(&msg));
+                }
+            }
             return;
         }
-        let Some(method) = msg.method().map(str::to_owned) else {
-            return;
-        };
-        match method.as_str() {
-            class_proto::CREATE => self.handle_create(ctx, msg),
-            GET_BINDING => self.handle_get_binding(ctx, msg),
-            class_proto::DERIVE => self.handle_derive(ctx, msg),
-            class_proto::INHERIT_FROM => self.handle_inherit_from(ctx, msg),
-            class_proto::DELETE => self.handle_delete(ctx, msg),
-            class_proto::SET_ADDRESS
-            | class_proto::ADD_MAGISTRATE
-            | class_proto::REMOVE_MAGISTRATE => self.handle_table_notification(ctx, &msg, &method),
-            class_proto::ANNOUNCE => self.handle_announce(ctx, &msg),
-            legion_core::object::methods::GET_INTERFACE => {
-                // Class names may contain characters illegal in IDL
-                // identifiers (clones are named "X#clone"); sanitize.
-                let safe: String = self
-                    .class
-                    .name
-                    .chars()
-                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                    .collect();
-                let text = idl::render(&safe, &self.class.interface);
-                ctx.reply(&msg, Ok(LegionValue::Str(text)));
-            }
-            legion_core::object::methods::PING => {
-                ctx.reply(&msg, Ok(LegionValue::Uint(self.class.table.len() as u64)));
-            }
-            legion_core::object::methods::IAM => {
-                ctx.reply(&msg, Ok(LegionValue::Loid(self.class.loid)));
-            }
-            other => {
-                ctx.reply(
-                    &msg,
-                    Err(format!("class {}: no method {other}", self.class.loid)),
-                );
-            }
-        }
+        let table = Rc::clone(&self.table);
+        serve(&table, self, ctx, &msg);
     }
 }
 
@@ -754,6 +736,7 @@ impl Endpoint for ClassEndpoint {
 pub struct LegionClassEndpoint {
     authority: LegionClassAuthority,
     class_bindings: HashMap<Loid, Binding>,
+    table: Rc<MethodTable<Self>>,
 }
 
 impl Default for LegionClassEndpoint {
@@ -768,7 +751,58 @@ impl LegionClassEndpoint {
         LegionClassEndpoint {
             authority: LegionClassAuthority::new(),
             class_bindings: HashMap::new(),
+            table: Self::table(),
         }
+    }
+
+    fn table() -> Rc<MethodTable<Self>> {
+        TableBuilder::new(
+            "legion_class",
+            "LegionClass",
+            legion_core::wellknown::LEGION_CLASS,
+        )
+        .get_interface()
+        .method::<(Loid,), _>(
+            ISSUE_CLASS_ID,
+            &["creator"],
+            ParamType::Uint,
+            |e: &mut Self, ctx, _msg, (creator,)| {
+                ctx.count("legion_class.issue");
+                Outcome::Reply(
+                    e.authority
+                        .issue_class_id(creator)
+                        .map(|(id, _)| LegionValue::Uint(id.0))
+                        .map_err(|err| err.to_string()),
+                )
+            },
+        )
+        .method::<(Loid,), _>(
+            FIND_RESPONSIBLE,
+            &["target"],
+            ParamType::Loid,
+            |e, ctx, _msg, (target,)| {
+                ctx.count("legion_class.find");
+                Outcome::Reply(
+                    e.authority
+                        .find_responsible(&target)
+                        .map(LegionValue::Loid)
+                        .map_err(|err| err.to_string()),
+                )
+            },
+        )
+        .method::<(BindingArg,), _>(
+            GET_BINDING,
+            &["target"],
+            ParamType::Binding,
+            |e, ctx, _msg, (arg,)| {
+                ctx.count("legion_class.get_binding");
+                Outcome::Reply(match e.class_bindings.get(&arg.loid()) {
+                    Some(b) => Ok(LegionValue::from(b.clone())),
+                    None => Err(format!("LegionClass has no binding for {}", arg.loid())),
+                })
+            },
+        )
+        .seal()
     }
 
     /// Register a class binding LegionClass maintains directly (core
@@ -805,42 +839,7 @@ impl Endpoint for LegionClassEndpoint {
         if msg.is_reply() {
             return;
         }
-        let Some(method) = msg.method() else {
-            return;
-        };
-        let result: Result<LegionValue, String> = match method {
-            ISSUE_CLASS_ID => match naming_proto::parse_loid_arg(&msg) {
-                Some(creator) => {
-                    ctx.count("legion_class.issue");
-                    self.authority
-                        .issue_class_id(creator)
-                        .map(|(id, _)| LegionValue::Uint(id.0))
-                        .map_err(|e| e.to_string())
-                }
-                None => Err("IssueClassId(creator) expected".into()),
-            },
-            FIND_RESPONSIBLE => match naming_proto::parse_loid_arg(&msg) {
-                Some(target) => {
-                    ctx.count("legion_class.find");
-                    self.authority
-                        .find_responsible(&target)
-                        .map(LegionValue::Loid)
-                        .map_err(|e| e.to_string())
-                }
-                None => Err("FindResponsible(loid) expected".into()),
-            },
-            GET_BINDING => {
-                ctx.count("legion_class.get_binding");
-                match naming_proto::parse_binding_arg(&msg) {
-                    Some(arg) => match self.class_bindings.get(&arg.loid()) {
-                        Some(b) => Ok(LegionValue::from(b.clone())),
-                        None => Err(format!("LegionClass has no binding for {}", arg.loid())),
-                    },
-                    None => Err("GetBinding: bad argument".into()),
-                }
-            }
-            other => Err(format!("LegionClass: no method {other}")),
-        };
-        ctx.reply(&msg, result);
+        let table = Rc::clone(&self.table);
+        serve(&table, self, ctx, &msg);
     }
 }

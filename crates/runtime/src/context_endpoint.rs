@@ -11,10 +11,15 @@
 //! directory.
 
 use legion_core::context::Context;
+use legion_core::dispatch::InvocationGate;
+use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::value::LegionValue;
+use legion_net::dispatch::{serve, MethodTable, Outcome, TableBuilder};
 use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint};
+use legion_security::MayIPolicy;
+use std::rc::Rc;
 
 /// Method names exported by context objects.
 pub mod methods {
@@ -32,6 +37,8 @@ pub mod methods {
 pub struct ContextEndpoint {
     loid: Loid,
     context: Context,
+    mayi: Box<dyn MayIPolicy>,
+    table: Rc<MethodTable<Self>>,
 }
 
 impl ContextEndpoint {
@@ -40,64 +47,94 @@ impl ContextEndpoint {
         ContextEndpoint {
             loid,
             context: Context::new(),
+            mayi: Box::new(legion_security::AllowAll),
+            table: Self::table(loid),
         }
+    }
+
+    /// Install a `MayI` policy (checked at the dispatch boundary).
+    pub fn set_policy(&mut self, policy: Box<dyn MayIPolicy>) {
+        self.mayi = policy;
     }
 
     /// Read access for tests and drivers.
     pub fn context(&self) -> &Context {
         &self.context
     }
+
+    /// This context object's LOID.
+    pub fn loid(&self) -> Loid {
+        self.loid
+    }
+
+    fn table(loid: Loid) -> Rc<MethodTable<Self>> {
+        TableBuilder::new("context", "Context", loid)
+            .gate(|e: &Self| &e.mayi as &dyn InvocationGate)
+            .method::<(String, Loid), _>(
+                methods::BIND_NAME,
+                &["path", "target"],
+                ParamType::Void,
+                |e, _ctx, _msg, (path, target)| {
+                    Outcome::Reply(
+                        e.context
+                            .bind_path(&path, target)
+                            .map(|_| LegionValue::Void)
+                            .map_err(|err| err.to_string()),
+                    )
+                },
+            )
+            .method::<(String,), _>(
+                methods::LOOKUP_NAME,
+                &["path"],
+                ParamType::Loid,
+                |e, ctx, _msg, (path,)| {
+                    ctx.count("context.lookups");
+                    Outcome::Reply(
+                        e.context
+                            .lookup(&path)
+                            .map(LegionValue::Loid)
+                            .map_err(|err| err.to_string()),
+                    )
+                },
+            )
+            .method::<(String,), _>(
+                methods::UNBIND_NAME,
+                &["path"],
+                ParamType::Void,
+                |e, _ctx, _msg, (path,)| {
+                    Outcome::Reply(
+                        e.context
+                            .unbind(&path)
+                            .map(|_| LegionValue::Void)
+                            .map_err(|err| err.to_string()),
+                    )
+                },
+            )
+            .method::<(), _>(
+                methods::LIST_NAMES,
+                &[],
+                ParamType::List,
+                |e, _ctx, _msg, ()| {
+                    let pairs = e
+                        .context
+                        .walk()
+                        .into_iter()
+                        .map(|(path, loid)| {
+                            LegionValue::List(vec![LegionValue::Str(path), LegionValue::Loid(loid)])
+                        })
+                        .collect();
+                    Outcome::Reply(Ok(LegionValue::List(pairs)))
+                },
+            )
+            .get_interface()
+            .seal()
+    }
 }
 
 impl Endpoint for ContextEndpoint {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        if msg.is_reply() {
-            return;
-        }
-        let Some(method) = msg.method() else {
-            return;
-        };
-        let result: Result<LegionValue, String> = match method {
-            methods::BIND_NAME => match msg.args() {
-                [LegionValue::Str(path), LegionValue::Loid(target)] => self
-                    .context
-                    .bind_path(path, *target)
-                    .map(|_| LegionValue::Void)
-                    .map_err(|e| e.to_string()),
-                _ => Err("BindName(path, loid) expected".into()),
-            },
-            methods::LOOKUP_NAME => match msg.args() {
-                [LegionValue::Str(path)] => {
-                    ctx.count("context.lookups");
-                    self.context
-                        .lookup(path)
-                        .map(LegionValue::Loid)
-                        .map_err(|e| e.to_string())
-                }
-                _ => Err("LookupName(path) expected".into()),
-            },
-            methods::UNBIND_NAME => match msg.args() {
-                [LegionValue::Str(path)] => self
-                    .context
-                    .unbind(path)
-                    .map(|_| LegionValue::Void)
-                    .map_err(|e| e.to_string()),
-                _ => Err("UnbindName(path) expected".into()),
-            },
-            methods::LIST_NAMES => {
-                let pairs = self
-                    .context
-                    .walk()
-                    .into_iter()
-                    .map(|(path, loid)| {
-                        LegionValue::List(vec![LegionValue::Str(path), LegionValue::Loid(loid)])
-                    })
-                    .collect();
-                Ok(LegionValue::List(pairs))
-            }
-            other => Err(format!("context {}: no method {other}", self.loid)),
-        };
-        ctx.reply(&msg, result);
+        let table = Rc::clone(&self.table);
+        serve(&table, self, ctx, &msg);
     }
 }
 

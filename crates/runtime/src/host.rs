@@ -9,17 +9,24 @@
 //! Host Objects are started "from outside Legion" (§4.2.1) — here, by the
 //! system builder — and announce themselves to their class (`LegionHost`
 //! or a subclass) on start.
+//!
+//! The §3.9 "invoked only by its Magistrate" rule is expressed as an
+//! [`InvocationGate`] on the host's method table, so the check runs once
+//! at the dispatch boundary for every control method.
 
 use crate::object::ActiveObjectEndpoint;
 use crate::protocol::{class as class_proto, host as host_proto, ActivationSpec};
 use legion_core::address::{ObjectAddress, ObjectAddressElement};
+use legion_core::dispatch::InvocationGate;
 use legion_core::env::InvocationEnv;
-use legion_core::interface::Interface;
+use legion_core::interface::{Interface, ParamType};
 use legion_core::loid::Loid;
 use legion_core::value::LegionValue;
+use legion_net::dispatch::{serve, MethodTable, Outcome, TableBuilder};
 use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint, EndpointId};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Builds the endpoint for an object being activated. The default factory
 /// creates an [`ActiveObjectEndpoint`]; examples install custom factories
@@ -53,6 +60,24 @@ struct Heartbeat {
     horizon_ns: u64,
 }
 
+/// The §3.9 magistrate lock as a dispatch-boundary gate: when a
+/// magistrate is configured, only calls made *as* that magistrate (its
+/// LOID in the Calling Agent slot) pass.
+struct MagistrateLock {
+    host: Loid,
+    magistrate: Option<Loid>,
+}
+
+impl InvocationGate for MagistrateLock {
+    fn check(&self, env: &InvocationEnv, _method: &str) -> Result<(), String> {
+        match self.magistrate {
+            None => Ok(()),
+            Some(m) if env.calling == m => Ok(()),
+            Some(_) => Err(format!("host {}: caller is not my magistrate", self.host)),
+        }
+    }
+}
+
 /// The Host Object endpoint.
 pub struct HostObjectEndpoint {
     cfg: HostConfig,
@@ -61,7 +86,9 @@ pub struct HostObjectEndpoint {
     cpu_load_limit: u64,
     memory_limit: u64,
     heartbeat: Option<Heartbeat>,
-    /// Activations refused (capacity or security).
+    lock: MagistrateLock,
+    table: Rc<MethodTable<Self>>,
+    /// Activations refused at capacity.
     pub refused: u64,
     /// Heartbeats sent to the Magistrate.
     pub heartbeats_sent: u64,
@@ -82,6 +109,11 @@ impl HostObjectEndpoint {
 
     /// A host with a custom object factory.
     pub fn with_factory(cfg: HostConfig, factory: ObjectFactory) -> Self {
+        let lock = MagistrateLock {
+            host: cfg.loid,
+            magistrate: cfg.magistrate,
+        };
+        let table = Self::table(cfg.loid);
         HostObjectEndpoint {
             cfg,
             factory,
@@ -89,6 +121,8 @@ impl HostObjectEndpoint {
             cpu_load_limit: 100,
             memory_limit: u64::MAX,
             heartbeat: None,
+            lock,
+            table,
             refused: 0,
             heartbeats_sent: 0,
         }
@@ -130,11 +164,83 @@ impl HostObjectEndpoint {
         self.cfg.loid
     }
 
-    fn authorized(&self, msg: &Message) -> bool {
-        match self.cfg.magistrate {
-            None => true,
-            Some(m) => msg.env.calling == m || msg.sender == Some(m),
-        }
+    fn table(loid: Loid) -> Rc<MethodTable<Self>> {
+        TableBuilder::new("host", "LegionHost", loid)
+            .gate(|e: &Self| &e.lock as &dyn InvocationGate)
+            .method::<ActivationSpec, _>(
+                host_proto::ACTIVATE,
+                &["loid", "class", "state", "class_addr", "magistrate_addr"],
+                ParamType::Address,
+                |e, ctx, _msg, spec| {
+                    if e.running.len() as u32 >= e.capacity_now() {
+                        e.refused += 1;
+                        ctx.count("host.capacity_refused");
+                        return Outcome::Reply(Err(format!(
+                            "host {} at capacity ({})",
+                            e.cfg.loid,
+                            e.running.len()
+                        )));
+                    }
+                    if let Some(ep) = e.running.get(&spec.loid) {
+                        // Idempotent: already running here.
+                        return Outcome::Reply(Ok(LegionValue::Address(ep.address())));
+                    }
+                    let endpoint = (e.factory)(&spec);
+                    let loc = ctx.location();
+                    let ep = ctx.spawn(endpoint, loc, format!("obj:{}", spec.loid));
+                    e.running.insert(spec.loid, ep);
+                    ctx.count("host.activations");
+                    Outcome::Reply(Ok(LegionValue::Address(ep.address())))
+                },
+            )
+            .method::<(Loid,), _>(
+                host_proto::DEACTIVATE,
+                &["target"],
+                ParamType::Void,
+                |e, ctx, _msg, (loid,)| {
+                    Outcome::Reply(match e.running.remove(&loid) {
+                        Some(ep) => {
+                            ctx.kill(ep);
+                            ctx.count("host.deactivations");
+                            Ok(LegionValue::Void)
+                        }
+                        None => Err(format!("{loid} is not running on {}", e.cfg.loid)),
+                    })
+                },
+            )
+            .method::<(u64,), _>(
+                host_proto::SET_CPU_LOAD,
+                &["percent"],
+                ParamType::Void,
+                |e, _ctx, _msg, (pct,)| {
+                    e.cpu_load_limit = pct.min(100);
+                    Outcome::Reply(Ok(LegionValue::Void))
+                },
+            )
+            .method::<(u64,), _>(
+                host_proto::SET_MEMORY_USAGE,
+                &["bytes"],
+                ParamType::Void,
+                |e, _ctx, _msg, (bytes,)| {
+                    e.memory_limit = bytes;
+                    Outcome::Reply(Ok(LegionValue::Void))
+                },
+            )
+            .method::<(), _>(
+                host_proto::GET_STATE,
+                &[],
+                ParamType::List,
+                |e, _ctx, _msg, ()| {
+                    Outcome::Reply(Ok(LegionValue::List(vec![
+                        LegionValue::Uint(e.running.len() as u64),
+                        LegionValue::Uint(e.capacity_now() as u64),
+                        LegionValue::Uint(e.cpu_load_limit),
+                        LegionValue::Uint(e.memory_limit),
+                    ])))
+                },
+            )
+            .get_interface()
+            .seal()
     }
 }
 
@@ -188,90 +294,8 @@ impl Endpoint for HostObjectEndpoint {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        if msg.is_reply() {
-            return;
-        }
-        let Some(method) = msg.method().map(str::to_owned) else {
-            return;
-        };
-        if !self.authorized(&msg) {
-            self.refused += 1;
-            ctx.count("host.unauthorized");
-            ctx.reply(
-                &msg,
-                Err(format!(
-                    "host {}: caller is not my magistrate",
-                    self.cfg.loid
-                )),
-            );
-            return;
-        }
-        let result: Result<LegionValue, String> = match method.as_str() {
-            host_proto::ACTIVATE => match ActivationSpec::from_args(msg.args()) {
-                Some(spec) => {
-                    if self.running.len() as u32 >= self.capacity_now() {
-                        self.refused += 1;
-                        ctx.count("host.capacity_refused");
-                        Err(format!(
-                            "host {} at capacity ({})",
-                            self.cfg.loid,
-                            self.running.len()
-                        ))
-                    } else if self.running.contains_key(&spec.loid) {
-                        // Idempotent: already running here.
-                        let ep = self.running[&spec.loid];
-                        Ok(LegionValue::Address(ep.address()))
-                    } else {
-                        let endpoint = (self.factory)(&spec);
-                        let loc = ctx.location();
-                        let ep = ctx.spawn(endpoint, loc, format!("obj:{}", spec.loid));
-                        self.running.insert(spec.loid, ep);
-                        ctx.count("host.activations");
-                        Ok(LegionValue::Address(ep.address()))
-                    }
-                }
-                None => Err("HostActivate: bad activation spec".into()),
-            },
-            host_proto::DEACTIVATE => match msg.args() {
-                [LegionValue::Loid(loid)] => match self.running.remove(loid) {
-                    Some(ep) => {
-                        ctx.kill(ep);
-                        ctx.count("host.deactivations");
-                        Ok(LegionValue::Void)
-                    }
-                    None => Err(format!("{loid} is not running on {}", self.cfg.loid)),
-                },
-                _ => Err("HostDeactivate(loid) expected".into()),
-            },
-            host_proto::SET_CPU_LOAD => match msg.args() {
-                [v] => match v.as_uint() {
-                    Some(pct) => {
-                        self.cpu_load_limit = pct.min(100);
-                        Ok(LegionValue::Void)
-                    }
-                    None => Err("SetCPULoad(uint) expected".into()),
-                },
-                _ => Err("SetCPULoad(uint) expected".into()),
-            },
-            host_proto::SET_MEMORY_USAGE => match msg.args() {
-                [v] => match v.as_uint() {
-                    Some(bytes) => {
-                        self.memory_limit = bytes;
-                        Ok(LegionValue::Void)
-                    }
-                    None => Err("SetMemoryUsage(uint) expected".into()),
-                },
-                _ => Err("SetMemoryUsage(uint) expected".into()),
-            },
-            host_proto::GET_STATE => Ok(LegionValue::List(vec![
-                LegionValue::Uint(self.running.len() as u64),
-                LegionValue::Uint(self.capacity_now() as u64),
-                LegionValue::Uint(self.cpu_load_limit),
-                LegionValue::Uint(self.memory_limit),
-            ])),
-            other => Err(format!("host {}: no method {other}", self.cfg.loid)),
-        };
-        ctx.reply(&msg, result);
+        let table = Rc::clone(&self.table);
+        serve(&table, self, ctx, &msg);
     }
 }
 
@@ -287,6 +311,7 @@ impl HostObjectEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use legion_core::dispatch::FromArgs;
     use legion_net::message::Body;
     use legion_net::sim::SimKernel;
     use legion_net::topology::{Location, Topology};
@@ -503,7 +528,7 @@ mod tests {
         let intruder = Loid::instance(99, 1);
         let r = call_as(&mut k, probe, h, intruder, host_proto::ACTIVATE, spec(1));
         assert!(r.unwrap_err().contains("not my magistrate"));
-        assert_eq!(k.counters().get("host.unauthorized"), 1);
+        assert_eq!(k.counters().get("host.refused"), 1);
         // The real magistrate succeeds.
         let r = call_as(
             &mut k,
@@ -586,6 +611,32 @@ mod tests {
     }
 
     #[test]
+    fn get_interface_lists_control_methods() {
+        let (mut k, h, probe) = world(4, false);
+        let r = call_as(
+            &mut k,
+            probe,
+            h,
+            magistrate_loid(),
+            legion_core::object::methods::GET_INTERFACE,
+            vec![],
+        );
+        let Ok(LegionValue::Str(idl)) = r else {
+            panic!("expected IDL string, got {r:?}")
+        };
+        for m in [
+            host_proto::ACTIVATE,
+            host_proto::DEACTIVATE,
+            host_proto::SET_CPU_LOAD,
+            host_proto::SET_MEMORY_USAGE,
+            host_proto::GET_STATE,
+            legion_core::object::methods::GET_INTERFACE,
+        ] {
+            assert!(idl.contains(m), "{m} missing from {idl}");
+        }
+    }
+
+    #[test]
     fn bad_arguments_error() {
         let (mut k, h, probe) = world(4, false);
         for (m, args) in [
@@ -597,6 +648,15 @@ mod tests {
             assert!(r.is_err(), "{m} should reject bad args");
         }
         let r = call_as(&mut k, probe, h, magistrate_loid(), "Bogus", vec![]);
-        assert!(r.is_err());
+        assert!(r.unwrap_err().contains("no method"));
+        assert_eq!(k.counters().get("host.unknown_method"), 1);
+        assert_eq!(k.counters().get("host.bad_args"), 3);
+    }
+
+    #[test]
+    fn published_signature_matches_codec() {
+        let table = HostObjectEndpoint::table(host_loid());
+        let sig = table.signature(host_proto::ACTIVATE).unwrap();
+        assert_eq!(sig.params.len(), ActivationSpec::params().len());
     }
 }

@@ -18,14 +18,24 @@
 //! * `Copy/Move(LOID, LOID)` — deactivate if needed, ship the OPR bytes to
 //!   the peer Magistrate (`ReceiveOpr`), optionally delete locally —
 //!   exactly Figure 11's migration-through-storage path.
+//!
+//! Requests arrive through the shared dispatch layer: a [`MethodTable`]
+//! routes them (MayI gate at the boundary — "requests rather than
+//! commands"), and the multi-hop state machines are expressed as typed
+//! continuations in a [`Continuations`] store rather than a hand-rolled
+//! `Pending` enum. The heartbeat bypass (§3.9 liveness is not a request)
+//! is an *ungated, one-way* registration on the same table.
 
 use crate::protocol::{
-    class as class_proto, host as host_proto, magistrate as mag_proto, ActivationSpec,
+    class as class_proto, host as host_proto, magistrate as mag_proto, ActivateArgs,
+    ActivationSpec, ReceiveOprArgs,
 };
 use crate::scheduler::{HostView, LeastLoaded, SchedulingPolicy};
 use legion_core::address::{ObjectAddress, ObjectAddressElement};
 use legion_core::binding::Binding;
+use legion_core::dispatch::InvocationGate;
 use legion_core::env::InvocationEnv;
+use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::object::methods as obj_methods;
 use legion_core::value::LegionValue;
@@ -33,12 +43,16 @@ use legion_ha::detector::FailureDetector;
 use legion_ha::policy::{Health, SuspicionPolicy};
 use legion_ha::recovery::RecoveryTracker;
 use legion_naming::stale;
-use legion_net::message::{Body, CallId, Message};
+use legion_net::dispatch::{
+    cont, reply_id, reply_result, serve, Continuations, MethodTable, Outcome, TableBuilder,
+};
+use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint};
 use legion_persist::opr::Opr;
 use legion_persist::storage::{JurisdictionStorage, PersistentAddress};
-use legion_security::mayi::{AllowAll, Decision, MayIPolicy};
+use legion_security::mayi::{AllowAll, MayIPolicy};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Where an object managed by this Magistrate currently is.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,34 +104,6 @@ enum AfterInert {
     },
 }
 
-enum Pending {
-    /// Host is starting `loid`.
-    HostActivate {
-        loid: Loid,
-        host: Loid,
-        attempts: u32,
-    },
-    /// Object is saving its state for deactivation.
-    SaveState {
-        loid: Loid,
-        requester: Option<Box<Message>>,
-    },
-    /// Host is killing `loid` after its OPR was written to `addr`.
-    HostDeactivate {
-        loid: Loid,
-        addr: PersistentAddress,
-        requester: Option<Box<Message>>,
-    },
-    /// Host is killing `loid` for deletion.
-    DeleteKill { loid: Loid, requester: Box<Message> },
-    /// A peer magistrate is receiving `loid`'s OPR.
-    Ship {
-        loid: Loid,
-        delete_after: bool,
-        requester: Box<Message>,
-    },
-}
-
 /// Timer tag for the periodic failure-detector sweep (armed externally
 /// after [`MagistrateEndpoint::enable_ha`]).
 pub const TIMER_HA_SWEEP: u64 = 0x5357_4550; // "SWEP"
@@ -158,7 +144,8 @@ pub struct MagistrateEndpoint {
     policy: Box<dyn SchedulingPolicy>,
     mayi: Box<dyn MayIPolicy>,
     objects: HashMap<Loid, ObjRecord>,
-    pending: HashMap<CallId, Pending>,
+    table: Rc<MethodTable<Self>>,
+    continuations: Continuations<Self>,
     activate_waiters: HashMap<Loid, Vec<Message>>,
     after_inert: HashMap<Loid, Vec<AfterInert>>,
     peers: HashMap<Loid, ObjectAddressElement>,
@@ -177,7 +164,8 @@ impl MagistrateEndpoint {
             policy: Box::new(LeastLoaded),
             mayi: Box::new(AllowAll),
             objects: HashMap::new(),
-            pending: HashMap::new(),
+            table: Self::table(cfg.loid),
+            continuations: Continuations::new(),
             activate_waiters: HashMap::new(),
             after_inert: HashMap::new(),
             peers: HashMap::new(),
@@ -185,6 +173,75 @@ impl MagistrateEndpoint {
             ha: None,
             cfg,
         }
+    }
+
+    /// The §3.8 method table. Every member function is gated ("requests
+    /// rather than commands"); `Heartbeat` is registered ungated and
+    /// one-way — a paranoid policy must not blind the failure detector,
+    /// and a dead Magistrate must not wedge its hosts.
+    fn table(loid: Loid) -> Rc<MethodTable<Self>> {
+        TableBuilder::new("magistrate", "LegionMagistrate", loid)
+            .gate(|e: &Self| &e.mayi as &dyn InvocationGate)
+            .method::<ActivateArgs, _>(
+                mag_proto::ACTIVATE,
+                &["target", "host"],
+                ParamType::Binding,
+                |e, ctx, msg, args| e.handle_activate(ctx, msg, args),
+            )
+            .method::<(Loid,), _>(
+                mag_proto::DEACTIVATE,
+                &["target"],
+                ParamType::Void,
+                |e: &mut Self, ctx, msg, (loid,)| {
+                    e.begin_deactivate(ctx, loid, Some(Box::new(msg.clone())));
+                    Outcome::Pending
+                },
+            )
+            .method::<(Loid,), _>(
+                mag_proto::DELETE,
+                &["target"],
+                ParamType::Void,
+                |e: &mut Self, ctx, msg, (loid,)| e.handle_delete(ctx, msg, loid),
+            )
+            .method::<(Loid, Loid), _>(
+                mag_proto::COPY,
+                &["target", "magistrate"],
+                ParamType::Void,
+                |e: &mut Self, ctx, msg, (loid, dst)| {
+                    e.handle_copy_or_move(ctx, msg, loid, dst, false)
+                },
+            )
+            .method::<(Loid, Loid), _>(
+                mag_proto::MOVE,
+                &["target", "magistrate"],
+                ParamType::Void,
+                |e: &mut Self, ctx, msg, (loid, dst)| {
+                    e.handle_copy_or_move(ctx, msg, loid, dst, true)
+                },
+            )
+            .method::<ActivationSpec, _>(
+                mag_proto::CREATE_OBJECT,
+                &["loid", "class", "state", "class_addr", "magistrate_addr"],
+                ParamType::Binding,
+                |e, ctx, msg, spec| e.handle_create_object(ctx, msg, spec),
+            )
+            .method::<ReceiveOprArgs, _>(
+                mag_proto::RECEIVE_OPR,
+                &["loid", "class", "opr", "class_addr"],
+                ParamType::Void,
+                |e, ctx, _msg, args| e.handle_receive_opr(ctx, args),
+            )
+            .ungated_method::<(Loid, u64), _>(
+                legion_ha::protocol::HEARTBEAT,
+                &["host", "running"],
+                ParamType::Void,
+                |e: &mut Self, ctx, _msg, (host, _running)| {
+                    e.handle_heartbeat(ctx, host);
+                    Outcome::NoReply
+                },
+            )
+            .get_interface()
+            .seal()
     }
 
     /// Enable heartbeat failure detection and automatic recovery. Every
@@ -281,11 +338,6 @@ impl MagistrateEndpoint {
     }
 
     // ----- helpers ---------------------------------------------------------
-
-    #[allow(dead_code)]
-    fn env(&self) -> InvocationEnv {
-        InvocationEnv::solo(self.cfg.loid)
-    }
 
     fn host_views(&self) -> Vec<HostView> {
         self.hosts
@@ -397,7 +449,8 @@ impl MagistrateEndpoint {
         self.dispatch_to_host(ctx, loid, class, opr.state, class_addr, host_hint, 0);
     }
 
-    /// Pick a host and send `HostActivate`.
+    /// Pick a host and send `HostActivate`. The reply resumes
+    /// [`Self::on_host_activate_reply`] through the continuation store.
     #[allow(clippy::too_many_arguments)]
     fn dispatch_to_host(
         &mut self,
@@ -440,13 +493,11 @@ impl MagistrateEndpoint {
             Some(me),
         ) {
             Some(call_id) => {
-                self.pending.insert(
+                self.continuations.insert(
                     call_id,
-                    Pending::HostActivate {
-                        loid,
-                        host,
-                        attempts,
-                    },
+                    cont(move |e: &mut Self, ctx, result| {
+                        e.on_host_activate_reply(ctx, loid, host, attempts, result)
+                    }),
                 );
             }
             None => {
@@ -537,13 +588,11 @@ impl MagistrateEndpoint {
             Some(me),
         ) {
             Some(call_id) => {
-                self.pending.insert(
+                self.continuations.insert(
                     call_id,
-                    Pending::Ship {
-                        loid,
-                        delete_after,
-                        requester,
-                    },
+                    cont(move |e: &mut Self, ctx, result| {
+                        e.on_ship_reply(ctx, loid, delete_after, requester, result)
+                    }),
                 );
             }
             None => {
@@ -558,10 +607,7 @@ impl MagistrateEndpoint {
     // ----- failure detection and recovery -----------------------------------
 
     /// A Host Object reported in. Fire-and-forget: no reply.
-    fn handle_heartbeat(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
-        let Some((host, _running)) = legion_ha::protocol::parse_heartbeat(msg) else {
-            return;
-        };
+    fn handle_heartbeat(&mut self, ctx: &mut Ctx<'_>, host: Loid) {
         ctx.count("magistrate.heartbeats");
         let Some(ha) = &mut self.ha else {
             return;
@@ -678,48 +724,40 @@ impl MagistrateEndpoint {
 
     // ----- request handlers --------------------------------------------------
 
-    fn handle_activate(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let (loid, hint) = match msg.args() {
-            [LegionValue::Loid(l)] => (*l, None),
-            [LegionValue::Loid(l), LegionValue::Loid(h)] => (*l, Some(*h)),
-            _ => {
-                ctx.reply(&msg, Err("Activate(loid[, host]) expected".into()));
-                return;
-            }
-        };
+    fn handle_activate(&mut self, ctx: &mut Ctx<'_>, msg: &Message, args: ActivateArgs) -> Outcome {
+        let ActivateArgs { loid, host: hint } = args;
         match self.objects.get(&loid) {
-            None => {
-                ctx.reply(
-                    &msg,
-                    Err(format!("{loid} not managed by {}", self.cfg.loid)),
-                );
-            }
+            None => Outcome::Reply(Err(format!("{loid} not managed by {}", self.cfg.loid))),
             Some(r) => match &r.state {
                 ObjState::Active { element, .. } => {
                     ctx.count("magistrate.activate_already_active");
                     let b = Binding::forever(loid, ObjectAddress::single(*element));
-                    ctx.reply(&msg, Ok(LegionValue::from(b)));
+                    Outcome::Reply(Ok(LegionValue::from(b)))
                 }
                 ObjState::Inert { .. } => {
                     ctx.count("magistrate.activations");
                     let first = !self.activate_waiters.contains_key(&loid);
-                    self.activate_waiters.entry(loid).or_default().push(msg);
+                    self.activate_waiters
+                        .entry(loid)
+                        .or_default()
+                        .push(msg.clone());
                     if first {
                         self.start_activation(ctx, loid, hint);
                     }
+                    Outcome::Pending
                 }
             },
         }
     }
 
-    fn handle_create_object(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let Some(spec) = ActivationSpec::from_args(msg.args()) else {
-            ctx.reply(&msg, Err("CreateObject: bad activation spec".into()));
-            return;
-        };
+    fn handle_create_object(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: &Message,
+        spec: ActivationSpec,
+    ) -> Outcome {
         if self.objects.contains_key(&spec.loid) {
-            ctx.reply(&msg, Err(format!("{} already managed here", spec.loid)));
-            return;
+            return Outcome::Reply(Err(format!("{} already managed here", spec.loid)));
         }
         ctx.count("magistrate.creations");
         // Record a provisional Inert entry by writing the initial OPR;
@@ -728,8 +766,7 @@ impl MagistrateEndpoint {
         let addr = match self.storage.store_opr(&opr) {
             Ok(a) => a,
             Err(e) => {
-                ctx.reply(&msg, Err(format!("initial OPR store failed: {e}")));
-                return;
+                return Outcome::Reply(Err(format!("initial OPR store failed: {e}")));
             }
         };
         self.objects.insert(
@@ -743,16 +780,9 @@ impl MagistrateEndpoint {
         self.activate_waiters
             .entry(spec.loid)
             .or_default()
-            .push(msg);
+            .push(msg.clone());
         self.start_activation(ctx, spec.loid, None);
-    }
-
-    fn handle_deactivate(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let Some(loid) = single_loid(&msg) else {
-            ctx.reply(&msg, Err("Deactivate(loid) expected".into()));
-            return;
-        };
-        self.begin_deactivate(ctx, loid, Some(Box::new(msg)));
+        Outcome::Pending
     }
 
     /// Start a deactivation; `requester` (if any) gets the final reply.
@@ -782,8 +812,12 @@ impl MagistrateEndpoint {
             Some(me),
         ) {
             Some(call_id) => {
-                self.pending
-                    .insert(call_id, Pending::SaveState { loid, requester });
+                self.continuations.insert(
+                    call_id,
+                    cont(move |e: &mut Self, ctx, result| {
+                        e.on_save_state_reply(ctx, loid, requester, result)
+                    }),
+                );
             }
             None => {
                 if let Some(req) = requester {
@@ -793,22 +827,16 @@ impl MagistrateEndpoint {
         }
     }
 
-    fn handle_delete(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let Some(loid) = single_loid(&msg) else {
-            ctx.reply(&msg, Err("Delete(loid) expected".into()));
-            return;
-        };
+    fn handle_delete(&mut self, ctx: &mut Ctx<'_>, msg: &Message, loid: Loid) -> Outcome {
         let Some(record) = self.objects.get(&loid) else {
-            ctx.reply(&msg, Err(format!("{loid} not managed here")));
-            return;
+            return Outcome::Reply(Err(format!("{loid} not managed here")));
         };
         ctx.count("magistrate.deletions");
         match record.state.clone() {
             ObjState::Active { host, .. } => {
                 // Kill the process, then finish deletion on reply.
                 let Some(host_element) = self.host_element(&host) else {
-                    ctx.reply(&msg, Err(format!("unknown host {host}")));
-                    return;
+                    return Outcome::Reply(Err(format!("unknown host {host}")));
                 };
                 let me = self.cfg.loid;
                 match ctx.call(
@@ -820,22 +848,27 @@ impl MagistrateEndpoint {
                     Some(me),
                 ) {
                     Some(call_id) => {
-                        self.pending.insert(
+                        let requester = Box::new(msg.clone());
+                        // Whether or not the host succeeds, finish the
+                        // delete when it answers.
+                        self.continuations.insert(
                             call_id,
-                            Pending::DeleteKill {
-                                loid,
-                                requester: Box::new(msg),
-                            },
+                            cont(move |e: &mut Self, ctx, _result| {
+                                e.finish_delete(ctx, loid, requester)
+                            }),
                         );
+                        Outcome::Pending
                     }
                     None => {
                         // Host gone: drop the record anyway.
-                        self.finish_delete(ctx, loid, Box::new(msg));
+                        self.finish_delete(ctx, loid, Box::new(msg.clone()));
+                        Outcome::Pending
                     }
                 }
             }
             ObjState::Inert { .. } => {
-                self.finish_delete(ctx, loid, Box::new(msg));
+                self.finish_delete(ctx, loid, Box::new(msg.clone()));
+                Outcome::Pending
             }
         }
     }
@@ -864,21 +897,19 @@ impl MagistrateEndpoint {
         ctx.reply(&requester, Ok(LegionValue::Void));
     }
 
-    fn handle_copy_or_move(&mut self, ctx: &mut Ctx<'_>, msg: Message, delete_after: bool) {
-        let (loid, dst) = match msg.args() {
-            [LegionValue::Loid(l), LegionValue::Loid(d)] => (*l, *d),
-            _ => {
-                ctx.reply(&msg, Err("Copy/Move(loid, magistrate) expected".into()));
-                return;
-            }
-        };
+    fn handle_copy_or_move(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: &Message,
+        loid: Loid,
+        dst: Loid,
+        delete_after: bool,
+    ) -> Outcome {
         let Some(dst_element) = self.peers.get(&dst).copied() else {
-            ctx.reply(&msg, Err(format!("unknown peer magistrate {dst}")));
-            return;
+            return Outcome::Reply(Err(format!("unknown peer magistrate {dst}")));
         };
         if !self.objects.contains_key(&loid) {
-            ctx.reply(&msg, Err(format!("{loid} not managed here")));
-            return;
+            return Outcome::Reply(Err(format!("{loid} not managed here")));
         }
         ctx.count(if delete_after {
             "magistrate.moves"
@@ -892,41 +923,30 @@ impl MagistrateEndpoint {
                 dst_magistrate: dst,
                 dst_element,
                 delete_after,
-                requester: Box::new(msg),
+                requester: Box::new(msg.clone()),
             });
         // "This function causes the Magistrate to deactivate the object,
         // creating an OPR, and to send the OPR to the other Magistrate."
         self.begin_deactivate(ctx, loid, None);
+        Outcome::Pending
     }
 
-    fn handle_receive_opr(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let (loid, class, bytes, class_addr) = match msg.args() {
-            [LegionValue::Loid(l), LegionValue::Loid(c), LegionValue::Bytes(b), ca] => {
-                let class_addr = match ca {
-                    LegionValue::Address(a) => a.primary().copied(),
-                    _ => None,
-                };
-                (*l, *c, b.clone(), class_addr)
-            }
-            _ => {
-                ctx.reply(
-                    &msg,
-                    Err("ReceiveOpr(loid, class, bytes, class_addr) expected".into()),
-                );
-                return;
-            }
-        };
+    fn handle_receive_opr(&mut self, ctx: &mut Ctx<'_>, args: ReceiveOprArgs) -> Outcome {
+        let ReceiveOprArgs {
+            loid,
+            class,
+            opr: bytes,
+            class_addr,
+        } = args;
         // Validate before storing: a corrupt OPR is refused here, not at
         // some future activation.
         if let Err(e) = Opr::decode(&bytes) {
             ctx.count("magistrate.receive_corrupt");
-            ctx.reply(&msg, Err(format!("refused corrupt OPR: {e}")));
-            return;
+            return Outcome::Reply(Err(format!("refused corrupt OPR: {e}")));
         }
         let addr = self.storage.reserve_address(&loid);
         if let Err(e) = self.storage.store_at(&addr, bytes) {
-            ctx.reply(&msg, Err(format!("store failed: {e}")));
-            return;
+            return Outcome::Reply(Err(format!("store failed: {e}")));
         }
         ctx.count("magistrate.received_oprs");
         self.objects.insert(
@@ -946,304 +966,291 @@ impl MagistrateEndpoint {
             class_proto::ADD_MAGISTRATE,
             vec![LegionValue::Loid(loid), LegionValue::Loid(self.cfg.loid)],
         );
-        ctx.reply(&msg, Ok(LegionValue::Void));
+        Outcome::Reply(Ok(LegionValue::Void))
     }
 
-    // ----- reply plumbing ------------------------------------------------------
+    // ----- continuation handlers ---------------------------------------------
 
-    fn handle_reply(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
-        let Body::Reply {
-            in_reply_to,
-            result,
-        } = &msg.body
-        else {
-            return;
-        };
-        let Some(p) = self.pending.remove(in_reply_to) else {
-            return;
-        };
-        match p {
-            Pending::HostActivate {
-                loid,
-                host,
-                attempts,
-            } => match result {
-                Ok(LegionValue::Address(addr)) => {
-                    let element = addr.primary().copied();
-                    let Some(element) = element else {
-                        self.answer_activate_waiters(
-                            ctx,
-                            loid,
-                            Err("host returned empty address".into()),
-                        );
-                        return;
-                    };
-                    // The record may have vanished while the host was
-                    // starting the process (a racing Move/Delete): the
-                    // fresh process is an orphan — reap it (§2.3's "a Host
-                    // Object is responsible for ... reaping objects").
-                    if !self.objects.contains_key(&loid) {
-                        ctx.count("magistrate.orphan_reaped");
-                        if let Some(host_element) = self.host_element(&host) {
-                            let me = self.cfg.loid;
-                            ctx.call(
-                                host_element,
-                                host,
-                                host_proto::DEACTIVATE,
-                                vec![LegionValue::Loid(loid)],
-                                InvocationEnv::solo(me),
-                                Some(me),
-                            );
-                        }
-                        self.answer_activate_waiters(
-                            ctx,
-                            loid,
-                            Err(format!("{loid} was removed during activation")),
-                        );
-                        return;
-                    }
-                    // Mark Active. With HA on, the Inert OPR is retained
-                    // as the vault checkpoint the object restarts from if
-                    // this host dies; without HA it is consumed as before
-                    // (rewritten at the next deactivation).
-                    let keep_vault = self.ha.is_some();
-                    let (class, class_addr) = {
-                        let record = self.objects.get_mut(&loid).expect("checked above");
-                        let vault = match &record.state {
-                            ObjState::Inert { addr } if keep_vault => Some(addr.clone()),
-                            ObjState::Inert { addr } => {
-                                let _ = self.storage.delete(addr);
-                                None
-                            }
-                            _ => None,
-                        };
-                        record.state = ObjState::Active {
-                            host,
-                            element,
-                            vault,
-                        };
-                        (record.class, record.class_addr)
-                    };
-                    self.bump_host(&host, 1);
-                    // Update the class's logical-table Object Address.
-                    self.notify_class(
-                        ctx,
-                        class_addr,
-                        class,
-                        class_proto::SET_ADDRESS,
-                        vec![
-                            LegionValue::Loid(loid),
-                            LegionValue::Address(ObjectAddress::single(element)),
-                        ],
-                    );
-                    let b = Binding::forever(loid, ObjectAddress::single(element));
-                    self.answer_activate_waiters(ctx, loid, Ok(b));
-                }
-                Ok(v) => {
+    /// The host replied to `HostActivate(loid)`.
+    fn on_host_activate_reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        loid: Loid,
+        host: Loid,
+        attempts: u32,
+        result: Result<LegionValue, String>,
+    ) {
+        match result {
+            Ok(LegionValue::Address(addr)) => {
+                let element = addr.primary().copied();
+                let Some(element) = element else {
                     self.answer_activate_waiters(
                         ctx,
                         loid,
-                        Err(format!("unexpected host reply {v}")),
+                        Err("host returned empty address".into()),
                     );
-                }
-                Err(e) => {
-                    // The chosen host refused (capacity, policy): try once
-                    // more with a different pick.
-                    if attempts < 2 {
-                        ctx.count("magistrate.activation_retry");
-                        let (class, state, class_addr) = {
-                            let Some(record) = self.objects.get(&loid) else {
-                                return;
-                            };
-                            let ObjState::Inert { addr } = &record.state else {
-                                return;
-                            };
-                            match self.storage.load_opr(addr) {
-                                Ok(o) => (record.class, o.state, record.class_addr),
-                                Err(err) => {
-                                    self.answer_activate_waiters(
-                                        ctx,
-                                        loid,
-                                        Err(format!("OPR reload failed: {err}")),
-                                    );
-                                    return;
-                                }
-                            }
-                        };
-                        self.dispatch_to_host(
-                            ctx,
-                            loid,
-                            class,
-                            state,
-                            class_addr,
-                            None,
-                            attempts + 1,
+                    return;
+                };
+                // The record may have vanished while the host was
+                // starting the process (a racing Move/Delete): the
+                // fresh process is an orphan — reap it (§2.3's "a Host
+                // Object is responsible for ... reaping objects").
+                if !self.objects.contains_key(&loid) {
+                    ctx.count("magistrate.orphan_reaped");
+                    if let Some(host_element) = self.host_element(&host) {
+                        let me = self.cfg.loid;
+                        ctx.call(
+                            host_element,
+                            host,
+                            host_proto::DEACTIVATE,
+                            vec![LegionValue::Loid(loid)],
+                            InvocationEnv::solo(me),
+                            Some(me),
                         );
-                    } else {
-                        self.answer_activate_waiters(ctx, loid, Err(format!("host refused: {e}")));
                     }
+                    self.answer_activate_waiters(
+                        ctx,
+                        loid,
+                        Err(format!("{loid} was removed during activation")),
+                    );
+                    return;
                 }
-            },
-            Pending::SaveState { loid, requester } => match result {
-                Ok(LegionValue::Bytes(state)) => {
-                    let Some(record) = self.objects.get(&loid) else {
-                        return;
-                    };
-                    let ObjState::Active { host, .. } = record.state.clone() else {
-                        return;
-                    };
-                    let opr = Opr::new(loid, record.class, 0, state.clone());
-                    let addr = match self.storage.store_opr(&opr) {
-                        Ok(a) => a,
-                        Err(e) => {
-                            if let Some(req) = requester {
-                                ctx.reply(&req, Err(format!("OPR store failed: {e}")));
-                            }
-                            return;
+                // Mark Active. With HA on, the Inert OPR is retained
+                // as the vault checkpoint the object restarts from if
+                // this host dies; without HA it is consumed as before
+                // (rewritten at the next deactivation).
+                let keep_vault = self.ha.is_some();
+                let (class, class_addr) = {
+                    let record = self.objects.get_mut(&loid).expect("checked above");
+                    let vault = match &record.state {
+                        ObjState::Inert { addr } if keep_vault => Some(addr.clone()),
+                        ObjState::Inert { addr } => {
+                            let _ = self.storage.delete(addr);
+                            None
                         }
+                        _ => None,
                     };
-                    let Some(host_element) = self.host_element(&host) else {
-                        if let Some(req) = requester {
-                            ctx.reply(&req, Err(format!("unknown host {host}")));
-                        }
-                        return;
-                    };
-                    let me = self.cfg.loid;
-                    match ctx.call(
-                        host_element,
+                    record.state = ObjState::Active {
                         host,
-                        host_proto::DEACTIVATE,
-                        vec![LegionValue::Loid(loid)],
-                        InvocationEnv::solo(me),
-                        Some(me),
-                    ) {
-                        Some(call_id) => {
-                            self.pending.insert(
-                                call_id,
-                                Pending::HostDeactivate {
-                                    loid,
-                                    addr,
-                                    requester,
-                                },
-                            );
-                        }
-                        None => {
-                            if let Some(req) = requester {
-                                ctx.reply(&req, Err(format!("host {host} unreachable")));
-                            }
-                        }
-                    }
-                }
-                Ok(v) => {
-                    if let Some(req) = requester {
-                        ctx.reply(&req, Err(format!("unexpected SaveState reply {v}")));
-                    }
-                }
-                Err(e) => {
-                    if let Some(req) = requester {
-                        ctx.reply(&req, Err(format!("SaveState failed: {e}")));
-                    }
-                }
-            },
-            Pending::HostDeactivate {
-                loid,
-                addr,
-                requester,
-            } => {
-                match result {
-                    Ok(_) => {
-                        // A racing Delete may have removed the record; the
-                        // process is already dead, so just clean the OPR.
-                        if !self.objects.contains_key(&loid) {
-                            let _ = self.storage.delete(&addr);
-                            if let Some(req) = requester {
-                                ctx.reply(
-                                    &req,
-                                    Err(format!("{loid} was removed during deactivation")),
-                                );
-                            }
+                        element,
+                        vault,
+                    };
+                    (record.class, record.class_addr)
+                };
+                self.bump_host(&host, 1);
+                // Update the class's logical-table Object Address.
+                self.notify_class(
+                    ctx,
+                    class_addr,
+                    class,
+                    class_proto::SET_ADDRESS,
+                    vec![
+                        LegionValue::Loid(loid),
+                        LegionValue::Address(ObjectAddress::single(element)),
+                    ],
+                );
+                let b = Binding::forever(loid, ObjectAddress::single(element));
+                self.answer_activate_waiters(ctx, loid, Ok(b));
+            }
+            Ok(v) => {
+                self.answer_activate_waiters(ctx, loid, Err(format!("unexpected host reply {v}")));
+            }
+            Err(e) => {
+                // The chosen host refused (capacity, policy): try once
+                // more with a different pick.
+                if attempts < 2 {
+                    ctx.count("magistrate.activation_retry");
+                    let (class, state, class_addr) = {
+                        let Some(record) = self.objects.get(&loid) else {
                             return;
-                        }
-                        let (class, class_addr, host) = {
-                            let record = self.objects.get_mut(&loid).expect("checked above");
-                            let host = match &record.state {
-                                ObjState::Active { host, .. } => Some(*host),
-                                _ => None,
-                            };
-                            // The fresh OPR supersedes the activation-time
-                            // vault checkpoint.
-                            if let ObjState::Active {
-                                vault: Some(vault), ..
-                            } = &record.state
-                            {
-                                let _ = self.storage.delete(&vault.clone());
-                            }
-                            record.state = ObjState::Inert { addr };
-                            (record.class, record.class_addr, host)
                         };
-                        if let Some(h) = host {
-                            self.bump_host(&h, -1);
-                        }
-                        // Clear the class's Object Address column: the row
-                        // reads NIL while the object is Inert (§3.7).
-                        self.notify_class(
-                            ctx,
-                            class_addr,
-                            class,
-                            class_proto::SET_ADDRESS,
-                            vec![LegionValue::Loid(loid), LegionValue::Void],
-                        );
-                        if let Some(req) = requester {
-                            ctx.reply(&req, Ok(LegionValue::Void));
-                        }
-                        self.run_after_inert(ctx, loid);
-                    }
-                    Err(e) => {
-                        if let Some(req) = requester {
-                            ctx.reply(&req, Err(format!("host deactivate failed: {e}")));
-                        }
-                    }
-                }
-            }
-            Pending::DeleteKill { loid, requester } => {
-                // Whether or not the host succeeded, finish the delete.
-                self.finish_delete(ctx, loid, requester);
-            }
-            Pending::Ship {
-                loid,
-                delete_after,
-                requester,
-            } => match result {
-                Ok(_) => {
-                    if delete_after {
-                        // Move = Copy then Delete (§3.8).
-                        if let Some(record) = self.objects.remove(&loid) {
-                            if let ObjState::Inert { addr } = &record.state {
-                                let _ = self.storage.delete(addr);
+                        let ObjState::Inert { addr } = &record.state else {
+                            return;
+                        };
+                        match self.storage.load_opr(addr) {
+                            Ok(o) => (record.class, o.state, record.class_addr),
+                            Err(err) => {
+                                self.answer_activate_waiters(
+                                    ctx,
+                                    loid,
+                                    Err(format!("OPR reload failed: {err}")),
+                                );
+                                return;
                             }
-                            self.notify_class(
-                                ctx,
-                                record.class_addr,
-                                record.class,
-                                class_proto::REMOVE_MAGISTRATE,
-                                vec![LegionValue::Loid(loid), LegionValue::Loid(self.cfg.loid)],
-                            );
                         }
-                    }
-                    ctx.reply(&requester, Ok(LegionValue::Void));
+                    };
+                    self.dispatch_to_host(ctx, loid, class, state, class_addr, None, attempts + 1);
+                } else {
+                    self.answer_activate_waiters(ctx, loid, Err(format!("host refused: {e}")));
                 }
-                Err(e) => {
-                    ctx.reply(&requester, Err(format!("ship failed: {e}")));
-                }
-            },
+            }
         }
     }
-}
 
-fn single_loid(msg: &Message) -> Option<Loid> {
-    match msg.args() {
-        [LegionValue::Loid(l)] => Some(*l),
-        _ => None,
+    /// The object replied to `SaveState()`.
+    fn on_save_state_reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        loid: Loid,
+        requester: Option<Box<Message>>,
+        result: Result<LegionValue, String>,
+    ) {
+        match result {
+            Ok(LegionValue::Bytes(state)) => {
+                let Some(record) = self.objects.get(&loid) else {
+                    return;
+                };
+                let ObjState::Active { host, .. } = record.state.clone() else {
+                    return;
+                };
+                let opr = Opr::new(loid, record.class, 0, state.clone());
+                let addr = match self.storage.store_opr(&opr) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        if let Some(req) = requester {
+                            ctx.reply(&req, Err(format!("OPR store failed: {e}")));
+                        }
+                        return;
+                    }
+                };
+                let Some(host_element) = self.host_element(&host) else {
+                    if let Some(req) = requester {
+                        ctx.reply(&req, Err(format!("unknown host {host}")));
+                    }
+                    return;
+                };
+                let me = self.cfg.loid;
+                match ctx.call(
+                    host_element,
+                    host,
+                    host_proto::DEACTIVATE,
+                    vec![LegionValue::Loid(loid)],
+                    InvocationEnv::solo(me),
+                    Some(me),
+                ) {
+                    Some(call_id) => {
+                        self.continuations.insert(
+                            call_id,
+                            cont(move |e: &mut Self, ctx, result| {
+                                e.on_host_deactivate_reply(ctx, loid, addr, requester, result)
+                            }),
+                        );
+                    }
+                    None => {
+                        if let Some(req) = requester {
+                            ctx.reply(&req, Err(format!("host {host} unreachable")));
+                        }
+                    }
+                }
+            }
+            Ok(v) => {
+                if let Some(req) = requester {
+                    ctx.reply(&req, Err(format!("unexpected SaveState reply {v}")));
+                }
+            }
+            Err(e) => {
+                if let Some(req) = requester {
+                    ctx.reply(&req, Err(format!("SaveState failed: {e}")));
+                }
+            }
+        }
+    }
+
+    /// The host replied to the deactivation kill; the fresh OPR is at
+    /// `addr`.
+    fn on_host_deactivate_reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        loid: Loid,
+        addr: PersistentAddress,
+        requester: Option<Box<Message>>,
+        result: Result<LegionValue, String>,
+    ) {
+        match result {
+            Ok(_) => {
+                // A racing Delete may have removed the record; the
+                // process is already dead, so just clean the OPR.
+                if !self.objects.contains_key(&loid) {
+                    let _ = self.storage.delete(&addr);
+                    if let Some(req) = requester {
+                        ctx.reply(&req, Err(format!("{loid} was removed during deactivation")));
+                    }
+                    return;
+                }
+                let (class, class_addr, host) = {
+                    let record = self.objects.get_mut(&loid).expect("checked above");
+                    let host = match &record.state {
+                        ObjState::Active { host, .. } => Some(*host),
+                        _ => None,
+                    };
+                    // The fresh OPR supersedes the activation-time
+                    // vault checkpoint.
+                    if let ObjState::Active {
+                        vault: Some(vault), ..
+                    } = &record.state
+                    {
+                        let _ = self.storage.delete(&vault.clone());
+                    }
+                    record.state = ObjState::Inert { addr };
+                    (record.class, record.class_addr, host)
+                };
+                if let Some(h) = host {
+                    self.bump_host(&h, -1);
+                }
+                // Clear the class's Object Address column: the row
+                // reads NIL while the object is Inert (§3.7).
+                self.notify_class(
+                    ctx,
+                    class_addr,
+                    class,
+                    class_proto::SET_ADDRESS,
+                    vec![LegionValue::Loid(loid), LegionValue::Void],
+                );
+                if let Some(req) = requester {
+                    ctx.reply(&req, Ok(LegionValue::Void));
+                }
+                self.run_after_inert(ctx, loid);
+            }
+            Err(e) => {
+                if let Some(req) = requester {
+                    ctx.reply(&req, Err(format!("host deactivate failed: {e}")));
+                }
+            }
+        }
+    }
+
+    /// The peer magistrate replied to `ReceiveOpr`.
+    fn on_ship_reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        loid: Loid,
+        delete_after: bool,
+        requester: Box<Message>,
+        result: Result<LegionValue, String>,
+    ) {
+        match result {
+            Ok(_) => {
+                if delete_after {
+                    // Move = Copy then Delete (§3.8).
+                    if let Some(record) = self.objects.remove(&loid) {
+                        if let ObjState::Inert { addr } = &record.state {
+                            let _ = self.storage.delete(addr);
+                        }
+                        self.notify_class(
+                            ctx,
+                            record.class_addr,
+                            record.class,
+                            class_proto::REMOVE_MAGISTRATE,
+                            vec![LegionValue::Loid(loid), LegionValue::Loid(self.cfg.loid)],
+                        );
+                    }
+                }
+                ctx.reply(&requester, Ok(LegionValue::Void));
+            }
+            Err(e) => {
+                ctx.reply(&requester, Err(format!("ship failed: {e}")));
+            }
+        }
     }
 }
 
@@ -1274,38 +1281,13 @@ impl Endpoint for MagistrateEndpoint {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        if msg.is_reply() {
-            self.handle_reply(ctx, &msg);
-            return;
-        }
-        let Some(method) = msg.method().map(str::to_owned) else {
-            return;
-        };
-        // Heartbeats are a liveness signal, not a §3.8 request: no MayI
-        // gate (a paranoid policy must not blind the failure detector)
-        // and no reply (a dead Magistrate must not wedge its hosts).
-        if method == legion_ha::protocol::HEARTBEAT {
-            self.handle_heartbeat(ctx, &msg);
-            return;
-        }
-        // "Member function calls on Magistrates should be thought of as
-        // requests rather than commands."
-        if let Decision::Deny(reason) = self.mayi.may_i(&msg.env, &method) {
-            ctx.count("magistrate.refused");
-            ctx.reply(&msg, Err(format!("magistrate refused: {reason}")));
-            return;
-        }
-        match method.as_str() {
-            mag_proto::ACTIVATE => self.handle_activate(ctx, msg),
-            mag_proto::DEACTIVATE => self.handle_deactivate(ctx, msg),
-            mag_proto::DELETE => self.handle_delete(ctx, msg),
-            mag_proto::COPY => self.handle_copy_or_move(ctx, msg, false),
-            mag_proto::MOVE => self.handle_copy_or_move(ctx, msg, true),
-            mag_proto::CREATE_OBJECT => self.handle_create_object(ctx, msg),
-            mag_proto::RECEIVE_OPR => self.handle_receive_opr(ctx, msg),
-            other => {
-                ctx.reply(&msg, Err(format!("magistrate: no method {other}")));
+        if let Some(id) = reply_id(&msg) {
+            if let Some(k) = self.continuations.take(&id) {
+                k(self, ctx, reply_result(&msg));
             }
+            return;
         }
+        let table = Rc::clone(&self.table);
+        serve(&table, self, ctx, &msg);
     }
 }

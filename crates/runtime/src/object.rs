@@ -3,28 +3,36 @@
 //! An Active Legion object is "running as a process ... on one or more of
 //! the hosts in a Jurisdiction" (§3.1). This endpoint wraps a
 //! [`GenericObject`] (state + interface) and serves the object-mandatory
-//! member functions over messages, guarding every call with a `MayI()`
-//! policy (§2.4) evaluated against the message's ⟨RA, SA, CA⟩ triple.
+//! member functions through the shared dispatch layer, with its `MayI()`
+//! policy (§2.4) installed as the table's invocation gate — evaluated
+//! against the message's ⟨RA, SA, CA⟩ triple once, at the boundary.
+//!
+//! `GetInterface()` here deliberately answers with the *stored* interface
+//! (the instance's runtime-defined class interface), not the table-derived
+//! one: generic objects stand in for user classes created at run time
+//! (Derive/InheritFrom), so their published interface is data, not code.
 
 use crate::protocol::object as obj_methods;
-use legion_core::interface::Interface;
+use legion_core::dispatch::InvocationGate;
+use legion_core::interface::{Interface, ParamType};
 use legion_core::loid::Loid;
 use legion_core::object::{methods, GenericObject, ObjectMandatory};
 use legion_core::value::LegionValue;
 use legion_core::{address::ObjectAddressElement, idl};
+use legion_net::dispatch::{serve, MethodTable, Outcome, TableBuilder};
 use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint};
-use legion_security::mayi::{AllowAll, Decision, MayIPolicy};
+use legion_security::mayi::{AllowAll, MayIPolicy};
+use std::rc::Rc;
 
 /// A generic Active object: state map + interface + security policy.
 pub struct ActiveObjectEndpoint {
     obj: GenericObject,
     policy: Box<dyn MayIPolicy>,
+    table: Rc<MethodTable<Self>>,
     /// Address of the class endpoint (not used by the object itself, but
     /// part of its persistent knowledge, like the Binding Agent address).
     pub class_addr: Option<ObjectAddressElement>,
-    /// Denied calls, for the security experiments.
-    pub denied: u64,
 }
 
 impl ActiveObjectEndpoint {
@@ -33,8 +41,8 @@ impl ActiveObjectEndpoint {
         ActiveObjectEndpoint {
             obj: GenericObject::new(loid, interface),
             policy: Box::new(AllowAll),
+            table: Self::table(loid),
             class_addr: None,
-            denied: 0,
         }
     }
 
@@ -61,6 +69,75 @@ impl ActiveObjectEndpoint {
     pub fn object_mut(&mut self) -> &mut GenericObject {
         &mut self.obj
     }
+
+    fn table(loid: Loid) -> Rc<MethodTable<Self>> {
+        TableBuilder::new("object", "Object", loid)
+            .gate(|e: &Self| &e.policy as &dyn InvocationGate)
+            // `MayI` itself answers the question rather than being gated.
+            .ungated_method::<(Loid, String), _>(
+                methods::MAY_I,
+                &["caller", "method"],
+                ParamType::Bool,
+                |e, _ctx, _msg, (caller, m)| {
+                    let env = legion_core::env::InvocationEnv::solo(caller);
+                    Outcome::Reply(Ok(LegionValue::Bool(e.policy.may_i(&env, &m).is_allowed())))
+                },
+            )
+            .method::<(), _>(methods::IAM, &[], ParamType::Loid, |e, _ctx, _msg, ()| {
+                Outcome::Reply(Ok(LegionValue::Loid(e.obj.iam())))
+            })
+            .method::<(), _>(methods::PING, &[], ParamType::Uint, |e, _ctx, _msg, ()| {
+                Outcome::Reply(Ok(LegionValue::Uint(e.obj.version())))
+            })
+            .method::<(), _>(
+                methods::SAVE_STATE,
+                &[],
+                ParamType::Bytes,
+                |e, _ctx, _msg, ()| Outcome::Reply(Ok(LegionValue::Bytes(e.obj.save_state()))),
+            )
+            .method::<(Vec<u8>,), _>(
+                methods::RESTORE_STATE,
+                &["state"],
+                ParamType::Void,
+                |e, _ctx, _msg, (state,)| {
+                    Outcome::Reply(if e.obj.restore_state(&state) {
+                        Ok(LegionValue::Void)
+                    } else {
+                        Err("RestoreState: unintelligible payload".into())
+                    })
+                },
+            )
+            // Stored (instance) interface, not the intrinsic table one.
+            .method::<(), _>(
+                methods::GET_INTERFACE,
+                &[],
+                ParamType::Str,
+                |e, _ctx, _msg, ()| {
+                    Outcome::Reply(Ok(LegionValue::Str(idl::render(
+                        "Object",
+                        &e.obj.get_interface(),
+                    ))))
+                },
+            )
+            .method::<(String, LegionValue), _>(
+                obj_methods::SET,
+                &["key", "value"],
+                ParamType::Void,
+                |e, _ctx, _msg, (key, value)| {
+                    e.obj.set(key, value);
+                    Outcome::Reply(Ok(LegionValue::Void))
+                },
+            )
+            .method::<(String,), _>(
+                obj_methods::GET,
+                &["key"],
+                ParamType::Any,
+                |e, _ctx, _msg, (key,)| {
+                    Outcome::Reply(Ok(e.obj.get(&key).cloned().unwrap_or(LegionValue::Void)))
+                },
+            )
+            .seal()
+    }
 }
 
 impl Endpoint for ActiveObjectEndpoint {
@@ -68,15 +145,12 @@ impl Endpoint for ActiveObjectEndpoint {
         if msg.is_reply() {
             return;
         }
-        let Some(method) = msg.method().map(str::to_owned) else {
-            return;
-        };
-
         // Misdirected message: the sender's binding is stale and this
         // endpoint now hosts a different object (§4.1.4). Refuse loudly so
-        // the caller's communication layer can refresh.
+        // the caller's communication layer can refresh. This check runs
+        // before dispatch — it is about *addressing*, not the interface.
         if let Some(target) = msg.target {
-            if target != self.obj.iam() && method != methods::IAM {
+            if target != self.obj.iam() && msg.method() != Some(methods::IAM) {
                 ctx.count("object.misdirected");
                 ctx.reply(
                     &msg,
@@ -88,59 +162,8 @@ impl Endpoint for ActiveObjectEndpoint {
                 return;
             }
         }
-
-        // MayI gate (the method `MayI` itself answers the question rather
-        // than being gated).
-        if method != methods::MAY_I {
-            if let Decision::Deny(reason) = self.policy.may_i(&msg.env, &method) {
-                self.denied += 1;
-                ctx.count("object.denied");
-                ctx.reply(&msg, Err(format!("MayI refused: {reason}")));
-                return;
-            }
-        }
-
-        let result: Result<LegionValue, String> = match method.as_str() {
-            methods::MAY_I => match msg.args() {
-                [LegionValue::Loid(caller), LegionValue::Str(m)] => {
-                    let env = legion_core::env::InvocationEnv::solo(*caller);
-                    Ok(LegionValue::Bool(self.policy.may_i(&env, m).is_allowed()))
-                }
-                _ => Err("MayI(caller, method) expected".into()),
-            },
-            methods::IAM => Ok(LegionValue::Loid(self.obj.iam())),
-            methods::PING => Ok(LegionValue::Uint(self.obj.version())),
-            methods::SAVE_STATE => Ok(LegionValue::Bytes(self.obj.save_state())),
-            methods::RESTORE_STATE => match msg.args() {
-                [LegionValue::Bytes(state)] => {
-                    if self.obj.restore_state(state) {
-                        Ok(LegionValue::Void)
-                    } else {
-                        Err("RestoreState: unintelligible payload".into())
-                    }
-                }
-                _ => Err("RestoreState(bytes) expected".into()),
-            },
-            methods::GET_INTERFACE => Ok(LegionValue::Str(idl::render(
-                "Object",
-                &self.obj.get_interface(),
-            ))),
-            obj_methods::SET => match msg.args() {
-                [LegionValue::Str(key), value] => {
-                    self.obj.set(key.clone(), value.clone());
-                    Ok(LegionValue::Void)
-                }
-                _ => Err("Set(key, value) expected".into()),
-            },
-            obj_methods::GET => match msg.args() {
-                [LegionValue::Str(key)] => {
-                    Ok(self.obj.get(key).cloned().unwrap_or(LegionValue::Void))
-                }
-                _ => Err("Get(key) expected".into()),
-            },
-            other => Err(format!("{}: no method {other}", self.obj.iam())),
-        };
-        ctx.reply(&msg, result);
+        let table = Rc::clone(&self.table);
+        serve(&table, self, ctx, &msg);
     }
 }
 
@@ -268,6 +291,7 @@ mod tests {
         assert_eq!(last_reply(&k, probe), Ok(LegionValue::Void));
         call(&mut k, probe, oid, loid, "Nonsense", vec![]);
         assert!(last_reply(&k, probe).is_err());
+        assert_eq!(k.counters().get("object.unknown_method"), 1);
     }
 
     #[test]
@@ -300,7 +324,7 @@ mod tests {
         // ...but SaveState is not.
         call(&mut k, probe, oid, loid, methods::SAVE_STATE, vec![]);
         assert!(last_reply(&k, probe).unwrap_err().contains("MayI refused"));
-        assert_eq!(k.counters().get("object.denied"), 1);
+        assert_eq!(k.counters().get("object.refused"), 1);
         // And MayI() itself answers the question without being gated.
         call(
             &mut k,

@@ -11,15 +11,26 @@
 //! replies with that host's LOID. Callers pass the suggestion into the
 //! Magistrate's two-argument `Activate(loid, host)` — the paper's
 //! scheduling "hook".
+//!
+//! The scatter–gather is built on the shared [`Continuations`] store:
+//! each outbound `GetState` registers a typed continuation that folds the
+//! host's answer into the poll, so there is no hand-rolled call-id → poll
+//! bookkeeping here.
 
 use crate::protocol::host as host_proto;
 use legion_core::address::ObjectAddressElement;
 use legion_core::env::InvocationEnv;
+use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::value::LegionValue;
-use legion_net::message::{Body, CallId, Message};
+use legion_net::dispatch::{
+    cont_expecting, reply_id, reply_result, serve, Continuations, MethodTable, Outcome,
+    TableBuilder,
+};
+use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Method the agent exports.
 pub const SUGGEST_HOST: &str = "SuggestHost";
@@ -37,9 +48,10 @@ struct Poll {
 pub struct SchedulingAgentEndpoint {
     loid: Loid,
     hosts: Vec<(Loid, ObjectAddressElement)>,
-    pending: HashMap<CallId, u64>,
+    continuations: Continuations<Self>,
     polls: HashMap<u64, Poll>,
     next_poll: u64,
+    table: Rc<MethodTable<Self>>,
     /// Suggestions served (experiment accounting).
     pub suggestions: u64,
 }
@@ -50,11 +62,88 @@ impl SchedulingAgentEndpoint {
         SchedulingAgentEndpoint {
             loid,
             hosts,
-            pending: HashMap::new(),
+            continuations: Continuations::new(),
             polls: HashMap::new(),
             next_poll: 0,
+            table: Self::table(loid),
             suggestions: 0,
         }
+    }
+
+    fn table(loid: Loid) -> Rc<MethodTable<Self>> {
+        TableBuilder::new("sched_agent", "SchedulingAgent", loid)
+            .method::<(Loid,), _>(
+                SUGGEST_HOST,
+                &["target"],
+                ParamType::Loid,
+                |e: &mut Self, ctx, msg, (_target,)| {
+                    if e.hosts.is_empty() {
+                        return Outcome::Reply(Err("scheduling agent knows no hosts".into()));
+                    }
+                    let poll_id = e.next_poll;
+                    e.next_poll += 1;
+                    let mut outstanding = 0;
+                    let me = e.loid;
+                    for (host, element) in e.hosts.clone() {
+                        if let Some(call) = ctx.call(
+                            element,
+                            host,
+                            host_proto::GET_STATE,
+                            vec![],
+                            InvocationEnv::solo(me),
+                            Some(host),
+                        ) {
+                            // GetState reply: [running, capacity, cpu, mem].
+                            e.continuations.insert(
+                                call,
+                                cont_expecting::<Self, Vec<LegionValue>, _>(
+                                    move |e, ctx, state| e.absorb(ctx, poll_id, host, state),
+                                ),
+                            );
+                            outstanding += 1;
+                        }
+                    }
+                    if outstanding == 0 {
+                        return Outcome::Reply(Err("no host reachable".into()));
+                    }
+                    e.polls.insert(
+                        poll_id,
+                        Poll {
+                            requester: Box::new(msg.clone()),
+                            outstanding,
+                            best: None,
+                        },
+                    );
+                    Outcome::Pending
+                },
+            )
+            .get_interface()
+            .seal()
+    }
+
+    /// Fold one host's `GetState` answer into its poll.
+    fn absorb(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        poll_id: u64,
+        host: Loid,
+        state: Result<Vec<LegionValue>, String>,
+    ) {
+        if let Some(poll) = self.polls.get_mut(&poll_id) {
+            poll.outstanding -= 1;
+            if let Ok(items) = state {
+                if let (Some(running), Some(capacity)) = (
+                    items.first().and_then(|v| v.as_uint()),
+                    items.get(1).and_then(|v| v.as_uint()),
+                ) {
+                    let free = capacity.saturating_sub(running);
+                    if poll.best.map(|(f, _)| free > f).unwrap_or(free > 0) {
+                        poll.best = Some((free, host));
+                    }
+                }
+            }
+        }
+        self.finish(ctx, poll_id);
     }
 
     fn finish(&mut self, ctx: &mut Ctx<'_>, poll_id: u64) {
@@ -80,83 +169,14 @@ impl SchedulingAgentEndpoint {
 
 impl Endpoint for SchedulingAgentEndpoint {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        if msg.is_reply() {
-            let Body::Reply {
-                in_reply_to,
-                result,
-            } = &msg.body
-            else {
-                return;
-            };
-            let Some(poll_id) = self.pending.remove(in_reply_to) else {
-                return;
-            };
-            // GetState reply: [running, capacity, cpu, mem].
-            if let Some(poll) = self.polls.get_mut(&poll_id) {
-                poll.outstanding -= 1;
-                if let Ok(LegionValue::List(items)) = result {
-                    if let (Some(running), Some(capacity)) = (
-                        items.first().and_then(|v| v.as_uint()),
-                        items.get(1).and_then(|v| v.as_uint()),
-                    ) {
-                        let free = capacity.saturating_sub(running);
-                        // The host LOID rode along in msg.sender.
-                        if let Some(host) = msg.sender {
-                            if poll.best.map(|(f, _)| free > f).unwrap_or(free > 0) {
-                                poll.best = Some((free, host));
-                            }
-                        }
-                    }
-                }
+        if let Some(id) = reply_id(&msg) {
+            if let Some(resume) = self.continuations.take(&id) {
+                resume(self, ctx, reply_result(&msg));
             }
-            self.finish(ctx, poll_id);
             return;
         }
-        match msg.method() {
-            Some(SUGGEST_HOST) => {
-                if self.hosts.is_empty() {
-                    ctx.reply(&msg, Err("scheduling agent knows no hosts".into()));
-                    return;
-                }
-                let poll_id = self.next_poll;
-                self.next_poll += 1;
-                let mut outstanding = 0;
-                let me = self.loid;
-                let hosts = self.hosts.clone();
-                for (host_loid, element) in hosts {
-                    if let Some(call) = ctx.call(
-                        element,
-                        host_loid,
-                        host_proto::GET_STATE,
-                        vec![],
-                        InvocationEnv::solo(me),
-                        // The host's reply carries msg.sender = its own
-                        // LOID via reply_to target swap; we additionally
-                        // encode it by targeting — see reply handling.
-                        Some(host_loid),
-                    ) {
-                        self.pending.insert(call, poll_id);
-                        outstanding += 1;
-                    }
-                }
-                if outstanding == 0 {
-                    ctx.reply(&msg, Err("no host reachable".into()));
-                    return;
-                }
-                self.polls.insert(
-                    poll_id,
-                    Poll {
-                        requester: Box::new(msg),
-                        outstanding,
-                        best: None,
-                    },
-                );
-            }
-            Some(other) => {
-                ctx.reply(&msg, Err(format!("scheduling agent: no method {other}")));
-            }
-            None => {}
-        }
+        let table = Rc::clone(&self.table);
+        serve(&table, self, ctx, &msg);
     }
 }
 
@@ -165,6 +185,7 @@ mod tests {
     use super::*;
     use crate::host::{HostConfig, HostObjectEndpoint};
     use crate::protocol::ActivationSpec;
+    use legion_net::message::Body;
     use legion_net::sim::{EndpointId, SimKernel};
     use legion_net::topology::{Location, Topology};
     use legion_net::FaultPlan;
@@ -262,6 +283,12 @@ mod tests {
                 .suggestions,
             1
         );
+        // The scatter-gather left no dangling continuations behind.
+        assert!(k
+            .endpoint::<SchedulingAgentEndpoint>(agent)
+            .unwrap()
+            .continuations
+            .is_empty());
     }
 
     #[test]
@@ -336,5 +363,6 @@ mod tests {
             .cloned()
             .unwrap();
         assert!(r.unwrap_err().contains("no method"));
+        assert_eq!(k.counters().get("sched_agent.unknown_method"), 1);
     }
 }

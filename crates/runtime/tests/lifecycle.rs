@@ -420,8 +420,10 @@ fn derive_spawns_live_subclass() {
     let r = w.call_raw(sub_el, b.loid, class_proto::CREATE, vec![]);
     let inst = expect_binding(r);
     assert_eq!(inst.loid.class_id, b.loid.class_id);
-    // The subclass inherited the File interface (Read defined on File).
-    let r = w.call_raw(sub_el, b.loid, obj_m::GET_INTERFACE, vec![]);
+    // The subclass inherited the File *instance* interface (Read defined
+    // on File) — served by GetInstanceInterface, distinct from the class
+    // object's own table-derived GetInterface.
+    let r = w.call_raw(sub_el, b.loid, class_proto::GET_INSTANCE_INTERFACE, vec![]);
     match r {
         Ok(LegionValue::Str(s)) => assert!(s.contains("Read"), "inherited interface: {s}"),
         other => panic!("unexpected {other:?}"),

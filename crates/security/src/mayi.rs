@@ -227,6 +227,18 @@ impl MayIPolicy for AllOf {
     }
 }
 
+/// Adapt a boxed policy to the dispatch boundary's gate hook, so the
+/// MayI check runs once, in `legion_net::dispatch::serve`, for every
+/// gated method of every endpoint.
+impl legion_core::dispatch::InvocationGate for Box<dyn MayIPolicy> {
+    fn check(&self, env: &InvocationEnv, method: &str) -> Result<(), String> {
+        match self.may_i(env, method) {
+            Decision::Allow => Ok(()),
+            Decision::Deny(reason) => Err(reason),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -194,6 +194,6 @@ fn main() {
     println!(
         "\nrefusals recorded: magistrate={}, host={}",
         k.counters().get("magistrate.refused"),
-        k.counters().get("host.unauthorized"),
+        k.counters().get("host.refused"),
     );
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Dispatch-boundary lint: endpoint code must route method calls through
+# the shared typed invocation layer (legion-core::dispatch tables +
+# legion-net::dispatch serve), never hand-roll method-name matching or
+# raw argument pattern-slicing.
+#
+# Fails the build if `match method.as_str()` or `match msg.args()`
+# appears outside the dispatch layer itself and protocol/codec modules
+# (crates/*/src/protocol.rs), which are the one place hand-written
+# decoding is allowed — it is the codec.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowed_re='^crates/(core|net)/src/dispatch\.rs:|^crates/[^/]+/src/protocol\.rs:'
+
+hits=$(grep -rnE 'match[[:space:]]+(method\.as_str\(\)|msg\.args\(\))' \
+    crates/ --include='*.rs' | grep -vE "$allowed_re" || true)
+
+if [[ -n "$hits" ]]; then
+    echo "error: raw method/argument dispatch outside the shared invocation layer:" >&2
+    echo "$hits" >&2
+    echo >&2
+    echo "Register the method in the endpoint's MethodTable (legion-net::dispatch" >&2
+    echo "TableBuilder) with a typed FromArgs codec instead." >&2
+    exit 1
+fi
+echo "lint_dispatch: ok"
