@@ -1,0 +1,314 @@
+//! Campaign runner: execute many seeded schedules, collect invariant
+//! violations, and shrink violating schedules to minimal reproducers.
+//!
+//! The crate stays system-agnostic: a [`ChaosTarget`] owns the workload
+//! and the invariants (it builds a fresh system per run, injects the
+//! schedule's faults and crashes, drives to quiescence, then audits);
+//! this module owns the campaign loop and the delta-debugging shrinker.
+
+use crate::schedule::{ChaosSchedule, ScheduleBounds};
+use std::fmt;
+
+/// One invariant breach found after quiescence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke (short stable name, e.g. `"at-most-once"`).
+    pub invariant: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Convenience constructor.
+    pub fn new(invariant: impl Into<String>, detail: impl Into<String>) -> Self {
+        Violation {
+            invariant: invariant.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// What one chaos run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Invariant breaches (empty = clean run).
+    pub violations: Vec<Violation>,
+    /// A digest of the run's observable state; identical schedules must
+    /// produce identical digests (bit-reproducibility check).
+    pub digest: u64,
+}
+
+/// A system that can run one workload under one fault schedule.
+///
+/// Implementations MUST be deterministic: the same schedule always yields
+/// the same outcome (the campaign asserts this through `digest`).
+pub trait ChaosTarget {
+    /// Build a fresh system, run the workload under `schedule`, drive to
+    /// quiescence, audit the global invariants.
+    fn run(&mut self, schedule: &ChaosSchedule) -> RunOutcome;
+}
+
+/// Result of shrinking one violating schedule.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimal schedule still violating (1-minimal: removing any
+    /// single remaining part makes the violation disappear).
+    pub schedule: ChaosSchedule,
+    /// The violations the minimal schedule exhibits.
+    pub violations: Vec<Violation>,
+    /// Re-runs the shrinker spent.
+    pub runs: usize,
+}
+
+/// Per-seed campaign record.
+#[derive(Debug, Clone)]
+pub struct SeedReport {
+    /// The campaign seed.
+    pub seed: u64,
+    /// The generated schedule.
+    pub schedule: ChaosSchedule,
+    /// The run's digest.
+    pub digest: u64,
+    /// Violations (empty = clean).
+    pub violations: Vec<Violation>,
+    /// Present iff the run violated: the shrunk reproducer.
+    pub shrunk: Option<ShrinkResult>,
+}
+
+/// Aggregate campaign outcome.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// One record per seed, in seed order.
+    pub seeds: Vec<SeedReport>,
+}
+
+impl CampaignReport {
+    /// Seeds whose runs violated at least one invariant.
+    pub fn violating(&self) -> impl Iterator<Item = &SeedReport> {
+        self.seeds.iter().filter(|s| !s.violations.is_empty())
+    }
+
+    /// Did every run satisfy every invariant?
+    pub fn clean(&self) -> bool {
+        self.seeds.iter().all(|s| s.violations.is_empty())
+    }
+
+    /// XOR-fold of all per-seed digests: one number that changes if any
+    /// run's observable behavior changes.
+    pub fn campaign_digest(&self) -> u64 {
+        self.seeds.iter().fold(0u64, |acc, s| {
+            acc ^ s.digest.rotate_left((s.seed % 63) as u32)
+        })
+    }
+}
+
+/// Run `count` schedules (seeds `base_seed..base_seed+count`) against
+/// `target`. Every run executes twice to assert bit-reproducibility;
+/// violating schedules are shrunk to minimal reproducers.
+///
+/// # Panics
+///
+/// Panics if a target is non-deterministic (two runs of the same
+/// schedule disagree) — that is a harness bug no campaign result can be
+/// trusted over.
+pub fn run_campaign<T: ChaosTarget>(
+    target: &mut T,
+    base_seed: u64,
+    count: u64,
+    bounds: &ScheduleBounds,
+) -> CampaignReport {
+    let mut seeds = Vec::new();
+    for seed in base_seed..base_seed.saturating_add(count) {
+        let schedule = ChaosSchedule::generate(seed, bounds);
+        let outcome = target.run(&schedule);
+        let replay = target.run(&schedule);
+        assert_eq!(
+            outcome, replay,
+            "target is non-deterministic for {schedule}"
+        );
+        let shrunk = if outcome.violations.is_empty() {
+            None
+        } else {
+            Some(shrink(target, &schedule))
+        };
+        seeds.push(SeedReport {
+            seed,
+            schedule,
+            digest: outcome.digest,
+            violations: outcome.violations,
+            shrunk,
+        });
+    }
+    CampaignReport { seeds }
+}
+
+/// Every one-step simplification of `s`: drop one crash, one flap, one
+/// spike, or zero out one probability family.
+fn simplifications(s: &ChaosSchedule) -> Vec<ChaosSchedule> {
+    let mut out = Vec::new();
+    for i in 0..s.crashes.len() {
+        let mut c = s.clone();
+        c.crashes.remove(i);
+        out.push(c);
+    }
+    for i in 0..s.flaps.len() {
+        let mut c = s.clone();
+        c.flaps.remove(i);
+        out.push(c);
+    }
+    for i in 0..s.spikes.len() {
+        let mut c = s.clone();
+        c.spikes.remove(i);
+        out.push(c);
+    }
+    if s.drop_probability > 0.0 {
+        let mut c = s.clone();
+        c.drop_probability = 0.0;
+        out.push(c);
+    }
+    if s.duplicate_probability > 0.0 {
+        let mut c = s.clone();
+        c.duplicate_probability = 0.0;
+        out.push(c);
+    }
+    if s.reorder_probability > 0.0 {
+        let mut c = s.clone();
+        c.reorder_probability = 0.0;
+        c.reorder_jitter_ns = 0;
+        out.push(c);
+    }
+    out
+}
+
+/// Delta-debug `schedule` to a 1-minimal reproducer: greedily adopt any
+/// one-step simplification that still violates, until none does.
+///
+/// The returned schedule keeps the original seed, so the per-message
+/// fault verdicts — hash-derived from `(seed, message id)` — replay
+/// identically under the smaller plan.
+pub fn shrink<T: ChaosTarget>(target: &mut T, schedule: &ChaosSchedule) -> ShrinkResult {
+    let mut current = schedule.clone();
+    let mut violations = target.run(&current).violations;
+    let mut runs = 1;
+    assert!(
+        !violations.is_empty(),
+        "shrink() needs a violating schedule to start from"
+    );
+    'outer: loop {
+        for candidate in simplifications(&current) {
+            let outcome = target.run(&candidate);
+            runs += 1;
+            if !outcome.violations.is_empty() {
+                current = candidate;
+                violations = outcome.violations;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    ShrinkResult {
+        schedule: current,
+        violations,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::CrashEvent;
+
+    /// A synthetic target that "violates" iff the schedule both
+    /// duplicates messages and crashes host 1 — a two-factor bug the
+    /// shrinker must reduce to exactly those two factors.
+    struct TwoFactorBug;
+
+    impl ChaosTarget for TwoFactorBug {
+        fn run(&mut self, s: &ChaosSchedule) -> RunOutcome {
+            let dup = s.duplicate_probability > 0.0;
+            let crash1 = s.crashes.iter().any(|c| c.host == 1);
+            let violations = if dup && crash1 {
+                vec![Violation::new("at-most-once", "double activation")]
+            } else {
+                Vec::new()
+            };
+            // Digest must depend on every schedule part so determinism
+            // checks are meaningful.
+            let digest = (s.seed << 8)
+                ^ (s.crashes.len() as u64)
+                ^ ((s.duplicate_probability.to_bits()) >> 1)
+                ^ (s.flaps.len() as u64) << 3;
+            RunOutcome { violations, digest }
+        }
+    }
+
+    fn busy_schedule() -> ChaosSchedule {
+        let mut s = ChaosSchedule::quiet(11);
+        s.drop_probability = 0.01;
+        s.duplicate_probability = 0.05;
+        s.reorder_probability = 0.1;
+        s.reorder_jitter_ns = 500;
+        s.crashes = vec![
+            CrashEvent { at_ns: 10, host: 0 },
+            CrashEvent { at_ns: 20, host: 1 },
+            CrashEvent { at_ns: 30, host: 2 },
+        ];
+        s
+    }
+
+    #[test]
+    fn shrink_finds_the_minimal_two_factor_reproducer() {
+        let mut t = TwoFactorBug;
+        let r = shrink(&mut t, &busy_schedule());
+        assert_eq!(r.schedule.crashes, vec![CrashEvent { at_ns: 20, host: 1 }]);
+        assert!(r.schedule.duplicate_probability > 0.0);
+        assert_eq!(r.schedule.drop_probability, 0.0);
+        assert_eq!(r.schedule.reorder_probability, 0.0);
+        assert!(r.schedule.spikes.is_empty());
+        assert!(r.schedule.flaps.is_empty());
+        assert_eq!(r.schedule.weight(), 2, "1-minimal: dup + crash(h1) only");
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.runs > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "violating schedule")]
+    fn shrink_rejects_clean_schedules() {
+        let mut t = TwoFactorBug;
+        shrink(&mut t, &ChaosSchedule::quiet(1));
+    }
+
+    #[test]
+    fn campaign_reports_and_shrinks_violations() {
+        let mut t = TwoFactorBug;
+        // Default bounds: hosts=4, so some seeds crash host 1 while
+        // duplicating. Scan enough seeds to hit at least one.
+        let report = run_campaign(&mut t, 0, 40, &ScheduleBounds::default());
+        assert_eq!(report.seeds.len(), 40);
+        let violating: Vec<_> = report.violating().collect();
+        assert!(
+            !violating.is_empty(),
+            "40 seeds never combined duplication with a host-1 crash"
+        );
+        for v in &violating {
+            let shrunk = v.shrunk.as_ref().expect("violating seeds are shrunk");
+            assert_eq!(shrunk.schedule.weight(), 2);
+            assert_eq!(shrunk.schedule.seed, v.seed, "reproducer keeps the seed");
+        }
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn campaign_digest_is_stable() {
+        let mut t = TwoFactorBug;
+        let a = run_campaign(&mut t, 5, 10, &ScheduleBounds::default()).campaign_digest();
+        let b = run_campaign(&mut t, 5, 10, &ScheduleBounds::default()).campaign_digest();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic chaos campaigns for the Legion model.
+//!
+//! Distributed-system bugs hide in the cross product of fault timings; a
+//! fixed test can only pin one point of it. This crate explores the space
+//! the way property-based testing explores value space:
+//!
+//! 1. **generate** a random-but-seeded fault [`ChaosSchedule`] — message
+//!    drops, duplication, reordering jitter, delay spikes, flapping
+//!    partitions, endpoint crashes ([`schedule`]);
+//! 2. **run** a full workload under it through a [`ChaosTarget`], which
+//!    checks global invariants after quiescence (no lost or duplicated
+//!    objects, binding coherence, every call resolved, no leaked
+//!    continuations) and reports [`Violation`]s ([`campaign`]);
+//! 3. on violation, **shrink** the schedule to a minimal reproducer —
+//!    fewest crash/flap/spike events and fault probabilities still
+//!    exhibiting the violation — and print the seed+schedule that
+//!    reproduces it bit-for-bit.
+//!
+//! Everything is deterministic per seed: the schedule comes from a
+//! [`SmallRng`](rand::rngs::SmallRng) seeded with the campaign seed, and
+//! the fault verdicts inside the run are hash-derived per message, so a
+//! printed reproducer replays exactly.
+
+pub mod campaign;
+pub mod schedule;
+
+pub use campaign::{
+    run_campaign, shrink, CampaignReport, ChaosTarget, RunOutcome, SeedReport, ShrinkResult,
+    Violation,
+};
+pub use schedule::{ChaosSchedule, CrashEvent, ScheduleBounds};

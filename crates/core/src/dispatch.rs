@@ -44,6 +44,7 @@ use crate::env::InvocationEnv;
 use crate::error::CoreError;
 use crate::interface::{Interface, MethodSignature, ParamType};
 use crate::loid::Loid;
+use crate::time::SimTime;
 use crate::value::LegionValue;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -505,8 +506,9 @@ pub struct ContinuationStats {
     pub inserted: u64,
     /// Continuations taken for resolution (a reply arrived).
     pub taken: u64,
-    /// Continuations cancelled before any reply.
-    pub cancelled: u64,
+    /// Continuations expired by a deadline sweep (no reply in time; the
+    /// endpoint owes the caller a uniform timeout reply instead).
+    pub expired: u64,
 }
 
 /// The shared call-id → continuation store that replaces every
@@ -515,9 +517,16 @@ pub struct ContinuationStats {
 /// Generic over the key `K` (the transport's call-id type) and the stored
 /// continuation `C` (a transport-level `FnOnce` closure). A `BTreeMap`
 /// keeps any iteration deterministic.
+///
+/// A continuation registered with [`Continuations::insert_with_deadline`]
+/// also records when the endpoint stops waiting for its reply; the
+/// endpoint's deadline sweep ([`Continuations::take_expired`]) collects
+/// every overdue continuation so it can be resolved with a uniform
+/// timeout error instead of leaking forever when the reply was lost.
 #[derive(Debug)]
 pub struct Continuations<K: Ord, C> {
     map: BTreeMap<K, C>,
+    deadlines: BTreeMap<K, SimTime>,
     stats: ContinuationStats,
 }
 
@@ -525,6 +534,7 @@ impl<K: Ord, C> Default for Continuations<K, C> {
     fn default() -> Self {
         Continuations {
             map: BTreeMap::new(),
+            deadlines: BTreeMap::new(),
             stats: ContinuationStats::default(),
         }
     }
@@ -536,10 +546,24 @@ impl<K: Ord, C> Continuations<K, C> {
         Self::default()
     }
 
-    /// Register the continuation for a call-id. Returns the displaced
-    /// continuation if the id was (erroneously) reused.
+    /// Register the continuation for a call-id, with no deadline (the
+    /// endpoint waits forever). Returns the displaced continuation if the
+    /// id was (erroneously) reused.
     pub fn insert(&mut self, key: K, cont: C) -> Option<C> {
         self.stats.inserted += 1;
+        self.deadlines.remove(&key);
+        self.map.insert(key, cont)
+    }
+
+    /// Register the continuation for a call-id and stop waiting for its
+    /// reply at `deadline`: a later [`Continuations::take_expired`] sweep
+    /// collects it for a uniform timeout resolution.
+    pub fn insert_with_deadline(&mut self, key: K, cont: C, deadline: SimTime) -> Option<C>
+    where
+        K: Clone,
+    {
+        self.stats.inserted += 1;
+        self.deadlines.insert(key.clone(), deadline);
         self.map.insert(key, cont)
     }
 
@@ -550,17 +574,38 @@ impl<K: Ord, C> Continuations<K, C> {
         let c = self.map.remove(key);
         if c.is_some() {
             self.stats.taken += 1;
+            self.deadlines.remove(key);
         }
         c
     }
 
-    /// Drop the continuation awaiting `key` (e.g. a timeout fired first).
-    pub fn cancel(&mut self, key: &K) -> Option<C> {
-        let c = self.map.remove(key);
-        if c.is_some() {
-            self.stats.cancelled += 1;
+    /// Collect every continuation whose deadline has passed at `now`, in
+    /// key order. The caller resolves each with a uniform timeout error —
+    /// overdue calls produce a reply, they do not leak.
+    pub fn take_expired(&mut self, now: SimTime) -> Vec<(K, C)>
+    where
+        K: Clone,
+    {
+        let due: Vec<K> = self
+            .deadlines
+            .iter()
+            .filter(|(_, d)| **d <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut out = Vec::with_capacity(due.len());
+        for key in due {
+            self.deadlines.remove(&key);
+            if let Some(c) = self.map.remove(&key) {
+                self.stats.expired += 1;
+                out.push((key, c));
+            }
         }
-        c
+        out
+    }
+
+    /// The earliest recorded deadline, if any continuation has one.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.deadlines.values().min().copied()
     }
 
     /// Is a continuation waiting on `key`?
@@ -683,19 +728,46 @@ mod tests {
     }
 
     #[test]
-    fn continuations_take_and_cancel() {
+    fn continuations_take_and_expire() {
         let mut c: Continuations<u64, &'static str> = Continuations::new();
         assert!(c.is_empty());
         assert!(c.insert(1, "a").is_none());
-        assert!(c.insert(2, "b").is_none());
+        assert!(c.insert_with_deadline(2, "b", SimTime(100)).is_none());
         assert_eq!(c.len(), 2);
         assert!(c.contains(&1));
+        assert_eq!(c.next_deadline(), Some(SimTime(100)));
         assert_eq!(c.take(&1), Some("a"));
         assert_eq!(c.take(&1), None);
-        assert_eq!(c.cancel(&2), Some("b"));
+        // Before the deadline, the sweep finds nothing.
+        assert!(c.take_expired(SimTime(99)).is_empty());
+        assert_eq!(c.take_expired(SimTime(100)), vec![(2, "b")]);
         assert!(c.is_empty());
+        assert_eq!(c.next_deadline(), None);
         let s = c.stats();
-        assert_eq!((s.inserted, s.taken, s.cancelled), (2, 1, 1));
+        assert_eq!((s.inserted, s.taken, s.expired), (2, 1, 1));
+    }
+
+    #[test]
+    fn reply_beats_deadline_leaves_nothing_to_expire() {
+        let mut c: Continuations<u64, &'static str> = Continuations::new();
+        c.insert_with_deadline(7, "x", SimTime(50));
+        // The reply arrives first: taking the continuation clears its
+        // deadline, so a later sweep must not double-resolve the call.
+        assert_eq!(c.take(&7), Some("x"));
+        assert!(c.take_expired(SimTime(1_000)).is_empty());
+        assert_eq!(c.stats().expired, 0);
+    }
+
+    #[test]
+    fn expired_sweep_is_ordered_and_partial() {
+        let mut c: Continuations<u64, &'static str> = Continuations::new();
+        c.insert_with_deadline(3, "c", SimTime(30));
+        c.insert_with_deadline(1, "a", SimTime(10));
+        c.insert_with_deadline(2, "b", SimTime(99));
+        let due = c.take_expired(SimTime(40));
+        assert_eq!(due, vec![(1, "a"), (3, "c")]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.next_deadline(), Some(SimTime(99)));
     }
 
     #[test]

@@ -71,6 +71,12 @@ pub enum CoreError {
         /// What was wrong: arity, or a positional type mismatch.
         detail: String,
     },
+    /// A pending call produced no reply before the caller's deadline (the
+    /// uniform reply a deadline sweep substitutes for a lost response).
+    Timeout {
+        /// How long the caller waited, in virtual nanoseconds.
+        after_ns: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -114,6 +120,9 @@ impl fmt::Display for CoreError {
             CoreError::SignatureMismatch { signature, detail } => {
                 write!(f, "bad arguments: expected {signature} ({detail})")
             }
+            CoreError::Timeout { after_ns } => {
+                write!(f, "call timed out after {after_ns}ns")
+            }
         }
     }
 }
@@ -135,6 +144,10 @@ mod tests {
             (CoreError::UnknownLoid(l), "unknown"),
             (CoreError::NotAClass(l), "not a class"),
             (CoreError::ClassIdExhausted, "exhausted"),
+            (
+                CoreError::Timeout { after_ns: 500 },
+                "timed out after 500ns",
+            ),
         ];
         for (err, needle) in cases {
             assert!(

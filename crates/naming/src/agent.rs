@@ -20,9 +20,10 @@
 //! object for an updated binding", §3.6).
 //!
 //! Upstream replies resume typed continuations from the shared
-//! [`Continuations`] store; a per-call timer injects the
-//! [`UPSTREAM_TIMEOUT`] sentinel into the same continuation, so the
-//! retry policy lives in exactly one place.
+//! [`Continuations`] store; each call is registered with a deadline and
+//! a per-call timer drives the shared deadline sweep, which resolves
+//! overdue continuations with the uniform timeout error — so the retry
+//! policy lives in exactly one place.
 
 use crate::cache::BindingCache;
 use crate::protocol::{
@@ -36,17 +37,13 @@ use legion_core::loid::Loid;
 use legion_core::value::LegionValue;
 use legion_core::wellknown::{is_core_class, LEGION_CLASS};
 use legion_net::dispatch::{
-    cont, reply_id, reply_result, serve, Continuation, Continuations, MethodTable, Outcome,
-    TableBuilder,
+    cont, insert_pending, is_timeout, reply_id, reply_result, serve, sweep_expired, Continuation,
+    Continuations, MethodTable, Outcome, TableBuilder,
 };
-use legion_net::message::{CallId, Message};
+use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint};
 use std::collections::HashMap;
 use std::rc::Rc;
-
-/// The error a timed-out upstream call injects into its continuation.
-/// Distinguished from real upstream errors: timeouts retry, errors don't.
-const UPSTREAM_TIMEOUT: &str = "upstream timeout";
 
 /// Configuration of one Binding Agent.
 #[derive(Debug, Clone)]
@@ -270,8 +267,8 @@ impl BindingAgentEndpoint {
                         Err(err) => err,
                         Ok(v) => format!("unexpected payload {v}"),
                     };
-                    if reason == UPSTREAM_TIMEOUT {
-                        e.retry_or_fail(ctx, target, UPSTREAM_TIMEOUT);
+                    if is_timeout(&reason) {
+                        e.retry_or_fail(ctx, target, &reason);
                     } else {
                         e.complete(ctx, target, Err(reason));
                     }
@@ -291,8 +288,8 @@ impl BindingAgentEndpoint {
                 e.complete(ctx, target, Err(v));
             }
             Err(err) => {
-                if err == UPSTREAM_TIMEOUT {
-                    e.retry_or_fail(ctx, target, UPSTREAM_TIMEOUT);
+                if is_timeout(&err) {
+                    e.retry_or_fail(ctx, target, &err);
                 } else {
                     e.complete(ctx, target, Err(err));
                 }
@@ -451,8 +448,16 @@ impl BindingAgentEndpoint {
         let env = InvocationEnv::solo(self.cfg.loid);
         match ctx.call(to, frame_target, method, args, env, Some(self.cfg.loid)) {
             Some(call_id) => {
-                self.continuations.insert(call_id, k);
-                ctx.set_timer(self.cfg.request_timeout_ns, call_id.0);
+                // Tag the sweep timer with the raw call id so traces stay
+                // attributable to the call that armed them.
+                insert_pending(
+                    &mut self.continuations,
+                    ctx,
+                    call_id,
+                    k,
+                    Some(self.cfg.request_timeout_ns),
+                    call_id.0,
+                );
                 true
             }
             None => false,
@@ -524,11 +529,14 @@ impl Endpoint for BindingAgentEndpoint {
         serve(&table, self, ctx, &msg);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
-        let call_id = CallId(tag);
-        if let Some(resume) = self.continuations.take(&call_id) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+        fn conts(e: &mut BindingAgentEndpoint) -> &mut Continuations<BindingAgentEndpoint> {
+            &mut e.continuations
+        }
+        let after_ns = self.cfg.request_timeout_ns;
+        let expired = sweep_expired(self, ctx, conts, after_ns);
+        for _ in 0..expired {
             ctx.count("ba.timeout");
-            resume(self, ctx, Err(UPSTREAM_TIMEOUT.into()));
         }
     }
 }

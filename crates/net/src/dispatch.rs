@@ -29,6 +29,7 @@ use crate::sim::Ctx;
 use legion_core::dispatch::{
     self as model, FromArg, FromArgs, InvocationGate, MethodTable as ModelTable, Verdict,
 };
+use legion_core::error::CoreError;
 use legion_core::idl;
 use legion_core::interface::{Interface, MethodSignature, ParamType};
 use legion_core::loid::Loid;
@@ -81,6 +82,69 @@ where
         };
         f(e, ctx, typed)
     })
+}
+
+/// Timer tag endpoints reserve for their continuation deadline sweep.
+/// High in the tag space, so it never collides with protocol timers or
+/// with naming-agent per-call tags (raw call ids, which count up from 1).
+pub const TIMER_DEADLINE_SWEEP: u64 = 0x4444_4c53_5745_4550; // "DDLSWEEP"
+
+/// The uniform timeout rendering a deadline sweep substitutes for a reply
+/// that never came ([`CoreError::Timeout`] on the wire).
+pub fn timeout_error(after_ns: u64) -> String {
+    CoreError::Timeout { after_ns }.to_string()
+}
+
+/// Does `err` carry the uniform timeout rendering? Continuations that
+/// retry on timeout (but fail fast on typed errors) branch on this.
+pub fn is_timeout(err: &str) -> bool {
+    err.starts_with("call timed out after ")
+}
+
+/// Register a continuation under the endpoint's deadline policy.
+///
+/// With `deadline_ns = None` the endpoint waits forever (the historical
+/// behavior — no timer events are created, so fault-free runs are
+/// untouched). With `Some(d)`, the continuation is recorded with deadline
+/// `now + d` and a sweep timer is armed `d` from now with `timer_tag`
+/// (usually [`TIMER_DEADLINE_SWEEP`]); the endpoint's `on_timer` then
+/// calls [`sweep_expired`].
+pub fn insert_pending<E>(
+    conts: &mut Continuations<E>,
+    ctx: &mut Ctx<'_>,
+    id: CallId,
+    k: Continuation<E>,
+    deadline_ns: Option<u64>,
+    timer_tag: u64,
+) {
+    match deadline_ns {
+        None => {
+            conts.insert(id, k);
+        }
+        Some(d) => {
+            conts.insert_with_deadline(id, k, ctx.now().saturating_add(d));
+            ctx.set_timer(d, timer_tag);
+        }
+    }
+}
+
+/// The deadline sweep: resolve every overdue continuation with the
+/// uniform timeout error ([`timeout_error`]). Returns how many expired.
+///
+/// `conts` is an accessor (not a borrow) so each continuation can receive
+/// `&mut E` without aliasing the store.
+pub fn sweep_expired<E>(
+    endpoint: &mut E,
+    ctx: &mut Ctx<'_>,
+    conts: fn(&mut E) -> &mut Continuations<E>,
+    after_ns: u64,
+) -> usize {
+    let due = conts(endpoint).take_expired(ctx.now());
+    let n = due.len();
+    for (_, k) in due {
+        k(endpoint, ctx, Err(timeout_error(after_ns)));
+    }
+    n
 }
 
 /// If `msg` is a reply, yield the call-id it answers. Endpoints use this

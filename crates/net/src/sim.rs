@@ -18,7 +18,7 @@
 //! (connection refused) — this is the §4.1.4 signal that a cached binding
 //! has gone stale. Random drops and partitions are *silent*.
 
-use crate::faults::{FaultPlan, Verdict};
+use crate::faults::{DedupState, FaultPlan, Verdict};
 use crate::message::{CallId, Message};
 use crate::metrics::{Counters, EndpointMetrics, Histogram, MetricsSnapshot, WindowedCounters};
 use crate::topology::{Location, Topology};
@@ -91,9 +91,30 @@ pub struct EndpointMeta {
     pub alive: bool,
 }
 
+/// How many per-sender sequence numbers each receiver remembers for
+/// at-most-once delivery. Far larger than any realistic in-flight window,
+/// so reordered originals are never mistaken for duplicates.
+const DEDUP_WINDOW: usize = 1024;
+
 struct Slot {
     ep: Option<Box<dyn Endpoint>>,
     meta: EndpointMeta,
+    /// Next per-sender sequence number stamped onto this endpoint's sends.
+    next_seq: u64,
+    /// Receiver half of at-most-once delivery: sequence numbers already
+    /// admitted, per sender.
+    seen: DedupState,
+}
+
+impl Slot {
+    fn new(meta: EndpointMeta, ep: Box<dyn Endpoint>) -> Self {
+        Slot {
+            ep: Some(ep),
+            meta,
+            next_seq: 0,
+            seen: DedupState::new(DEDUP_WINDOW),
+        }
+    }
 }
 
 enum EventKind {
@@ -110,6 +131,10 @@ struct Event {
     /// deliveries, the context captured when the timer was armed for
     /// timers, none for starts.
     trace: TraceContext,
+    /// `(sender, per-sender sequence number)` for deliveries: the key the
+    /// receiver's at-most-once window checks. A duplicated message's two
+    /// copies share one key. `None` for starts and timers.
+    dedup: Option<(u64, u64)>,
     kind: EventKind,
 }
 
@@ -164,6 +189,11 @@ struct Inner {
     /// The trace context of the handler currently executing (stamped onto
     /// outgoing sends and captured by armed timers).
     current: TraceContext,
+    /// Sequence counter for sends injected from outside the kernel.
+    external_seq: u64,
+    /// At-most-once delivery on/off (off only to demonstrate what a
+    /// duplicating network does to an unprotected endpoint).
+    dedup_enabled: bool,
 }
 
 /// The outcome of sending through an [`ObjectAddress`].
@@ -208,6 +238,8 @@ impl SimKernel {
                 stats: KernelStats::default(),
                 sink: TraceSink::disabled(),
                 current: TraceContext::NONE,
+                external_seq: 0,
+                dedup_enabled: true,
             },
         }
     }
@@ -225,9 +257,8 @@ impl SimKernel {
         name: impl Into<String>,
     ) -> EndpointId {
         let id = EndpointId(self.slots.len() as u64);
-        self.slots.push(Slot {
-            ep: Some(ep),
-            meta: EndpointMeta {
+        self.slots.push(Slot::new(
+            EndpointMeta {
                 location,
                 name: name.into(),
                 received: 0,
@@ -235,13 +266,15 @@ impl SimKernel {
                 in_latency: Histogram::new(),
                 alive: true,
             },
-        });
+            ep,
+        ));
         let seq = self.inner.bump_seq();
         self.inner.queue.push(Reverse(Event {
             at: self.inner.now,
             seq,
             to: id,
             trace: TraceContext::NONE,
+            dedup: None,
             kind: EventKind::Start,
         }));
         id
@@ -445,9 +478,22 @@ impl SimKernel {
             seq,
             to,
             trace: TraceContext::NONE,
+            dedup: None,
             kind: EventKind::Timer(tag),
         }));
         true
+    }
+
+    /// Turn the receiver-side at-most-once window off (or back on).
+    /// On by default; switching it off exists solely to demonstrate what
+    /// a duplicating network does to an unprotected endpoint.
+    pub fn set_dedup_enabled(&mut self, on: bool) {
+        self.inner.dedup_enabled = on;
+    }
+
+    /// Is the at-most-once window active?
+    pub fn dedup_enabled(&self) -> bool {
+        self.inner.dedup_enabled
     }
 
     /// Process the next event. Returns `false` when the queue is empty.
@@ -479,6 +525,23 @@ impl SimKernel {
                 );
             }
             return true;
+        }
+        // At-most-once: a delivery whose (sender, seq) the receiver has
+        // already admitted is suppressed before the endpoint sees it.
+        if self.inner.dedup_enabled {
+            if let (EventKind::Deliver(msg), Some((sender, seq_no))) = (&ev.kind, ev.dedup) {
+                if !self.slots[idx].seen.admit(sender, seq_no) {
+                    self.inner.note_count("net.dedup_dropped", 1);
+                    self.inner.record_span(
+                        ev.trace,
+                        SpanId::NONE,
+                        SpanEventKind::Dedup,
+                        idx as u64,
+                        &format!("dedup:{}", kind_label(msg)),
+                    );
+                    return true;
+                }
+            }
         }
         let mut ep = self.slots[idx].ep.take().expect("alive implies present");
         {
@@ -532,6 +595,7 @@ impl SimKernel {
                     seq,
                     to: id,
                     trace: TraceContext::NONE,
+                    dedup: None,
                     kind: EventKind::Start,
                 }));
             }
@@ -686,45 +750,105 @@ fn send_one(
     }
     let dest_location = dest.meta.location;
     inner.stats.sent += 1;
-    match inner
+    // Stamp the per-sender sequence number the receiver's at-most-once
+    // window will check (kernel-level; endpoints never see it).
+    let seq_no = match from_slot {
+        Some(i) => {
+            let s = slots[i].next_seq;
+            slots[i].next_seq += 1;
+            s
+        }
+        None => {
+            let s = inner.external_seq;
+            inner.external_seq += 1;
+            s
+        }
+    };
+    let verdict = inner
         .faults
-        .judge(from_location, dest_location, &mut inner.rng)
-    {
-        Verdict::DropSilently => {
-            inner.stats.lost += 1;
-            inner.record_span(
-                msg.env.trace,
-                SpanId::NONE,
-                SpanEventKind::Drop,
-                from_ep,
-                "drop:silent",
-            );
-            true
-        }
-        Verdict::Deliver => {
-            let delay = inner
-                .topology
-                .latency(from_location, dest_location, &mut inner.rng);
-            inner.latency.record(delay.as_nanos());
-            inner
-                .by_kind
-                .entry(kind_label(&msg))
-                .or_default()
-                .record(delay.as_nanos());
-            slots[ep as usize].meta.in_latency.record(delay.as_nanos());
-            let at = inner.now.saturating_add(delay.as_nanos());
-            let seq = inner.bump_seq();
-            let trace = msg.env.trace;
-            inner.queue.push(Reverse(Event {
-                at,
-                seq,
-                to: EndpointId(ep),
-                trace,
-                kind: EventKind::Deliver(Box::new(msg)),
-            }));
-            true
-        }
+        .judge(msg.id.0, from_location, dest_location, inner.now);
+    if verdict == Verdict::DropSilently {
+        inner.stats.lost += 1;
+        inner.record_span(
+            msg.env.trace,
+            SpanId::NONE,
+            SpanEventKind::Drop,
+            from_ep,
+            "drop:silent",
+        );
+        return true;
     }
+    // Latency is sampled only for messages that actually deliver, so the
+    // RNG stream of a run without adversarial verdicts is unchanged.
+    let delay = inner
+        .topology
+        .latency(from_location, dest_location, &mut inner.rng)
+        .as_nanos();
+    let (effective, copy_after) = match verdict {
+        Verdict::Deliver => (delay, None),
+        Verdict::Delay { extra_ns, factor } => (
+            delay.saturating_mul(factor as u64).saturating_add(extra_ns),
+            None,
+        ),
+        Verdict::Duplicate { extra_ns } => (delay, Some(extra_ns)),
+        Verdict::DropSilently => unreachable!("handled above"),
+    };
+    if let Verdict::Delay { extra_ns, factor } = verdict {
+        inner.note_count("net.delayed", 1);
+        inner.record_span(
+            msg.env.trace,
+            SpanId::NONE,
+            SpanEventKind::Delay,
+            from_ep,
+            &format!("delay:x{factor}+{extra_ns}ns"),
+        );
+    }
+    inner.latency.record(effective);
+    inner
+        .by_kind
+        .entry(kind_label(&msg))
+        .or_default()
+        .record(effective);
+    slots[ep as usize].meta.in_latency.record(effective);
+    let at = inner.now.saturating_add(effective);
+    let trace = msg.env.trace;
+    let dedup = Some((from_ep, seq_no));
+    let copy = if let Some(extra_ns) = copy_after {
+        inner.note_count("net.duplicated", 1);
+        inner.record_span(
+            trace,
+            SpanId::NONE,
+            SpanEventKind::Duplicate,
+            from_ep,
+            &format!("dup:+{extra_ns}ns"),
+        );
+        Some((at.saturating_add(extra_ns), Box::new(msg.clone())))
+    } else {
+        None
+    };
+    let seq = inner.bump_seq();
+    inner.queue.push(Reverse(Event {
+        at,
+        seq,
+        to: EndpointId(ep),
+        trace,
+        dedup,
+        kind: EventKind::Deliver(Box::new(msg)),
+    }));
+    // The duplicate copy shares the original's dedup key: with the
+    // at-most-once window on, exactly one of the two reaches the endpoint.
+    if let Some((copy_at, copy_msg)) = copy {
+        let seq = inner.bump_seq();
+        inner.queue.push(Reverse(Event {
+            at: copy_at,
+            seq,
+            to: EndpointId(ep),
+            trace,
+            dedup,
+            kind: EventKind::Deliver(copy_msg),
+        }));
+    }
+    true
 }
 
 /// The handler-side view of the kernel.
@@ -939,6 +1063,7 @@ impl Ctx<'_> {
             seq,
             to: self.self_id,
             trace,
+            dedup: None,
             kind: EventKind::Timer(tag),
         }));
     }
@@ -952,9 +1077,8 @@ impl Ctx<'_> {
         name: impl Into<String>,
     ) -> EndpointId {
         let id = EndpointId(self.slots.len() as u64);
-        self.slots.push(Slot {
-            ep: Some(ep),
-            meta: EndpointMeta {
+        self.slots.push(Slot::new(
+            EndpointMeta {
                 location,
                 name: name.into(),
                 received: 0,
@@ -962,7 +1086,8 @@ impl Ctx<'_> {
                 in_latency: Histogram::new(),
                 alive: true,
             },
-        });
+            ep,
+        ));
         self.spawned.push(id);
         id
     }
@@ -1615,5 +1740,159 @@ mod tests {
         assert_eq!(k.now(), SimTime(5_000));
         k.remove_endpoint(t);
         assert!(!k.set_timer(t, 1_000, 9), "dead endpoint: refused");
+    }
+
+    #[test]
+    fn duplicated_message_is_delivered_exactly_once() {
+        let mut k = SimKernel::new(Topology::zero(), FaultPlan::seeded(3), 7);
+        k.enable_tracing(64);
+        k.faults_mut().set_duplicate_probability(1.0);
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        let cid = k.fresh_call_id();
+        let msg = Message::call(
+            cid,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous(),
+        );
+        assert!(k.inject(Location::new(0, 1), echo.element(), msg));
+        k.run_until_quiescent(20);
+        // The copy was queued but the at-most-once window suppressed it.
+        assert_eq!(k.meta(echo).unwrap().received, 1);
+        assert_eq!(k.counters().get("net.duplicated"), 1);
+        assert_eq!(k.counters().get("net.dedup_dropped"), 1);
+        assert_eq!(k.endpoint::<Echo>(echo).unwrap().got.len(), 1);
+        let events = k.drain_trace();
+        assert!(events.iter().any(|e| e.kind == SpanEventKind::Duplicate));
+        assert!(events.iter().any(|e| e.kind == SpanEventKind::Dedup));
+    }
+
+    #[test]
+    fn dedup_disabled_exposes_endpoints_to_duplicates() {
+        let mut k = SimKernel::new(Topology::zero(), FaultPlan::seeded(3), 7);
+        k.set_dedup_enabled(false);
+        assert!(!k.dedup_enabled());
+        k.faults_mut().set_duplicate_probability(1.0);
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        let cid = k.fresh_call_id();
+        let msg = Message::call(
+            cid,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous(),
+        );
+        assert!(k.inject(Location::new(0, 1), echo.element(), msg));
+        k.run_until_quiescent(20);
+        // Without the window the endpoint executes the call twice.
+        assert_eq!(k.meta(echo).unwrap().received, 2);
+        assert_eq!(k.endpoint::<Echo>(echo).unwrap().got.len(), 2);
+    }
+
+    #[test]
+    fn delay_spike_stretches_delivery_time() {
+        let mut plan = FaultPlan::none();
+        plan.add_delay_spike(crate::faults::DelaySpike {
+            jurisdiction: None,
+            from_ns: 0,
+            until_ns: 100_000,
+            multiplier: 3,
+        });
+        let mut k = SimKernel::new(Topology::fixed(1_000, 10_000, 1_000_000), plan, 42);
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        let client = k.add_endpoint(Box::new(Client::default()), Location::new(0, 1), "client");
+        let cid = k.fresh_call_id();
+        let mut msg = Message::call(
+            cid,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous(),
+        );
+        msg.reply_to = Some(client.element());
+        assert!(k.inject(Location::new(0, 1), echo.element(), msg));
+        k.run_until_quiescent(20);
+        // 10µs LAN × 3 each way instead of 10µs + 10µs.
+        assert_eq!(k.now(), SimTime(60_000));
+        assert_eq!(k.counters().get("net.delayed"), 2);
+        assert_eq!(k.endpoint::<Client>(client).unwrap().replies.len(), 1);
+    }
+
+    #[test]
+    fn reorder_jitter_delays_but_delivers() {
+        let mut k = SimKernel::new(
+            Topology::fixed(1_000, 10_000, 1_000_000),
+            FaultPlan::seeded(9),
+            42,
+        );
+        k.faults_mut().set_reorder(1.0, 5_000);
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        let cid = k.fresh_call_id();
+        let msg = Message::call(
+            cid,
+            Loid::instance(16, 1),
+            "Ping",
+            vec![],
+            InvocationEnv::anonymous(),
+        );
+        assert!(k.inject(Location::new(0, 1), echo.element(), msg));
+        k.run_until_quiescent(20);
+        assert_eq!(k.meta(echo).unwrap().received, 1);
+        assert!(
+            k.now() > SimTime(10_000) && k.now() <= SimTime(15_000),
+            "perturbed delivery at {:?}",
+            k.now()
+        );
+    }
+
+    #[test]
+    fn adversarial_runs_are_reproducible_per_seed() {
+        let run = |seed: u64| {
+            let mut plan = FaultPlan::seeded(seed);
+            plan.set_drop_probability(0.1);
+            plan.set_duplicate_probability(0.2);
+            plan.set_reorder(0.3, 40_000);
+            let mut k = SimKernel::new(Topology::default(), plan, seed);
+            let mut eps = Vec::new();
+            for i in 0..5 {
+                eps.push(k.add_endpoint(
+                    Box::new(Echo::new(Loid::instance(16, i + 1))),
+                    Location::new(i as u32 % 2, i as u32),
+                    format!("e{i}"),
+                ));
+            }
+            let addr = ObjectAddress::replicated(
+                eps.iter().map(|e| e.element()).collect(),
+                AddressSemantics::SendToAll,
+            );
+            k.add_endpoint(Box::new(Fanout { addr }), Location::new(0, 9), "f");
+            k.run_until_quiescent(1_000);
+            (
+                k.now(),
+                k.stats().clone(),
+                k.counters().get("net.duplicated"),
+                k.counters().get("net.dedup_dropped"),
+                k.latency_histogram().sum(),
+            )
+        };
+        assert_eq!(run(123), run(123));
+        assert_ne!(run(123), run(124));
     }
 }

@@ -63,12 +63,12 @@ proptest! {
         for (a, b) in &pairs {
             plan.partition(*a, *b);
         }
-        let mut rng = SmallRng::seed_from_u64(1);
         for a in 0..8u32 {
             for b in 0..8u32 {
-                let ab = plan.judge(Location::new(a, 0), Location::new(b, 0), &mut rng);
-                let ba = plan.judge(Location::new(b, 0), Location::new(a, 0), &mut rng);
-                prop_assert_eq!(ab, ba);
+                let now = legion_core::time::SimTime::ZERO;
+                let ab = plan.judge(1, Location::new(a, 0), Location::new(b, 0), now);
+                let ba = plan.judge(1, Location::new(b, 0), Location::new(a, 0), now);
+                prop_assert_eq!(ab == Verdict::DropSilently, ba == Verdict::DropSilently);
                 let expected = pairs.iter().any(|(x, y)| {
                     (*x.min(y), *x.max(y)) == (a.min(b), a.max(b))
                 });
@@ -99,6 +99,76 @@ proptest! {
             let l = t.latency(a, b, &mut rng).as_nanos();
             prop_assert!(l >= base && l <= base + jitter);
         }
+    }
+
+    /// At-most-once delivery: under any mix of duplication and reordering
+    /// (no drops), each logical call executes exactly once on the callee
+    /// and the caller observes exactly one reply — duplicate copies of
+    /// both the call and the reply are absorbed by the receiver-side
+    /// dedup window.
+    #[test]
+    fn exactly_once_under_duplication_and_reorder(
+        seed in any::<u64>(),
+        n_calls in 1u32..6,
+        dup in 0.0f64..=1.0,
+        reorder_p in 0.0f64..=1.0,
+        jitter in 0u64..200_000,
+    ) {
+        struct Caller {
+            target: u64,
+            calls: u32,
+            replies: u32,
+        }
+        impl Endpoint for Caller {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for _ in 0..self.calls {
+                    let id = ctx.fresh_call_id();
+                    let msg = Message::call(
+                        id,
+                        Loid::instance(7, 1),
+                        "Work",
+                        vec![],
+                        InvocationEnv::anonymous(),
+                    );
+                    ctx.send(legion_core::address::ObjectAddressElement::sim(self.target), msg);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Message) {
+                if msg.is_reply() {
+                    self.replies += 1;
+                }
+            }
+        }
+        struct Worker {
+            executions: u32,
+        }
+        impl Endpoint for Worker {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+                if !msg.is_reply() {
+                    self.executions += 1;
+                    ctx.reply(&msg, Ok(legion_core::value::LegionValue::Void));
+                }
+            }
+        }
+        let mut k = SimKernel::with_seed(seed);
+        let worker = k.add_endpoint(
+            Box::new(Worker { executions: 0 }),
+            Location::new(1, 0),
+            "worker",
+        );
+        let caller = k.add_endpoint(
+            Box::new(Caller { target: worker.0, calls: n_calls, replies: 0 }),
+            Location::new(0, 0),
+            "caller",
+        );
+        k.faults_mut().set_seed(seed);
+        k.faults_mut().set_duplicate_probability(dup);
+        k.faults_mut().set_reorder(reorder_p, jitter);
+        k.run_until_quiescent(100_000);
+        let executed = k.endpoint::<Worker>(worker).unwrap().executions;
+        let replied = k.endpoint::<Caller>(caller).unwrap().replies;
+        prop_assert_eq!(executed, n_calls, "each logical call must execute exactly once");
+        prop_assert_eq!(replied, n_calls, "each logical call must yield exactly one reply");
     }
 
     /// A randomized ping-pong population is deterministic per seed: the

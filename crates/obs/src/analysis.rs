@@ -132,7 +132,12 @@ pub fn summarize(events: &[SpanEvent]) -> Vec<TraceSummary> {
                 }
             }
             SpanEventKind::Timer => s.timers += 1,
-            SpanEventKind::Note => s.notes.push((e.at, e.endpoint, e.label.clone())),
+            // Fault-verdict annotations: the hop's fate is still decided
+            // by its eventual Deliver/Drop event, so these read as notes.
+            SpanEventKind::Note
+            | SpanEventKind::Duplicate
+            | SpanEventKind::Delay
+            | SpanEventKind::Dedup => s.notes.push((e.at, e.endpoint, e.label.clone())),
         }
     }
     by_trace.into_values().collect()

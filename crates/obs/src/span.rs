@@ -29,6 +29,12 @@ pub enum SpanEventKind {
     Refuse,
     /// Delivery found the endpoint dead on arrival.
     DeadLetter,
+    /// The fault plan duplicated the hop (a second copy was queued).
+    Duplicate,
+    /// The fault plan delayed the hop (spike multiplier / reorder jitter).
+    Delay,
+    /// The receiver's at-most-once window rejected a duplicate delivery.
+    Dedup,
     /// A timer armed inside this trace fired.
     Timer,
     /// A protocol-level annotation (cache hit/miss, activation, …).
@@ -45,6 +51,9 @@ impl fmt::Display for SpanEventKind {
             SpanEventKind::Drop => "drop",
             SpanEventKind::Refuse => "refuse",
             SpanEventKind::DeadLetter => "dead_letter",
+            SpanEventKind::Duplicate => "duplicate",
+            SpanEventKind::Delay => "delay",
+            SpanEventKind::Dedup => "dedup",
             SpanEventKind::Timer => "timer",
             SpanEventKind::Note => "note",
         };
@@ -102,6 +111,9 @@ mod tests {
             SpanEventKind::Drop,
             SpanEventKind::Refuse,
             SpanEventKind::DeadLetter,
+            SpanEventKind::Duplicate,
+            SpanEventKind::Delay,
+            SpanEventKind::Dedup,
             SpanEventKind::Timer,
             SpanEventKind::Note,
         ];

@@ -46,8 +46,10 @@ use legion_naming::protocol::{
 };
 use legion_naming::resolver::{ClientResolver, Lookup};
 use legion_net::dispatch::{
-    cont, reply_id, reply_result, serve, Continuations, MethodTable, Outcome, TableBuilder,
+    cont, insert_pending, reply_id, reply_result, serve, sweep_expired, Continuation,
+    Continuations, MethodTable, Outcome, TableBuilder, TIMER_DEADLINE_SWEEP,
 };
+use legion_net::message::CallId;
 use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint};
 use legion_security::mayi::{AllowAll, MayIPolicy};
@@ -92,6 +94,10 @@ pub struct ClassEndpoint {
     inherit_waiters: HashMap<Loid, Vec<Message>>,
     /// Round-robin cursor over candidate magistrates.
     next_magistrate: usize,
+    /// When set, outbound call continuations expire after this many
+    /// virtual ns with the uniform timeout error instead of leaking.
+    /// `None` (default) keeps the historical wait-forever behavior.
+    call_deadline_ns: Option<u64>,
 }
 
 impl ClassEndpoint {
@@ -111,7 +117,31 @@ impl ClassEndpoint {
             binding_waiters: HashMap::new(),
             inherit_waiters: HashMap::new(),
             next_magistrate: 0,
+            call_deadline_ns: None,
         }
+    }
+
+    /// Expire outstanding call continuations after `deadline_ns`
+    /// (opt-in; see the `call_deadline_ns` field).
+    pub fn set_call_deadline_ns(&mut self, deadline_ns: Option<u64>) {
+        self.call_deadline_ns = deadline_ns;
+    }
+
+    /// Outstanding (unresolved) call continuations.
+    pub fn outstanding_continuations(&self) -> usize {
+        self.continuations.len()
+    }
+
+    /// Register an outbound call's continuation under the deadline policy.
+    fn pend(&mut self, ctx: &mut Ctx<'_>, call_id: CallId, k: Continuation<Self>) {
+        insert_pending(
+            &mut self.continuations,
+            ctx,
+            call_id,
+            k,
+            self.call_deadline_ns,
+            TIMER_DEADLINE_SWEEP,
+        );
     }
 
     /// Read access to the wrapped class object (tests, experiments).
@@ -293,7 +323,8 @@ impl ClassEndpoint {
             Some(call_id) => {
                 ctx.count("class.creates");
                 let requester = msg.clone();
-                self.continuations.insert(
+                self.pend(
+                    ctx,
                     call_id,
                     cont(
                         move |e: &mut Self, ctx, result| match naming_proto::binding_from_result(
@@ -381,7 +412,8 @@ impl ClassEndpoint {
             Some(me),
         ) {
             Some(call_id) => {
-                self.continuations.insert(
+                self.pend(
+                    ctx,
                     call_id,
                     cont(move |e: &mut Self, ctx, result| {
                         e.on_activate_for_binding(ctx, target, magistrate, result)
@@ -477,7 +509,8 @@ impl ClassEndpoint {
                 ctx.count("class.derives");
                 let requester = msg.clone();
                 let DeriveArgs { name, kind } = a;
-                self.continuations.insert(
+                self.pend(
+                    ctx,
                     call_id,
                     cont(move |e: &mut Self, ctx, result| match result {
                         Ok(LegionValue::Uint(class_id)) => {
@@ -592,7 +625,8 @@ impl ClassEndpoint {
         ) {
             Some(call_id) => {
                 let base = base_binding.loid;
-                self.continuations.insert(
+                self.pend(
+                    ctx,
                     call_id,
                     cont(move |e: &mut Self, ctx, result| {
                         e.on_base_interface(ctx, msg, base, result)
@@ -668,7 +702,8 @@ impl ClassEndpoint {
                 ) {
                     Some(call_id) => {
                         let requester = msg.clone();
-                        self.continuations.insert(
+                        self.pend(
+                            ctx,
                             call_id,
                             cont(move |e: &mut Self, ctx, result| match result {
                                 Ok(_) => {
@@ -699,6 +734,19 @@ impl ClassEndpoint {
 }
 
 impl Endpoint for ClassEndpoint {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == TIMER_DEADLINE_SWEEP {
+            fn conts(e: &mut ClassEndpoint) -> &mut Continuations<ClassEndpoint> {
+                &mut e.continuations
+            }
+            let after_ns = self.call_deadline_ns.unwrap_or(0);
+            let expired = sweep_expired(self, ctx, conts, after_ns);
+            for _ in 0..expired {
+                ctx.count("class.timeouts");
+            }
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         if msg.is_reply() {
             // Binding-agent replies feed the resolver first.

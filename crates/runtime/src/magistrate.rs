@@ -44,7 +44,8 @@ use legion_ha::policy::{Health, SuspicionPolicy};
 use legion_ha::recovery::RecoveryTracker;
 use legion_naming::stale;
 use legion_net::dispatch::{
-    cont, reply_id, reply_result, serve, Continuations, MethodTable, Outcome, TableBuilder,
+    cont, insert_pending, reply_id, reply_result, serve, sweep_expired, Continuations, MethodTable,
+    Outcome, TableBuilder, TIMER_DEADLINE_SWEEP,
 };
 use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint};
@@ -151,6 +152,11 @@ pub struct MagistrateEndpoint {
     peers: HashMap<Loid, ObjectAddressElement>,
     salt: u64,
     ha: Option<HaState>,
+    /// When set, every outbound call's continuation expires after this
+    /// many virtual ns and resolves with the uniform timeout error
+    /// (instead of leaking forever if the reply is lost). `None` — the
+    /// default — preserves wait-forever behavior: no timers are armed.
+    call_deadline_ns: Option<u64>,
 }
 
 impl MagistrateEndpoint {
@@ -171,8 +177,39 @@ impl MagistrateEndpoint {
             peers: HashMap::new(),
             salt: 0,
             ha: None,
+            call_deadline_ns: None,
             cfg,
         }
+    }
+
+    /// Expire outstanding call continuations after `deadline_ns` (see
+    /// the `call_deadline_ns` field). Opt-in; chaos campaigns enable it
+    /// so lost replies surface as timeouts instead of leaked state.
+    pub fn set_call_deadline_ns(&mut self, deadline_ns: Option<u64>) {
+        self.call_deadline_ns = deadline_ns;
+    }
+
+    /// Outstanding (unresolved) call continuations — zero after
+    /// quiescence in a healthy run.
+    pub fn outstanding_continuations(&self) -> usize {
+        self.continuations.len()
+    }
+
+    /// Register an outbound call's continuation under the deadline policy.
+    fn pend(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        call_id: legion_net::message::CallId,
+        k: legion_net::dispatch::Continuation<Self>,
+    ) {
+        insert_pending(
+            &mut self.continuations,
+            ctx,
+            call_id,
+            k,
+            self.call_deadline_ns,
+            TIMER_DEADLINE_SWEEP,
+        );
     }
 
     /// The §3.8 method table. Every member function is gated ("requests
@@ -493,7 +530,8 @@ impl MagistrateEndpoint {
             Some(me),
         ) {
             Some(call_id) => {
-                self.continuations.insert(
+                self.pend(
+                    ctx,
                     call_id,
                     cont(move |e: &mut Self, ctx, result| {
                         e.on_host_activate_reply(ctx, loid, host, attempts, result)
@@ -588,7 +626,8 @@ impl MagistrateEndpoint {
             Some(me),
         ) {
             Some(call_id) => {
-                self.continuations.insert(
+                self.pend(
+                    ctx,
                     call_id,
                     cont(move |e: &mut Self, ctx, result| {
                         e.on_ship_reply(ctx, loid, delete_after, requester, result)
@@ -683,6 +722,16 @@ impl MagistrateEndpoint {
     /// Re-home one object that died with `dead_host`.
     fn recover_object(&mut self, ctx: &mut Ctx<'_>, loid: Loid, dead_host: Loid) {
         let me = self.cfg.loid;
+        // Duplicated or replayed recovery triggers (a flapping detector,
+        // a duplicated host-dead verdict) must not re-activate an object
+        // whose recovery is already in flight: exactly one activation per
+        // LOID per incident.
+        if let Some(ha) = &self.ha {
+            if ha.tracker.recovering(&loid) {
+                ctx.count("magistrate.ha_duplicate_trigger");
+                return;
+            }
+        }
         let Some(record) = self.objects.get(&loid) else {
             return;
         };
@@ -812,7 +861,8 @@ impl MagistrateEndpoint {
             Some(me),
         ) {
             Some(call_id) => {
-                self.continuations.insert(
+                self.pend(
+                    ctx,
                     call_id,
                     cont(move |e: &mut Self, ctx, result| {
                         e.on_save_state_reply(ctx, loid, requester, result)
@@ -851,7 +901,8 @@ impl MagistrateEndpoint {
                         let requester = Box::new(msg.clone());
                         // Whether or not the host succeeds, finish the
                         // delete when it answers.
-                        self.continuations.insert(
+                        self.pend(
+                            ctx,
                             call_id,
                             cont(move |e: &mut Self, ctx, _result| {
                                 e.finish_delete(ctx, loid, requester)
@@ -1129,7 +1180,8 @@ impl MagistrateEndpoint {
                     Some(me),
                 ) {
                     Some(call_id) => {
-                        self.continuations.insert(
+                        self.pend(
+                            ctx,
                             call_id,
                             cont(move |e: &mut Self, ctx, result| {
                                 e.on_host_deactivate_reply(ctx, loid, addr, requester, result)
@@ -1277,6 +1329,15 @@ impl Endpoint for MagistrateEndpoint {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         if tag == TIMER_HA_SWEEP {
             self.ha_sweep(ctx);
+        } else if tag == TIMER_DEADLINE_SWEEP {
+            fn conts(e: &mut MagistrateEndpoint) -> &mut Continuations<MagistrateEndpoint> {
+                &mut e.continuations
+            }
+            let after_ns = self.call_deadline_ns.unwrap_or(0);
+            let expired = sweep_expired(self, ctx, conts, after_ns);
+            for _ in 0..expired {
+                ctx.count("magistrate.timeouts");
+            }
         }
     }
 
@@ -1289,5 +1350,82 @@ impl Endpoint for MagistrateEndpoint {
         }
         let table = Rc::clone(&self.table);
         serve(&table, self, ctx, &msg);
+    }
+}
+
+#[cfg(test)]
+mod ha_duplication_tests {
+    use super::*;
+    use legion_core::time::SimTime;
+    use legion_ha::policy::MissThreshold;
+    use legion_net::sim::SimKernel;
+    use legion_net::topology::Location;
+
+    /// A duplicated or replayed host-dead verdict (flapping detector,
+    /// duplicated verdict message) must not start a second activation for
+    /// an object whose recovery is already in flight: the tracker guard
+    /// counts `magistrate.ha_duplicate_trigger` and starts nothing —
+    /// exactly one activation per LOID per incident.
+    #[test]
+    fn duplicated_dead_verdict_starts_no_second_activation() {
+        let mut k = SimKernel::with_seed(7);
+        let mag_loid = Loid::instance(4, 1);
+        let host_loid = Loid::instance(5, 1);
+        let obj_loid = Loid::instance(6, 1);
+        let mut mag = MagistrateEndpoint::new(MagistrateConfig {
+            loid: mag_loid,
+            jurisdiction: 0,
+            class_addr: None,
+            disks: 1,
+            disk_capacity: 1 << 20,
+        });
+        mag.hosts.push(HostRecord {
+            loid: host_loid,
+            element: ObjectAddressElement::sim(99),
+            capacity: 4,
+            assigned: 1,
+            alive: true,
+        });
+        mag.objects.insert(
+            obj_loid,
+            ObjRecord {
+                class: Loid::class_object(16),
+                class_addr: None,
+                state: ObjState::Active {
+                    host: host_loid,
+                    element: ObjectAddressElement::sim(98),
+                    vault: None,
+                },
+            },
+        );
+        mag.enable_ha(
+            Box::new(MissThreshold {
+                suspect_after: 2,
+                dead_after: 4,
+            }),
+            1_000_000,
+            1_000_000,
+            20_000_000,
+            Vec::new(),
+            SimTime::ZERO,
+        );
+        // An earlier Dead verdict already put this object's recovery in
+        // flight; the silent host below re-confirms Dead (the duplicated
+        // trigger) and must be absorbed by the guard.
+        mag.ha
+            .as_mut()
+            .expect("ha enabled")
+            .tracker
+            .begin_object(obj_loid, SimTime::ZERO);
+        let ep = k.add_endpoint(Box::new(mag), Location::new(0, 0), "magistrate");
+        k.set_timer(ep, 1_000_000, TIMER_HA_SWEEP);
+        k.run_until_quiescent(10_000);
+        assert_eq!(k.counters().get("magistrate.ha_host_dead"), 1);
+        assert_eq!(k.counters().get("magistrate.ha_duplicate_trigger"), 1);
+        assert_eq!(
+            k.counters().get("magistrate.ha_recoveries"),
+            0,
+            "the in-flight recovery must not be restarted"
+        );
     }
 }

@@ -60,7 +60,7 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: legion-exp [--quick] [--trace-out FILE] [--metrics-out FILE] \
-                     (all | e1 e2 ... e15)\n\
+                     (all | e1 e2 ... e16)\n\
                      Runs the Legion reproduction experiments (see EXPERIMENTS.md).\n\
                      --trace-out   write the traced E1 run's spans as JSONL\n\
                      --metrics-out write the traced E1 run's metrics snapshot as JSON"
@@ -199,6 +199,13 @@ pub fn main() {
     }
     if want("e15") {
         exp::e15_crash_recovery::table(&exp::e15_crash_recovery::run(scale, seed)).print();
+        println!();
+    }
+    if want("e16") {
+        let (rows, shrinks) = exp::e16_chaos::run(scale, seed);
+        let (t1, t2) = exp::e16_chaos::table(&rows, &shrinks);
+        t1.print();
+        t2.print();
         println!();
     }
 }

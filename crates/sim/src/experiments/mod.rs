@@ -21,3 +21,4 @@ pub mod e12_scalability;
 pub mod e13_security;
 pub mod e14_parallel;
 pub mod e15_crash_recovery;
+pub mod e16_chaos;

@@ -77,6 +77,13 @@ pub struct SystemConfig {
     /// every build-time object is recoverable. `None` = HA off (the
     /// seed's exact semantics).
     pub ha: Option<HaConfig>,
+    /// When set, Magistrates and class endpoints expire outstanding call
+    /// continuations after this many virtual ns (the deadline sweep in
+    /// `legion-net::dispatch`), so replies lost to an adversarial network
+    /// surface as uniform timeouts instead of leaked state. `None` — the
+    /// default — arms no timers and preserves the exact event stream of
+    /// earlier experiments.
+    pub call_deadline_ns: Option<u64>,
     /// Network model.
     pub topology: Topology,
     /// RNG seed (full determinism per seed).
@@ -96,6 +103,7 @@ impl Default for SystemConfig {
             classes: 1,
             objects_per_class: 8,
             ha: None,
+            call_deadline_ns: None,
             topology: Topology::default(),
             seed: 42,
         }
@@ -269,6 +277,23 @@ impl LegionSystem {
                     legion_core::address::ObjectAddress::single(ep.element()),
                 ));
             classes.push((cl, ep));
+        }
+
+        // Opt-in deadline sweeps: lost replies to Magistrate/class calls
+        // resolve as uniform timeouts instead of leaking continuations.
+        if let Some(d) = config.call_deadline_ns {
+            for (_, mep) in &magistrates {
+                kernel
+                    .endpoint_mut::<MagistrateEndpoint>(*mep)
+                    .expect("magistrate exists")
+                    .set_call_deadline_ns(Some(d));
+            }
+            for (_, cep) in &classes {
+                kernel
+                    .endpoint_mut::<ClassEndpoint>(*cep)
+                    .expect("class exists")
+                    .set_call_deadline_ns(Some(d));
+            }
         }
 
         let driver_location = Location::new(0, 999);
