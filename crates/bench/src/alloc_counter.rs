@@ -1,0 +1,67 @@
+//! A counting global allocator for allocation-budget measurements.
+//!
+//! Perf claims about the message hot path ("zero label allocations per
+//! delivery") are only testable if the harness can *count* allocator
+//! traffic. [`CountingAlloc`] wraps the system allocator and bumps two
+//! process-wide atomics on every `alloc`/`realloc`. Register it in a
+//! bench binary or integration-test binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: legion_bench::alloc_counter::CountingAlloc =
+//!     legion_bench::alloc_counter::CountingAlloc;
+//! ```
+//!
+//! then bracket the measured region with [`counts`] and subtract. The
+//! counters are monotone (frees are not subtracted): the interesting
+//! quantity is allocator *pressure*, not live bytes. When the allocator
+//! is not registered the counters simply stay at zero, so library code
+//! can read them unconditionally.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Allocator wrapper counting every allocation and allocated byte.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow is new allocator pressure for the grown size (the old
+        // block is accounted already).
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Cumulative `(allocations, bytes)` since process start. Zero unless a
+/// [`CountingAlloc`] is registered as the global allocator.
+pub fn counts() -> (u64, u64) {
+    (
+        ALLOCATIONS.load(Ordering::Relaxed),
+        ALLOCATED_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Is a [`CountingAlloc`] actually registered? Detected by allocating a
+/// small box and checking that the counter moved — lets tests assert the
+/// harness is wired rather than silently measuring zeros.
+pub fn is_counting() -> bool {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let probe = Box::new([0u8; 32]);
+    std::hint::black_box(&probe);
+    ALLOCATIONS.load(Ordering::Relaxed) > before
+}

@@ -1,1 +1,12 @@
-//! Benchmark harness crate; see benches/.
+//! Benchmark harness crate.
+//!
+//! * `benches/` — the Criterion suite (one bench per experiment family).
+//! * [`alloc_counter`] — counting global allocator for allocation
+//!   budgets.
+//! * [`measure`] — the E12 steady-state measurement behind
+//!   `BENCH_CORE.json`.
+//! * `src/bin/bench_snapshot.rs` — the `bench-snapshot` runner invoked
+//!   by `tools/bench_snapshot.sh`.
+
+pub mod alloc_counter;
+pub mod measure;

@@ -1,0 +1,106 @@
+//! Steady-state hot-path measurement for the perf snapshot.
+//!
+//! Reproduces the E12 (§5.2) measurement discipline — build a full
+//! Legion system, run a warm-up client wave to populate caches, reset
+//! the kernel metrics, then drive a fresh measured wave — and reports
+//! what `BENCH_CORE.json` tracks: messages sent, lookups completed,
+//! allocator pressure (via [`crate::alloc_counter`]), and wall time.
+//! Allocation counts are deterministic per seed and code version, which
+//! makes `allocs_per_message` the one perf metric CI can gate tightly;
+//! wall-clock throughput is machine-dependent and only sanity-checked.
+
+use crate::alloc_counter;
+use legion_naming::tree::TreeShape;
+use legion_sim::experiments::common::{attach_clients, run_clients};
+use legion_sim::system::{LegionSystem, SystemConfig};
+use legion_sim::workload::WorkloadConfig;
+use std::time::Instant;
+
+/// The seed `legion-exp --quick` uses; keeps snapshot numbers comparable
+/// with the committed experiment transcripts.
+pub const SNAPSHOT_SEED: u64 = 20260707;
+
+/// One steady-state measurement.
+#[derive(Debug, Clone)]
+pub struct SteadyStats {
+    /// Jurisdictions in the measured system (hosts = 4x this).
+    pub jurisdictions: u32,
+    /// Messages accepted into the network during the measured wave.
+    pub messages: u64,
+    /// Client lookups completed during the measured wave.
+    pub lookups: u64,
+    /// Allocator calls during the measured wave (0 when the counting
+    /// allocator is not registered).
+    pub allocs: u64,
+    /// Bytes requested from the allocator during the measured wave.
+    pub alloc_bytes: u64,
+    /// Wall-clock nanoseconds for the measured wave.
+    pub wall_ns: u64,
+}
+
+impl SteadyStats {
+    /// Allocator calls per accepted message.
+    pub fn allocs_per_message(&self) -> f64 {
+        self.allocs as f64 / self.messages.max(1) as f64
+    }
+
+    /// Allocated bytes per accepted message.
+    pub fn bytes_per_message(&self) -> f64 {
+        self.alloc_bytes as f64 / self.messages.max(1) as f64
+    }
+
+    /// Simulated messages processed per wall-clock second.
+    pub fn messages_per_sec(&self) -> f64 {
+        self.messages as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// Build the same system shape E12 sweeps (one leaf Binding Agent per
+/// jurisdiction, 4 hosts and 4 clients per jurisdiction).
+pub fn build_e12_system(jurisdictions: u32, seed: u64) -> (LegionSystem, usize) {
+    let leaves = jurisdictions as usize;
+    let tree = if leaves == 1 {
+        TreeShape::single()
+    } else {
+        TreeShape::new(leaves, leaves + 1)
+    };
+    let cfg = SystemConfig {
+        jurisdictions,
+        hosts_per_jurisdiction: 4,
+        classes: 2 * jurisdictions,
+        objects_per_class: 16,
+        agent_tree: tree,
+        seed,
+        ..SystemConfig::default()
+    };
+    let clients = (4 * jurisdictions) as usize;
+    (LegionSystem::build(cfg), clients)
+}
+
+/// Run the E12 steady-state inner loop and measure it: warm wave,
+/// `reset_metrics`, then a measured wave bracketed by allocator counts.
+pub fn e12_steady_state(jurisdictions: u32, seed: u64) -> SteadyStats {
+    let (mut sys, clients) = build_e12_system(jurisdictions, seed);
+    let wl = WorkloadConfig {
+        lookups_per_client: 30,
+        locality: 0.8,
+        ..WorkloadConfig::default()
+    };
+    let warm = attach_clients(&mut sys, clients, &wl, seed, None);
+    run_clients(&mut sys, &warm);
+    sys.kernel.reset_metrics();
+    let (a0, b0) = alloc_counter::counts();
+    let t0 = Instant::now();
+    let eps = attach_clients(&mut sys, clients, &wl, seed ^ 0x5555, None);
+    let report = run_clients(&mut sys, &eps);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let (a1, b1) = alloc_counter::counts();
+    SteadyStats {
+        jurisdictions,
+        messages: sys.kernel.stats().sent,
+        lookups: report.completed,
+        allocs: a1.saturating_sub(a0),
+        alloc_bytes: b1.saturating_sub(b0),
+        wall_ns,
+    }
+}

@@ -44,6 +44,7 @@ use crate::env::InvocationEnv;
 use crate::error::CoreError;
 use crate::interface::{Interface, MethodSignature, ParamType};
 use crate::loid::Loid;
+use crate::symbol::Sym;
 use crate::time::SimTime;
 use crate::value::LegionValue;
 use std::collections::BTreeMap;
@@ -422,10 +423,15 @@ impl<H> MethodEntry<H> {
 ///
 /// Generic over the handler payload `H` (the transport layer stores its
 /// message-handling closures here; pure-model tests can use `()`).
+///
+/// Keyed by interned [`Sym`]: resolving a method carried by a message
+/// (already a `Sym`) compares `u32`s instead of strings and never
+/// allocates. Name-ordered views ([`MethodTable::names`],
+/// [`MethodTable::interface`]) sort at render time.
 #[derive(Debug, Default)]
 pub struct MethodTable<H> {
     owner: Loid,
-    entries: BTreeMap<String, MethodEntry<H>>,
+    entries: BTreeMap<Sym, MethodEntry<H>>,
 }
 
 impl<H> MethodTable<H> {
@@ -446,7 +452,7 @@ impl<H> MethodTable<H> {
     /// earlier entry (redefinition, as in [`Interface::define`]).
     pub fn define(&mut self, sig: MethodSignature, gated: bool, handler: H) {
         self.entries.insert(
-            sig.name.clone(),
+            Sym::intern(&sig.name),
             MethodEntry {
                 sig,
                 gated,
@@ -455,17 +461,18 @@ impl<H> MethodTable<H> {
         );
     }
 
-    /// Look up a method by name.
-    pub fn get(&self, method: &str) -> Option<&MethodEntry<H>> {
-        self.entries.get(method)
+    /// Look up a method by symbol or name (a `&str` is interned).
+    pub fn get(&self, method: impl Into<Sym>) -> Option<&MethodEntry<H>> {
+        self.entries.get(&method.into())
     }
 
     /// Look up a method, yielding the uniform unknown-method error.
-    pub fn resolve(&self, method: &str) -> Result<&MethodEntry<H>, CoreError> {
+    pub fn resolve(&self, method: impl Into<Sym>) -> Result<&MethodEntry<H>, CoreError> {
+        let method = method.into();
         self.entries
-            .get(method)
+            .get(&method)
             .ok_or_else(|| CoreError::UnknownMethod {
-                method: method.to_owned(),
+                method: method.as_str().to_owned(),
             })
     }
 
@@ -479,13 +486,17 @@ impl<H> MethodTable<H> {
         self.entries.is_empty()
     }
 
-    /// Registered method names, in name order.
-    pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.entries.keys().map(String::as_str)
+    /// Registered method names, in name order (the entries are stored in
+    /// intern order, so this sorts).
+    pub fn names(&self) -> impl Iterator<Item = &'static str> {
+        let mut names: Vec<&'static str> = self.entries.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names.into_iter()
     }
 
     /// Derive the endpoint's run-time [`Interface`] from the registered
-    /// signatures — the `GetInterface()` payload (§3.4).
+    /// signatures — the `GetInterface()` payload (§3.4). The interface is
+    /// name-keyed, so intern order never leaks into it.
     pub fn interface(&self) -> Interface {
         let mut iface = Interface::new();
         for e in self.entries.values() {

@@ -45,6 +45,7 @@ pub mod metaclass;
 pub mod model;
 pub mod object;
 pub mod relations;
+pub mod symbol;
 pub mod time;
 pub mod trace;
 pub mod value;
@@ -62,6 +63,7 @@ pub use metaclass::LegionClassAuthority;
 pub use model::ObjectModel;
 pub use object::{ObjectMandatory, ObjectState};
 pub use relations::RelationGraph;
+pub use symbol::Sym;
 pub use time::{Expiry, SimTime};
 pub use trace::{SpanId, TraceContext, TraceId};
 pub use value::LegionValue;

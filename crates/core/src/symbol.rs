@@ -1,0 +1,324 @@
+//! Symbol interning for the message hot path.
+//!
+//! Every message in the system names a method ("Ping", "GetBinding", …),
+//! and the kernel keys its dispatch tables and per-kind metrics maps by
+//! that name. Carrying the name as a heap `String` made every call
+//! construction — and every per-kind metrics record — allocate. A
+//! [`Sym`] is a `u32` handle into a process-wide, insertion-ordered
+//! interner: constructing, copying, comparing and hashing one is free,
+//! and the string itself is materialized only at snapshot/export time.
+//!
+//! ## Determinism contract
+//!
+//! Interned ids are assigned in **first-intern order**, so two processes
+//! (or two runs) that intern the same sequence of new strings assign the
+//! same ids. The well-known names below are seeded into the interner at
+//! fixed indices before anything else, so their ids are stable across
+//! processes regardless of what a run interns afterwards — those ids may
+//! be compared, stored, and baked into match tables. Ids of *other*
+//! strings depend on a run's intern order and must never be persisted;
+//! everything serialized renders a `Sym` back to its string (a `Sym`
+//! serializes as a JSON string, never as its id).
+//!
+//! ## Adding a new well-known symbol
+//!
+//! Append it to the `well_known!` list below — **never insert in the
+//! middle**, existing indices are load-bearing for pre-seeded-id
+//! stability — and use the generated constant. The
+//! `pre_seeded_symbols_are_stable` tests (unit + proptest) pin the full
+//! list.
+//!
+//! Interned strings are leaked (the interner is append-only and
+//! process-wide); the set of distinct method and counter names in a run
+//! is small and bounded by the codebase, not by traffic.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string handle. `Copy`, 4 bytes, allocation-free to
+/// construct from an already-interned name, and ordered by intern order
+/// (**not** lexicographically — sort by [`Sym::as_str`] when name order
+/// matters).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+/// A deterministic, insertion-ordered string interner.
+///
+/// The process-wide instance behind [`Sym`] is pre-seeded with the
+/// well-known names; standalone instances (tests, tools) start empty.
+/// Ids are dense, starting at 0, in first-intern order.
+#[derive(Debug, Default)]
+pub struct Interner {
+    names: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(leaked);
+        self.ids.insert(leaked, id);
+        id
+    }
+
+    /// The id of `s` if it is already interned (never interns).
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.ids.get(s).copied()
+    }
+
+    /// The string for `id`, if assigned.
+    pub fn resolve(&self, id: u32) -> Option<&'static str> {
+        self.names.get(id as usize).copied()
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the interner empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Defines the pre-seeded well-known symbols: `$name` becomes a
+/// `pub const $name: Sym` with the fixed index `$idx`.
+macro_rules! well_known {
+    ($($idx:expr => $name:ident = $text:literal;)+) => {
+        $(
+            #[doc = concat!("Pre-seeded symbol `", $text, "` (id ", stringify!($idx), ").")]
+            pub const $name: Sym = Sym($idx);
+        )+
+
+        /// Every pre-seeded `(Sym, name)` pair, in id order.
+        pub const WELL_KNOWN: &[(Sym, &str)] = &[$((Sym($idx), $text)),+];
+    };
+}
+
+well_known! {
+    // Kernel kinds and counters.
+    0 => REPLY = "reply";
+    1 => EMPTY = "";
+    // Object-mandatory methods (§2.1).
+    2 => MAY_I = "MayI";
+    3 => IAM = "Iam";
+    4 => SAVE_STATE = "SaveState";
+    5 => RESTORE_STATE = "RestoreState";
+    6 => PING = "Ping";
+    7 => GET_INTERFACE = "GetInterface";
+    // Naming protocol.
+    8 => GET_BINDING = "GetBinding";
+    9 => INVALIDATE_BINDING = "InvalidateBinding";
+    10 => ADD_BINDING = "AddBinding";
+    11 => ISSUE_CLASS_ID = "IssueClassId";
+    12 => FIND_RESPONSIBLE = "FindResponsible";
+    // HA protocol.
+    13 => HEARTBEAT = "Heartbeat";
+    // Runtime protocol: magistrate ("Delete" is shared with class).
+    14 => ACTIVATE = "Activate";
+    15 => DEACTIVATE = "Deactivate";
+    16 => DELETE = "Delete";
+    17 => COPY = "Copy";
+    18 => MOVE = "Move";
+    19 => CREATE_OBJECT = "CreateObject";
+    20 => RECEIVE_OPR = "ReceiveOpr";
+    // Runtime protocol: host objects.
+    21 => HOST_ACTIVATE = "HostActivate";
+    22 => HOST_DEACTIVATE = "HostDeactivate";
+    23 => SET_CPU_LOAD = "SetCPULoad";
+    24 => SET_MEMORY_USAGE = "SetMemoryUsage";
+    25 => GET_STATE = "GetState";
+    // Runtime protocol: class objects.
+    26 => CREATE = "Create";
+    27 => DERIVE = "Derive";
+    28 => INHERIT_FROM = "InheritFrom";
+    29 => SET_ADDRESS = "SetAddress";
+    30 => ADD_MAGISTRATE = "AddMagistrate";
+    31 => REMOVE_MAGISTRATE = "RemoveMagistrate";
+    32 => ANNOUNCE = "Announce";
+    33 => GET_INSTANCE_INTERFACE = "GetInstanceInterface";
+    // Runtime protocol: instance objects.
+    34 => SET = "Set";
+    35 => GET = "Get";
+    // Kernel fault counters (hot when chaos is on).
+    36 => NET_DELAYED = "net.delayed";
+    37 => NET_DUPLICATED = "net.duplicated";
+    38 => NET_DEDUP_DROPPED = "net.dedup_dropped";
+}
+
+fn global() -> &'static RwLock<Interner> {
+    static GLOBAL: OnceLock<RwLock<Interner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let mut interner = Interner::new();
+        for &(sym, name) in WELL_KNOWN {
+            let id = interner.intern(name);
+            debug_assert_eq!(id, sym.0, "well-known seed order broken for {name:?}");
+        }
+        RwLock::new(interner)
+    })
+}
+
+impl Sym {
+    /// Intern `s` in the process-wide interner.
+    pub fn intern(s: &str) -> Sym {
+        if let Some(id) = global().read().expect("interner poisoned").lookup(s) {
+            return Sym(id);
+        }
+        Sym(global().write().expect("interner poisoned").intern(s))
+    }
+
+    /// The symbol for `s` if it is already interned. Use on read paths
+    /// (counter queries, signature probes) so unknown names don't grow
+    /// the interner.
+    pub fn try_lookup(s: &str) -> Option<Sym> {
+        global()
+            .read()
+            .expect("interner poisoned")
+            .lookup(s)
+            .map(Sym)
+    }
+
+    /// The interned string. The returned reference is `'static`: interned
+    /// strings live for the process.
+    pub fn as_str(self) -> &'static str {
+        global()
+            .read()
+            .expect("interner poisoned")
+            .resolve(self.0)
+            .expect("Sym id not in the process interner")
+    }
+
+    /// The raw id (intern order). Stable across processes only for the
+    /// pre-seeded [`WELL_KNOWN`] symbols; never persist ids of anything
+    /// else.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(s: &String) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::intern(&s)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+// On the wire and in every exported artifact a symbol is its string —
+// ids are a process-local encoding and never serialized.
+impl Serialize for Sym {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for Sym {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Sym::intern(s)),
+            other => Err(DeError(format!("expected string for Sym, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolves() {
+        let a = Sym::intern("symbol-tests.alpha");
+        let b = Sym::intern("symbol-tests.alpha");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "symbol-tests.alpha");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_syms() {
+        let a = Sym::intern("symbol-tests.one");
+        let b = Sym::intern("symbol-tests.two");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pre_seeded_symbols_are_stable() {
+        // The indices are a cross-process contract: pin every one.
+        for &(sym, name) in WELL_KNOWN {
+            assert_eq!(Sym::intern(name), sym, "seed moved for {name:?}");
+            assert_eq!(sym.as_str(), name);
+        }
+        assert_eq!(REPLY.id(), 0);
+        assert_eq!(PING.as_str(), "Ping");
+        assert_eq!(GET_INTERFACE.as_str(), "GetInterface");
+    }
+
+    #[test]
+    fn try_lookup_never_interns() {
+        assert_eq!(Sym::try_lookup("symbol-tests.never-interned"), None);
+        assert_eq!(Sym::try_lookup("Ping"), Some(PING));
+    }
+
+    #[test]
+    fn standalone_interner_assigns_dense_insertion_ordered_ids() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.intern("x"), 0);
+        assert_eq!(i.intern("y"), 1);
+        assert_eq!(i.intern("x"), 0);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(1), Some("y"));
+        assert_eq!(i.resolve(2), None);
+        assert_eq!(i.lookup("y"), Some(1));
+        assert_eq!(i.lookup("z"), None);
+    }
+
+    #[test]
+    fn sym_serializes_as_its_string() {
+        let v = PING.to_json_value();
+        assert_eq!(v.as_str(), Some("Ping"));
+        let back = Sym::from_json_value(&v).unwrap();
+        assert_eq!(back, PING);
+        assert!(Sym::from_json_value(&Value::U64(6)).is_err());
+    }
+
+    #[test]
+    fn display_and_debug_render_the_name() {
+        assert_eq!(PING.to_string(), "Ping");
+        assert_eq!(format!("{REPLY:?}"), "Sym(\"reply\")");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the symbol interner.
+//!
+//! The interner underpins the message hot path: every method name and
+//! metric key becomes a `Sym`, so the properties here — round-trips,
+//! collision-freedom, insertion-order determinism, and the stability of
+//! the pre-seeded well-known ids — are what make symbol-keyed maps safe
+//! to render back into the byte-identical transcripts the determinism
+//! goldens pin down.
+
+use legion_core::symbol::{Interner, Sym, WELL_KNOWN};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // Method-name-ish strings plus awkward ones (empty handled by the
+    // pre-seeded EMPTY symbol; unicode and whitespace must still round-trip).
+    prop_oneof![
+        "[A-Za-z_][A-Za-z0-9_.]{0,16}",
+        "[ -~]{0,24}",
+        Just("net.delayed".to_string()),
+        Just("GetBinding".to_string()),
+        Just("\u{3bb}\u{3bc}\u{3bd}".to_string()),
+    ]
+}
+
+proptest! {
+    /// intern → as_str is the identity, and interning again returns the
+    /// same id (no duplicate entries for one spelling).
+    #[test]
+    fn intern_roundtrips_and_is_idempotent(name in arb_name()) {
+        let sym = Sym::intern(&name);
+        prop_assert_eq!(sym.as_str(), name.as_str());
+        prop_assert_eq!(Sym::intern(&name), sym);
+        prop_assert_eq!(Sym::try_lookup(&name), Some(sym));
+    }
+
+    /// Distinct strings never collide: equal ids imply equal spellings.
+    #[test]
+    fn distinct_strings_never_collide(a in arb_name(), b in arb_name()) {
+        let sa = Sym::intern(&a);
+        let sb = Sym::intern(&b);
+        prop_assert_eq!(sa == sb, a == b);
+        prop_assert_eq!(sa.id() == sb.id(), a == b);
+    }
+
+    /// A fresh `Interner` fed the same insertion sequence assigns the
+    /// same ids — the determinism contract that makes symbol ids safe
+    /// to use as map keys within a run.
+    #[test]
+    fn identical_sequences_yield_identical_ids(
+        names in proptest::collection::vec(arb_name(), 1..24),
+    ) {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        let ids_a: Vec<u32> = names.iter().map(|n| a.intern(n)).collect();
+        let ids_b: Vec<u32> = names.iter().map(|n| b.intern(n)).collect();
+        prop_assert_eq!(&ids_a, &ids_b);
+        // And every id resolves back to its spelling in both.
+        for (name, id) in names.iter().zip(ids_a) {
+            prop_assert_eq!(a.resolve(id), Some(name.as_str()));
+            prop_assert_eq!(b.resolve(id), Some(name.as_str()));
+        }
+    }
+
+    /// Ids are dense: a fresh interner's len equals the number of
+    /// distinct spellings fed to it, whatever the order or repetition.
+    #[test]
+    fn len_counts_distinct_spellings(
+        names in proptest::collection::vec(arb_name(), 0..24),
+    ) {
+        let mut i = Interner::new();
+        for n in &names {
+            i.intern(n);
+        }
+        let mut distinct: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(i.len(), distinct.len());
+        prop_assert_eq!(i.is_empty(), distinct.is_empty());
+    }
+
+    /// Interning arbitrary garbage never disturbs a well-known symbol:
+    /// the pre-seeded ids keep their spellings under any workload.
+    #[test]
+    fn well_known_ids_are_stable(names in proptest::collection::vec(arb_name(), 0..16)) {
+        for n in &names {
+            Sym::intern(n);
+        }
+        for &(sym, text) in WELL_KNOWN {
+            prop_assert_eq!(sym.as_str(), text);
+            prop_assert_eq!(Sym::try_lookup(text), Some(sym));
+            prop_assert_eq!(Sym::intern(text), sym);
+        }
+    }
+}
+
+/// `try_lookup` must never intern: an unseen spelling stays unseen.
+#[test]
+fn try_lookup_never_interns() {
+    let name = "symbol_proptests::never_interned_probe";
+    assert_eq!(Sym::try_lookup(name), None);
+    assert_eq!(Sym::try_lookup(name), None);
+    let sym = Sym::intern(name);
+    assert_eq!(Sym::try_lookup(name), Some(sym));
+}

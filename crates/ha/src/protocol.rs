@@ -1,6 +1,7 @@
 //! The heartbeat wire protocol between Host Objects and Magistrates.
 
 use legion_core::loid::Loid;
+use legion_core::symbol::{self, Sym};
 use legion_core::value::LegionValue;
 use legion_net::message::Message;
 
@@ -8,7 +9,7 @@ use legion_net::message::Message;
 /// where `running` is the host's current active-object count (a cheap
 /// piggybacked load signal). Fire-and-forget: no reply is sent, so a
 /// dead Magistrate cannot wedge its hosts.
-pub const HEARTBEAT: &str = "Heartbeat";
+pub const HEARTBEAT: Sym = symbol::HEARTBEAT;
 
 /// Build the `Heartbeat` argument vector.
 pub fn heartbeat_args(host: Loid, running: usize) -> Vec<LegionValue> {

@@ -34,6 +34,7 @@ use legion_core::binding::Binding;
 use legion_core::env::InvocationEnv;
 use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
+use legion_core::symbol::Sym;
 use legion_core::value::LegionValue;
 use legion_core::wellknown::{is_core_class, LEGION_CLASS};
 use legion_net::dispatch::{
@@ -441,7 +442,7 @@ impl BindingAgentEndpoint {
         ctx: &mut Ctx<'_>,
         to: ObjectAddressElement,
         frame_target: Loid,
-        method: &str,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
         k: Continuation<Self>,
     ) -> bool {

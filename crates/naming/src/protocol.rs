@@ -9,18 +9,19 @@ use legion_core::binding::Binding;
 use legion_core::dispatch::FromArg;
 use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
+use legion_core::symbol::{self, Sym};
 use legion_core::value::LegionValue;
 
 /// `binding GetBinding(LOID)` / `binding GetBinding(binding)` (§3.6).
-pub const GET_BINDING: &str = "GetBinding";
+pub const GET_BINDING: Sym = symbol::GET_BINDING;
 /// `InvalidateBinding(LOID)` / `InvalidateBinding(binding)` (§3.6).
-pub const INVALIDATE_BINDING: &str = "InvalidateBinding";
+pub const INVALIDATE_BINDING: Sym = symbol::INVALIDATE_BINDING;
 /// `AddBinding(binding)` (§3.6).
-pub const ADD_BINDING: &str = "AddBinding";
+pub const ADD_BINDING: Sym = symbol::ADD_BINDING;
 /// LegionClass: issue a Class Identifier to a deriving class (§3.2).
-pub const ISSUE_CLASS_ID: &str = "IssueClassId";
+pub const ISSUE_CLASS_ID: Sym = symbol::ISSUE_CLASS_ID;
 /// LegionClass: who is responsible for locating this LOID? (§4.1.3).
-pub const FIND_RESPONSIBLE: &str = "FindResponsible";
+pub const FIND_RESPONSIBLE: Sym = symbol::FIND_RESPONSIBLE;
 
 /// The argument forms of the overloaded `GetBinding`/`InvalidateBinding`.
 #[derive(Debug, Clone, PartialEq)]

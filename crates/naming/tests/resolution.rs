@@ -637,7 +637,7 @@ fn agent_rejects_malformed_requests_on_the_wire() {
                     legion_naming::protocol::ADD_BINDING,
                     vec![legion_core::value::LegionValue::Uint(1)],
                 ),
-                ("TotallyBogus", vec![]),
+                (legion_core::symbol::Sym::intern("TotallyBogus"), vec![]),
             ] {
                 let id = ctx.fresh_call_id();
                 let mut msg = Message::call(

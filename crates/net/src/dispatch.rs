@@ -33,7 +33,7 @@ use legion_core::error::CoreError;
 use legion_core::idl;
 use legion_core::interface::{Interface, MethodSignature, ParamType};
 use legion_core::loid::Loid;
-use legion_core::object::methods::GET_INTERFACE;
+use legion_core::symbol::{self, Sym};
 use legion_core::value::LegionValue;
 use std::rc::Rc;
 
@@ -192,9 +192,12 @@ impl<E> MethodTable<E> {
         self.prefix
     }
 
-    /// The registered signature of `method`, if any.
+    /// The registered signature of `method`, if any. Probes via
+    /// [`Sym::try_lookup`], so asking about arbitrary names never grows
+    /// the interner.
     pub fn signature(&self, method: &str) -> Option<&MethodSignature> {
-        self.inner.get(method).map(|e| e.signature())
+        let sym = Sym::try_lookup(method)?;
+        self.inner.get(sym).map(|e| e.signature())
     }
 }
 
@@ -246,7 +249,7 @@ impl<E> TableBuilder<E> {
     /// arguments and publishes the parameter types of the signature.
     pub fn method<A: FromArgs + 'static, F>(
         self,
-        name: &str,
+        name: impl Into<Sym>,
         param_names: &[&str],
         returns: ParamType,
         f: F,
@@ -254,7 +257,7 @@ impl<E> TableBuilder<E> {
     where
         F: Fn(&mut E, &mut Ctx<'_>, &Message, A) -> Outcome + 'static,
     {
-        let sig = model::signature_of::<A>(name, param_names, returns);
+        let sig = model::signature_of::<A>(name.into().as_str(), param_names, returns);
         self.push(sig, true, f)
     }
 
@@ -262,7 +265,7 @@ impl<E> TableBuilder<E> {
     /// for `MayI` itself and for the heartbeat bypass.
     pub fn ungated_method<A: FromArgs + 'static, F>(
         self,
-        name: &str,
+        name: impl Into<Sym>,
         param_names: &[&str],
         returns: ParamType,
         f: F,
@@ -270,7 +273,7 @@ impl<E> TableBuilder<E> {
     where
         F: Fn(&mut E, &mut Ctx<'_>, &Message, A) -> Outcome + 'static,
     {
-        let sig = model::signature_of::<A>(name, param_names, returns);
+        let sig = model::signature_of::<A>(name.into().as_str(), param_names, returns);
         self.push(sig, false, f)
     }
 
@@ -296,7 +299,7 @@ impl<E> TableBuilder<E> {
     pub fn get_interface(mut self) -> Self {
         self.intrinsic_get_interface = true;
         self.push::<(), _>(
-            MethodSignature::new(GET_INTERFACE, vec![], ParamType::Str),
+            MethodSignature::new(symbol::GET_INTERFACE.as_str(), vec![], ParamType::Str),
             true,
             |_, _, _, _| Outcome::NoReply,
         )
@@ -340,7 +343,7 @@ pub fn serve<E>(
         return Served::Reply;
     }
     let prefix = table.prefix;
-    let Some(method) = msg.method().filter(|m| !m.is_empty()) else {
+    let Some(method) = msg.method_sym().filter(|&m| m != symbol::EMPTY) else {
         // A call with no method name (empty on the wire) used to vanish
         // silently in per-endpoint dispatch; dead-letter it visibly.
         ctx.count(&format!("{prefix}.dead_letter"));
@@ -361,7 +364,7 @@ pub fn serve<E>(
     };
     if entry.gated() {
         if let Some(gate) = table.gate {
-            if let Err(reason) = gate(endpoint).check(&msg.env, method) {
+            if let Err(reason) = gate(endpoint).check(&msg.env, method.as_str()) {
                 ctx.count(&format!("{prefix}.refused"));
                 ctx.trace_note(&format!("dispatch.{}:{method}", Verdict::Denied.label()));
                 ctx.reply(msg, Err(format!("MayI refused: {reason}")));
@@ -369,7 +372,7 @@ pub fn serve<E>(
             }
         }
     }
-    if table.intrinsic_get_interface && method == GET_INTERFACE {
+    if table.intrinsic_get_interface && method == symbol::GET_INTERFACE {
         ctx.reply(msg, Ok(LegionValue::Str(table.interface_idl.clone())));
         return Served::Call(Verdict::Allowed);
     }

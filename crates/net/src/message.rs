@@ -13,6 +13,7 @@
 use legion_core::address::ObjectAddressElement;
 use legion_core::env::InvocationEnv;
 use legion_core::loid::Loid;
+use legion_core::symbol::Sym;
 use legion_core::value::LegionValue;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -35,7 +36,9 @@ pub enum Body {
     /// A method invocation.
     Call {
         /// Method name, matching a signature in the callee's interface.
-        method: String,
+        /// Interned: copying a message never clones the name, and on the
+        /// wire it still serializes as the string.
+        method: Sym,
         /// Positional arguments.
         args: Vec<LegionValue>,
     },
@@ -75,7 +78,7 @@ impl Message {
     pub fn call(
         id: CallId,
         target: Loid,
-        method: impl Into<String>,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
         env: InvocationEnv,
     ) -> Self {
@@ -107,12 +110,18 @@ impl Message {
         }
     }
 
-    /// The method name, for calls.
-    pub fn method(&self) -> Option<&str> {
+    /// The method symbol, for calls. Allocation- and lock-free.
+    pub fn method_sym(&self) -> Option<Sym> {
         match &self.body {
-            Body::Call { method, .. } => Some(method),
+            Body::Call { method, .. } => Some(*method),
             Body::Reply { .. } => None,
         }
+    }
+
+    /// The method name, for calls. Resolves through the interner; prefer
+    /// [`Message::method_sym`] on hot paths.
+    pub fn method(&self) -> Option<&'static str> {
+        self.method_sym().map(Sym::as_str)
     }
 
     /// The arguments, for calls.

@@ -8,6 +8,7 @@
 //! protocol-level events (cache hits, class consultations, activations).
 //! Latency distributions use a log₂-bucketed [`Histogram`].
 
+use legion_core::symbol::Sym;
 use legion_core::time::SimTime;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
@@ -186,10 +187,15 @@ impl fmt::Display for Histogram {
     }
 }
 
-/// A named-counter registry (string → u64), deterministic iteration order.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// A named-counter registry, deterministic iteration order.
+///
+/// Keys are interned [`Sym`]s, so bumping an already-interned counter
+/// allocates nothing; names are materialized only when iterating or
+/// serializing (both in *name* order, matching the wire shape this type
+/// had when it was keyed by `String`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counters {
-    map: BTreeMap<String, u64>,
+    map: BTreeMap<Sym, u64>,
 }
 
 impl Counters {
@@ -200,12 +206,12 @@ impl Counters {
 
     /// Add `n` to counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &str, n: u64) {
-        match self.map.get_mut(name) {
-            Some(v) => *v += n,
-            None => {
-                self.map.insert(name.to_owned(), n);
-            }
-        }
+        self.add_sym(Sym::intern(name), n);
+    }
+
+    /// Add `n` to counter `sym` — the allocation-free hot path.
+    pub fn add_sym(&mut self, sym: Sym, n: u64) {
+        *self.map.entry(sym).or_insert(0) += n;
     }
 
     /// Increment counter `name` by one.
@@ -213,14 +219,23 @@ impl Counters {
         self.add(name, 1);
     }
 
-    /// Current value of `name` (0 if never bumped).
+    /// Current value of `name` (0 if never bumped). Never interns, so
+    /// probing arbitrary names can't grow the process interner.
     pub fn get(&self, name: &str) -> u64 {
-        self.map.get(name).copied().unwrap_or(0)
+        Sym::try_lookup(name).map(|s| self.get_sym(s)).unwrap_or(0)
+    }
+
+    /// Current value of `sym` (0 if never bumped).
+    pub fn get_sym(&self, sym: Sym) -> u64 {
+        self.map.get(&sym).copied().unwrap_or(0)
     }
 
     /// Iterate `(name, value)` in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        let mut pairs: Vec<(&'static str, u64)> =
+            self.map.iter().map(|(s, n)| (s.as_str(), *n)).collect();
+        pairs.sort_unstable_by_key(|&(name, _)| name);
+        pairs.into_iter()
     }
 
     /// Reset all counters to zero (drops names).
@@ -236,6 +251,35 @@ impl Counters {
     /// Is the registry empty?
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+}
+
+// Hand-written to preserve the exact wire shape of the former
+// `BTreeMap<String, u64>` field: `{"map": [[name, count], ...]}` with
+// pairs in name order. (The intern-order `Sym` keys are process-local
+// and never serialized.)
+impl Serialize for Counters {
+    fn to_json_value(&self) -> Value {
+        let pairs: Vec<Value> = self
+            .iter()
+            .map(|(name, n)| Value::Array(vec![Value::Str(name.to_owned()), Value::U64(n)]))
+            .collect();
+        Value::Object(vec![("map".to_owned(), Value::Array(pairs))])
+    }
+}
+
+impl Deserialize for Counters {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let pairs = v
+            .get("map")
+            .and_then(Value::as_array)
+            .ok_or_else(|| DeError("counters missing `map` array".to_owned()))?;
+        let mut c = Counters::new();
+        for pair in pairs {
+            let (name, n): (String, u64) = Deserialize::from_json_value(pair)?;
+            c.add(&name, n);
+        }
+        Ok(c)
     }
 }
 
@@ -272,8 +316,18 @@ impl WindowedCounters {
         if self.window_ns == 0 {
             return;
         }
+        self.record_sym(now, Sym::intern(name), n);
+    }
+
+    /// Add `n` to `sym` in the window containing `now` — the
+    /// allocation-free hot path (amortized: a window's first event
+    /// allocates its bucket).
+    pub fn record_sym(&mut self, now: SimTime, sym: Sym, n: u64) {
+        if self.window_ns == 0 {
+            return;
+        }
         let start = (now.as_nanos() / self.window_ns) * self.window_ns;
-        self.windows.entry(start).or_default().add(name, n);
+        self.windows.entry(start).or_default().add_sym(sym, n);
     }
 
     /// Iterate `(window start, counters)` in time order.

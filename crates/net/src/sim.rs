@@ -25,6 +25,7 @@ use crate::topology::{Location, Topology};
 use legion_core::address::{AddressSemantics, ObjectAddress, ObjectAddressElement};
 use legion_core::env::InvocationEnv;
 use legion_core::loid::Loid;
+use legion_core::symbol::{self, Sym};
 use legion_core::time::SimTime;
 use legion_core::trace::{SpanId, TraceContext};
 use legion_core::value::LegionValue;
@@ -117,9 +118,15 @@ impl Slot {
     }
 }
 
+// `Deliver` holds the message inline: events already live on the heap
+// inside the queue's backing storage, so boxing the message again was a
+// pure extra allocation on every accepted send. The variant size skew is
+// the point — deliveries dominate the queue, so the per-event footprint
+// is the message either way, minus the indirection.
+#[allow(clippy::large_enum_variant)]
 enum EventKind {
     Start,
-    Deliver(Box<Message>),
+    Deliver(Message),
     Timer(u64),
 }
 
@@ -182,7 +189,7 @@ struct Inner {
     rng: SmallRng,
     counters: Counters,
     latency: Histogram,
-    by_kind: BTreeMap<String, Histogram>,
+    by_kind: BTreeMap<Sym, Histogram>,
     windows: WindowedCounters,
     stats: KernelStats,
     sink: TraceSink,
@@ -323,9 +330,11 @@ impl SimKernel {
         &self.inner.latency
     }
 
-    /// Delivered-message latency by message kind (method name / `reply`).
-    pub fn kind_histograms(&self) -> &BTreeMap<String, Histogram> {
-        &self.inner.by_kind
+    /// Delivered-message latency by message kind (method name / `reply`),
+    /// rendered to names. The kernel keys the map by [`Sym`]; names are
+    /// materialized only here and at snapshot time.
+    pub fn kind_histograms(&self) -> BTreeMap<String, Histogram> {
+        render_by_kind(&self.inner.by_kind)
     }
 
     /// Start recording span events into a bounded sink.
@@ -390,7 +399,7 @@ impl SimKernel {
             stats: self.inner.stats.clone(),
             counters: self.inner.counters.clone(),
             latency: self.inner.latency.clone(),
-            by_kind: self.inner.by_kind.clone(),
+            by_kind: render_by_kind(&self.inner.by_kind),
             endpoints: self
                 .slots
                 .iter()
@@ -516,13 +525,15 @@ impl SimKernel {
                 // Recorded even for untraced messages (trace/span NONE):
                 // a crash-eaten delivery must be visible in the span
                 // stream, not just the dead_letters counter.
-                self.inner.record_span(
-                    ev.trace,
-                    SpanId::NONE,
-                    SpanEventKind::DeadLetter,
-                    idx as u64,
-                    &format!("dead_letter:{}", kind_label(msg)),
-                );
+                if self.inner.sink.is_enabled() {
+                    self.inner.record_span(
+                        ev.trace,
+                        SpanId::NONE,
+                        SpanEventKind::DeadLetter,
+                        idx as u64,
+                        &format!("dead_letter:{}", kind_sym(msg)),
+                    );
+                }
             }
             return true;
         }
@@ -531,14 +542,16 @@ impl SimKernel {
         if self.inner.dedup_enabled {
             if let (EventKind::Deliver(msg), Some((sender, seq_no))) = (&ev.kind, ev.dedup) {
                 if !self.slots[idx].seen.admit(sender, seq_no) {
-                    self.inner.note_count("net.dedup_dropped", 1);
-                    self.inner.record_span(
-                        ev.trace,
-                        SpanId::NONE,
-                        SpanEventKind::Dedup,
-                        idx as u64,
-                        &format!("dedup:{}", kind_label(msg)),
-                    );
+                    self.inner.note_count_sym(symbol::NET_DEDUP_DROPPED, 1);
+                    if self.inner.sink.is_enabled() {
+                        self.inner.record_span(
+                            ev.trace,
+                            SpanId::NONE,
+                            SpanEventKind::Dedup,
+                            idx as u64,
+                            &format!("dedup:{}", kind_sym(msg)),
+                        );
+                    }
                     return true;
                 }
             }
@@ -559,17 +572,16 @@ impl SimKernel {
                 EventKind::Deliver(msg) => {
                     ctx.slots[idx].meta.received += 1;
                     ctx.inner.stats.delivered += 1;
-                    if ev.trace.is_active() {
-                        let label = kind_label(&msg);
+                    if ev.trace.is_active() && ctx.inner.sink.is_enabled() {
                         ctx.inner.record_span(
                             ev.trace,
                             SpanId::NONE,
                             SpanEventKind::Deliver,
                             idx as u64,
-                            &label,
+                            kind_sym(&msg).as_str(),
                         );
                     }
-                    ep.on_message(&mut ctx, *msg);
+                    ep.on_message(&mut ctx, msg);
                 }
                 EventKind::Timer(tag) => {
                     if ev.trace.is_active() {
@@ -660,8 +672,14 @@ impl Inner {
 
     /// Bump a named counter in the flat registry and the time windows.
     fn note_count(&mut self, name: &str, n: u64) {
-        self.counters.add(name, n);
-        self.windows.record(self.now, name, n);
+        self.note_count_sym(Sym::intern(name), n);
+    }
+
+    /// [`Inner::note_count`] for an already-interned name — the
+    /// allocation-free path the kernel's own counters use.
+    fn note_count_sym(&mut self, sym: Sym, n: u64) {
+        self.counters.add_sym(sym, n);
+        self.windows.record_sym(self.now, sym, n);
     }
 
     /// Record a span event at the current virtual time (no-op when the
@@ -690,12 +708,20 @@ impl Inner {
     }
 }
 
-/// The per-message-kind metrics label: the method name for calls,
-/// `reply` for replies.
-fn kind_label(msg: &Message) -> String {
-    msg.method()
-        .map(str::to_owned)
-        .unwrap_or_else(|| "reply".to_owned())
+/// The per-message-kind metrics key: the method symbol for calls,
+/// [`symbol::REPLY`] for replies. A `Copy` of a `u32` — zero label work
+/// per delivery, whether or not metrics consumers exist.
+fn kind_sym(msg: &Message) -> Sym {
+    msg.method_sym().unwrap_or(symbol::REPLY)
+}
+
+/// Render the `Sym`-keyed per-kind map to names, in name order (the
+/// snapshot/export shape; `Sym` order is intern order, not name order).
+fn render_by_kind(by_kind: &BTreeMap<Sym, Histogram>) -> BTreeMap<String, Histogram> {
+    by_kind
+        .iter()
+        .map(|(s, h)| (s.as_str().to_owned(), h.clone()))
+        .collect()
 }
 
 /// Attempt one physical send. Returns `true` if accepted (delivery still
@@ -722,8 +748,8 @@ fn send_one(
         // sends will parent under it.
         let parent = msg.env.trace.span;
         msg.env.trace.span = inner.sink.next_span();
-        let label = kind_label(&msg);
-        inner.record_span(msg.env.trace, parent, SpanEventKind::Send, from_ep, &label);
+        let label = kind_sym(&msg).as_str();
+        inner.record_span(msg.env.trace, parent, SpanEventKind::Send, from_ep, label);
     }
     // Fault spans (Refuse/Drop/DeadLetter) are recorded whenever the sink
     // is enabled, even when the message carries no trace context — crash
@@ -794,7 +820,7 @@ fn send_one(
         Verdict::DropSilently => unreachable!("handled above"),
     };
     if let Verdict::Delay { extra_ns, factor } = verdict {
-        inner.note_count("net.delayed", 1);
+        inner.note_count_sym(symbol::NET_DELAYED, 1);
         inner.record_span(
             msg.env.trace,
             SpanId::NONE,
@@ -806,7 +832,7 @@ fn send_one(
     inner.latency.record(effective);
     inner
         .by_kind
-        .entry(kind_label(&msg))
+        .entry(kind_sym(&msg))
         .or_default()
         .record(effective);
     slots[ep as usize].meta.in_latency.record(effective);
@@ -814,7 +840,7 @@ fn send_one(
     let trace = msg.env.trace;
     let dedup = Some((from_ep, seq_no));
     let copy = if let Some(extra_ns) = copy_after {
-        inner.note_count("net.duplicated", 1);
+        inner.note_count_sym(symbol::NET_DUPLICATED, 1);
         inner.record_span(
             trace,
             SpanId::NONE,
@@ -822,7 +848,7 @@ fn send_one(
             from_ep,
             &format!("dup:+{extra_ns}ns"),
         );
-        Some((at.saturating_add(extra_ns), Box::new(msg.clone())))
+        Some((at.saturating_add(extra_ns), msg.clone()))
     } else {
         None
     };
@@ -833,7 +859,7 @@ fn send_one(
         to: EndpointId(ep),
         trace,
         dedup,
-        kind: EventKind::Deliver(Box::new(msg)),
+        kind: EventKind::Deliver(msg),
     }));
     // The duplicate copy shares the original's dedup key: with the
     // at-most-once window on, exactly one of the two reaches the endpoint.
@@ -1025,7 +1051,7 @@ impl Ctx<'_> {
         &mut self,
         to: ObjectAddressElement,
         target: Loid,
-        method: impl Into<String>,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
         env: InvocationEnv,
         sender: Option<Loid>,

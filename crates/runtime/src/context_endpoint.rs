@@ -142,6 +142,7 @@ impl Endpoint for ContextEndpoint {
 mod tests {
     use super::*;
     use legion_core::env::InvocationEnv;
+    use legion_core::symbol::Sym;
     use legion_net::message::Body;
     use legion_net::sim::{EndpointId, SimKernel};
     use legion_net::topology::{Location, Topology};
@@ -163,7 +164,7 @@ mod tests {
         k: &mut SimKernel,
         probe: EndpointId,
         cx: EndpointId,
-        method: &str,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
     ) -> Result<LegionValue, String> {
         let id = k.fresh_call_id();

@@ -312,6 +312,7 @@ impl HostObjectEndpoint {
 mod tests {
     use super::*;
     use legion_core::dispatch::FromArgs;
+    use legion_core::symbol::Sym;
     use legion_net::message::Body;
     use legion_net::sim::SimKernel;
     use legion_net::topology::{Location, Topology};
@@ -358,7 +359,7 @@ mod tests {
         probe: EndpointId,
         to: EndpointId,
         caller: Loid,
-        method: &str,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
     ) -> Result<LegionValue, String> {
         let id = k.fresh_call_id();
@@ -630,9 +631,9 @@ mod tests {
             host_proto::SET_CPU_LOAD,
             host_proto::SET_MEMORY_USAGE,
             host_proto::GET_STATE,
-            legion_core::object::methods::GET_INTERFACE,
+            legion_core::symbol::GET_INTERFACE,
         ] {
-            assert!(idl.contains(m), "{m} missing from {idl}");
+            assert!(idl.contains(m.as_str()), "{m} missing from {idl}");
         }
     }
 
@@ -656,7 +657,7 @@ mod tests {
     #[test]
     fn published_signature_matches_codec() {
         let table = HostObjectEndpoint::table(host_loid());
-        let sig = table.signature(host_proto::ACTIVATE).unwrap();
+        let sig = table.signature(host_proto::ACTIVATE.as_str()).unwrap();
         assert_eq!(sig.params.len(), ActivationSpec::params().len());
     }
 }

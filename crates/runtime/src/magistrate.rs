@@ -38,6 +38,7 @@ use legion_core::env::InvocationEnv;
 use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::object::methods as obj_methods;
+use legion_core::symbol::Sym;
 use legion_core::value::LegionValue;
 use legion_ha::detector::FailureDetector;
 use legion_ha::policy::{Health, SuspicionPolicy};
@@ -412,7 +413,7 @@ impl MagistrateEndpoint {
         ctx: &mut Ctx<'_>,
         class_addr: Option<ObjectAddressElement>,
         class: Loid,
-        method: &str,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
     ) {
         if let Some(addr) = class_addr {

@@ -172,6 +172,7 @@ mod tests {
     use super::*;
     use legion_core::env::InvocationEnv;
     use legion_core::object::object_mandatory_interface;
+    use legion_core::symbol::Sym;
     use legion_core::wellknown::LEGION_OBJECT;
     use legion_net::message::Body;
     use legion_net::sim::{EndpointId, SimKernel};
@@ -208,7 +209,7 @@ mod tests {
         from: EndpointId,
         to: EndpointId,
         target: Loid,
-        method: &str,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
     ) {
         let id = k.fresh_call_id();

@@ -15,69 +15,77 @@ use legion_core::value::LegionValue;
 
 /// Magistrate member functions (paper §3.8).
 pub mod magistrate {
+    use legion_core::symbol::{self, Sym};
+
     /// `binding Activate(LOID)` / `binding Activate(LOID, LOID host)`.
-    pub const ACTIVATE: &str = "Activate";
+    pub const ACTIVATE: Sym = symbol::ACTIVATE;
     /// `Deactivate(LOID)`.
-    pub const DEACTIVATE: &str = "Deactivate";
+    pub const DEACTIVATE: Sym = symbol::DEACTIVATE;
     /// `Delete(LOID)`.
-    pub const DELETE: &str = "Delete";
+    pub const DELETE: Sym = symbol::DELETE;
     /// `Copy(LOID, LOID magistrate)`.
-    pub const COPY: &str = "Copy";
+    pub const COPY: Sym = symbol::COPY;
     /// `Move(LOID, LOID magistrate)` — Copy then Delete.
-    pub const MOVE: &str = "Move";
+    pub const MOVE: Sym = symbol::MOVE;
     /// Internal: create a brand-new object (class → magistrate).
-    pub const CREATE_OBJECT: &str = "CreateObject";
+    pub const CREATE_OBJECT: Sym = symbol::CREATE_OBJECT;
     /// Internal: receive a shipped OPR (magistrate → magistrate, Fig. 11).
-    pub const RECEIVE_OPR: &str = "ReceiveOpr";
+    pub const RECEIVE_OPR: Sym = symbol::RECEIVE_OPR;
 }
 
 /// Host Object member functions (paper §3.9).
 pub mod host {
+    use legion_core::symbol::{self, Sym};
+
     /// Start an object process on this host.
-    pub const ACTIVATE: &str = "HostActivate";
+    pub const ACTIVATE: Sym = symbol::HOST_ACTIVATE;
     /// Kill an object process on this host.
-    pub const DEACTIVATE: &str = "HostDeactivate";
+    pub const DEACTIVATE: Sym = symbol::HOST_DEACTIVATE;
     /// Restrict CPU available to Legion objects.
-    pub const SET_CPU_LOAD: &str = "SetCPULoad";
+    pub const SET_CPU_LOAD: Sym = symbol::SET_CPU_LOAD;
     /// Restrict memory available to Legion objects.
-    pub const SET_MEMORY_USAGE: &str = "SetMemoryUsage";
+    pub const SET_MEMORY_USAGE: Sym = symbol::SET_MEMORY_USAGE;
     /// Report host state (running objects, capacity, load).
-    pub const GET_STATE: &str = "GetState";
+    pub const GET_STATE: Sym = symbol::GET_STATE;
 }
 
 /// Class-object maintenance notifications (logical table, §3.7).
 pub mod class {
+    use legion_core::symbol::{self, Sym};
+
     /// `Create()` — class-mandatory (§3.7); returns the new binding.
-    pub const CREATE: &str = "Create";
+    pub const CREATE: Sym = symbol::CREATE;
     /// `Derive(name)` — returns the new class binding.
-    pub const DERIVE: &str = "Derive";
+    pub const DERIVE: Sym = symbol::DERIVE;
     /// `InheritFrom(base)`.
-    pub const INHERIT_FROM: &str = "InheritFrom";
+    pub const INHERIT_FROM: Sym = symbol::INHERIT_FROM;
     /// `Delete(target)`.
-    pub const DELETE: &str = "Delete";
+    pub const DELETE: Sym = symbol::DELETE;
     /// Internal: set/clear the Object Address column for a row.
-    pub const SET_ADDRESS: &str = "SetAddress";
+    pub const SET_ADDRESS: Sym = symbol::SET_ADDRESS;
     /// Internal: add a magistrate to a row's Current Magistrate List.
-    pub const ADD_MAGISTRATE: &str = "AddMagistrate";
+    pub const ADD_MAGISTRATE: Sym = symbol::ADD_MAGISTRATE;
     /// Internal: remove a magistrate from a row's list.
-    pub const REMOVE_MAGISTRATE: &str = "RemoveMagistrate";
+    pub const REMOVE_MAGISTRATE: Sym = symbol::REMOVE_MAGISTRATE;
     /// §4.2.1: externally started objects (Host Objects, Magistrates)
     /// "contact the existing class object ... to tell it of their
     /// existence".
-    pub const ANNOUNCE: &str = "Announce";
+    pub const ANNOUNCE: Sym = symbol::ANNOUNCE;
     /// The interface *instances* of this class support (run-time class
     /// data, §2.1) — distinct from `GetInterface()`, which describes the
     /// class object's own member functions.
-    pub const GET_INSTANCE_INTERFACE: &str = "GetInstanceInterface";
+    pub const GET_INSTANCE_INTERFACE: Sym = symbol::GET_INSTANCE_INTERFACE;
 }
 
 /// Object-level methods beyond the object-mandatory set: a generic
 /// key/value state interface used by examples and workloads.
 pub mod object {
+    use legion_core::symbol::{self, Sym};
+
     /// `Set(key, value)`.
-    pub const SET: &str = "Set";
+    pub const SET: Sym = symbol::SET;
     /// `value Get(key)`.
-    pub const GET: &str = "Get";
+    pub const GET: Sym = symbol::GET;
 }
 
 /// Everything a Host Object needs to start an object process

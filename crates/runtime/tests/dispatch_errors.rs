@@ -10,6 +10,7 @@
 use legion_core::class::{ClassKind, ClassObject};
 use legion_core::env::InvocationEnv;
 use legion_core::loid::Loid;
+use legion_core::symbol::Sym;
 use legion_core::value::LegionValue;
 use legion_naming::agent::{AgentConfig, BindingAgentEndpoint};
 use legion_naming::protocol as naming_proto;
@@ -55,7 +56,7 @@ fn call(
     k: &mut SimKernel,
     probe: EndpointId,
     subject: &Subject,
-    method: &str,
+    method: impl Into<Sym>,
     args: Vec<LegionValue>,
 ) -> Option<Result<LegionValue, String>> {
     let id = k.fresh_call_id();
@@ -153,7 +154,7 @@ fn world() -> (SimKernel, EndpointId, Vec<Subject>) {
             counter_prefix: "magistrate",
             ep: mag,
             target: mag_loid,
-            known_method: mag_proto::ACTIVATE,
+            known_method: mag_proto::ACTIVATE.as_str(),
             wrong_arity: vec![],
             wrong_type: vec![LegionValue::Str("x".into())],
         },
@@ -162,7 +163,7 @@ fn world() -> (SimKernel, EndpointId, Vec<Subject>) {
             counter_prefix: "class",
             ep: class,
             target: class_loid,
-            known_method: class_proto::DELETE,
+            known_method: class_proto::DELETE.as_str(),
             wrong_arity: vec![],
             wrong_type: vec![LegionValue::Uint(1)],
         },
@@ -171,7 +172,7 @@ fn world() -> (SimKernel, EndpointId, Vec<Subject>) {
             counter_prefix: "host",
             ep: host,
             target: host_loid,
-            known_method: legion_runtime::protocol::host::DEACTIVATE,
+            known_method: legion_runtime::protocol::host::DEACTIVATE.as_str(),
             wrong_arity: vec![],
             wrong_type: vec![LegionValue::Uint(1)],
         },
@@ -198,7 +199,7 @@ fn world() -> (SimKernel, EndpointId, Vec<Subject>) {
             counter_prefix: "ba",
             ep: agent,
             target: ba_loid,
-            known_method: naming_proto::GET_BINDING,
+            known_method: naming_proto::GET_BINDING.as_str(),
             wrong_arity: vec![],
             wrong_type: vec![LegionValue::Uint(1)],
         },

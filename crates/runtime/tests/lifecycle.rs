@@ -8,6 +8,7 @@ use legion_core::env::InvocationEnv;
 use legion_core::interface::{MethodSignature, ParamType};
 use legion_core::loid::Loid;
 use legion_core::object::{methods as obj_m, object_mandatory_interface};
+use legion_core::symbol::Sym;
 use legion_core::value::LegionValue;
 use legion_core::wellknown::{LEGION_HOST, LEGION_MAGISTRATE, LEGION_OBJECT};
 use legion_net::message::{Body, Message};
@@ -125,7 +126,7 @@ impl World {
         &mut self,
         to: EndpointId,
         target: Loid,
-        method: &str,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
     ) -> Result<LegionValue, String> {
         self.call_raw(to.element(), target, method, args)
@@ -135,7 +136,7 @@ impl World {
         &mut self,
         to: ObjectAddressElement,
         target: Loid,
-        method: &str,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
     ) -> Result<LegionValue, String> {
         let id = self.k.fresh_call_id();

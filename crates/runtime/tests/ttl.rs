@@ -6,6 +6,7 @@ use legion_core::class::{ClassKind, ClassObject};
 use legion_core::env::InvocationEnv;
 use legion_core::loid::Loid;
 use legion_core::object::object_mandatory_interface;
+use legion_core::symbol::Sym;
 use legion_core::time::{Expiry, SimTime};
 use legion_core::value::LegionValue;
 use legion_core::wellknown::LEGION_OBJECT;
@@ -102,7 +103,7 @@ impl World {
         &mut self,
         to: EndpointId,
         target: Loid,
-        method: &str,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
     ) -> Result<LegionValue, String> {
         let id = self.k.fresh_call_id();

@@ -14,6 +14,7 @@ use legion_core::env::InvocationEnv;
 use legion_core::interface::{MethodSignature, ParamType};
 use legion_core::loid::Loid;
 use legion_core::object::object_mandatory_interface;
+use legion_core::symbol::Sym;
 use legion_core::value::LegionValue;
 use legion_core::wellknown::{LEGION_BINDING_AGENT, LEGION_OBJECT};
 use legion_ha::policy::MissThreshold;
@@ -441,7 +442,7 @@ impl LegionSystem {
         &mut self,
         to: ObjectAddressElement,
         target: Loid,
-        method: &str,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
     ) -> Result<LegionValue, String> {
         let id = self.kernel.fresh_call_id();
@@ -473,7 +474,7 @@ impl LegionSystem {
         &mut self,
         to: ObjectAddressElement,
         target: Loid,
-        method: &str,
+        method: impl Into<Sym>,
         args: Vec<LegionValue>,
     ) -> Result<Binding, String> {
         match self.call(to, target, method, args)? {

@@ -1,0 +1,122 @@
+//! Determinism golden tests.
+//!
+//! The experiments are bit-reproducible per seed, and several PRs lean on
+//! that: a refactor of the message hot path must leave the E1/E15/E16
+//! transcripts, the E1 `MetricsSnapshot` JSON, and the E1 trace JSONL
+//! **byte-identical**. These tests pin each of those artifacts against a
+//! committed golden file under `tests/goldens/`.
+//!
+//! To (re)capture the goldens after an *intentional* output change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test goldens
+//! ```
+//!
+//! and commit the diff — the review then sees exactly what changed in the
+//! observable output, separately from the code change.
+
+use legion::obs;
+use legion::sim::experiments as exp;
+use legion::sim::obs_run;
+use serde::Serialize;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The seed and scale `legion-exp --quick` uses, so goldens can be
+/// eyeballed against the CLI output.
+const SEED: u64 = 20260707;
+const SCALE: u32 = 1;
+
+fn goldens_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+/// Compare `actual` against the committed golden `name`, or rewrite the
+/// golden when `UPDATE_GOLDENS` is set.
+fn check(name: &str, actual: &str) {
+    let path = goldens_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::create_dir_all(path.parent().expect("golden path has a parent")).expect("mkdir");
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {name} ({e}); capture with UPDATE_GOLDENS=1 cargo test --test goldens"
+        )
+    });
+    if expected != actual {
+        let diverge = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| {
+                let e = expected.lines().nth(i).unwrap_or("<eof>");
+                let a = actual.lines().nth(i).unwrap_or("<eof>");
+                format!(
+                    "first divergence at line {}:\n  golden: {e}\n  actual: {a}",
+                    i + 1
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line-prefix identical; lengths differ ({} vs {} bytes)",
+                    expected.len(),
+                    actual.len()
+                )
+            });
+        panic!("golden {name} diverged — {diverge}");
+    }
+}
+
+#[test]
+fn e01_transcript_matches_golden() {
+    let table = exp::e01_binding_path::table(&exp::e01_binding_path::run(SCALE, SEED));
+    check("e01_transcript.golden", &table.render());
+}
+
+/// The traced E1 run: analysis tables, the span JSONL, and the metrics
+/// snapshot document, exactly as `legion-exp e1 --quick --trace-out
+/// --metrics-out` writes them.
+#[test]
+fn e01_traced_artifacts_match_goldens() {
+    let traced = obs_run::run_e01_traced(SCALE, SEED);
+    let tables = obs_run::analysis_tables(&traced.events);
+    let mut analysis = String::new();
+    for t in &tables {
+        analysis.push_str(&t.render());
+        analysis.push('\n');
+    }
+    check("e01_analysis.golden", &analysis);
+    check(
+        "e01_trace.jsonl.golden",
+        &obs::export::to_jsonl(&traced.events),
+    );
+    let doc = serde::Value::Object(vec![
+        ("experiment".to_string(), serde::Value::Str("e1".into())),
+        ("metrics".to_string(), traced.metrics.to_json_value()),
+        (
+            "tables".to_string(),
+            serde::Value::Array(tables.iter().map(|t| t.to_json()).collect()),
+        ),
+    ]);
+    check(
+        "e01_metrics.json.golden",
+        &serde::json::to_string_pretty(&doc),
+    );
+}
+
+#[test]
+fn e15_transcript_matches_golden() {
+    let table = exp::e15_crash_recovery::table(&exp::e15_crash_recovery::run(SCALE, SEED));
+    check("e15_transcript.golden", &table.render());
+}
+
+#[test]
+fn e16_transcript_matches_golden() {
+    let (rows, shrinks) = exp::e16_chaos::run(SCALE, SEED);
+    let (t1, t2) = exp::e16_chaos::table(&rows, &shrinks);
+    let mut out = t1.render();
+    out.push_str(&t2.render());
+    check("e16_transcript.golden", &out);
+}

@@ -24,4 +24,25 @@ if [[ -n "$hits" ]]; then
     echo "TableBuilder) with a typed FromArgs codec instead." >&2
     exit 1
 fi
+
+# Method names on the hot path are interned symbols (legion-core::symbol),
+# not owned strings: a `method: String` field/parameter or a String-keyed
+# method map outside the symbol/interface layer reintroduces a per-message
+# allocation. Allowed owners of rendered names: the symbol layer itself,
+# the interface/IDL layer (published signatures), and cold-path
+# diagnostics (error.rs uniform error variants, inherit.rs ambiguity
+# reports) — those render once per failure, never per message.
+sym_allowed_re='^crates/core/src/(symbol|interface|idl|error|inherit)\.rs:'
+
+sym_hits=$(grep -rnE 'method: String|method_name: String|methods: *BTreeMap<String' \
+    crates/ --include='*.rs' | grep -vE "$sym_allowed_re" || true)
+
+if [[ -n "$sym_hits" ]]; then
+    echo "error: raw String method keys outside the symbol layer:" >&2
+    echo "$sym_hits" >&2
+    echo >&2
+    echo "Thread method names as legion_core::symbol::Sym (intern once at the" >&2
+    echo "boundary); render strings only when building snapshots or wire output." >&2
+    exit 1
+fi
 echo "lint_dispatch: ok"

@@ -150,22 +150,38 @@ impl Bencher {
     }
 }
 
+/// Samples per benchmark, overridable for quick CI smoke runs via the
+/// `LEGION_BENCH_SAMPLES` environment variable (caps the configured
+/// sample count; values < 1 are ignored).
+fn effective_samples(samples: usize) -> usize {
+    let cap = std::env::var("LEGION_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(usize::MAX);
+    samples.max(1).min(cap)
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
-    let mut best = u128::MAX;
-    for _ in 0..samples.max(1) {
+    let mut per_iter: Vec<u128> = Vec::new();
+    for _ in 0..effective_samples(samples) {
         let mut b = Bencher {
             elapsed_ns: 0,
             iters: 1,
         };
         f(&mut b);
         if b.iters > 0 && b.elapsed_ns > 0 {
-            best = best.min(b.elapsed_ns / b.iters as u128);
+            per_iter.push(b.elapsed_ns / b.iters as u128);
         }
     }
-    if best == u128::MAX {
+    if per_iter.is_empty() {
         println!("bench {label:<50} (no timing)");
     } else {
-        println!("bench {label:<50} {best:>12} ns/iter");
+        // Median of samples — robust against scheduler noise in either
+        // direction, unlike best-of (which only hides slow outliers).
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        println!("bench {label:<50} {median:>12} ns/iter");
     }
 }
 
