@@ -2,9 +2,13 @@
 //!
 //! Perf claims about the message hot path ("zero label allocations per
 //! delivery") are only testable if the harness can *count* allocator
-//! traffic. [`CountingAlloc`] wraps the system allocator and bumps two
-//! process-wide atomics on every `alloc`/`realloc`. Register it in a
-//! bench binary or integration-test binary:
+//! traffic. [`CountingAlloc`] wraps the system allocator and reports
+//! every `alloc`/`realloc` to the process-wide atomics in
+//! [`legion_core::allocs`] — the counters live in core so lower layers
+//! (the kernel profiler) can read them without depending on this
+//! harness crate, while the `unsafe` allocator impl stays here (core
+//! forbids unsafe code). Register it in a bench binary or
+//! integration-test binary:
 //!
 //! ```ignore
 //! #[global_allocator]
@@ -12,25 +16,18 @@
 //!     legion_bench::alloc_counter::CountingAlloc;
 //! ```
 //!
-//! then bracket the measured region with [`counts`] and subtract. The
-//! counters are monotone (frees are not subtracted): the interesting
-//! quantity is allocator *pressure*, not live bytes. When the allocator
-//! is not registered the counters simply stay at zero, so library code
-//! can read them unconditionally.
+//! then bracket the measured region with [`counts`] and subtract.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+pub use legion_core::allocs::{counts, is_counting};
 
 /// Allocator wrapper counting every allocation and allocated byte.
 pub struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        legion_core::allocs::on_alloc(layout.size() as u64);
         System.alloc(layout)
     }
 
@@ -41,27 +38,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A grow is new allocator pressure for the grown size (the old
         // block is accounted already).
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        legion_core::allocs::on_alloc(new_size as u64);
         System.realloc(ptr, layout, new_size)
     }
-}
-
-/// Cumulative `(allocations, bytes)` since process start. Zero unless a
-/// [`CountingAlloc`] is registered as the global allocator.
-pub fn counts() -> (u64, u64) {
-    (
-        ALLOCATIONS.load(Ordering::Relaxed),
-        ALLOCATED_BYTES.load(Ordering::Relaxed),
-    )
-}
-
-/// Is a [`CountingAlloc`] actually registered? Detected by allocating a
-/// small box and checking that the counter moved — lets tests assert the
-/// harness is wired rather than silently measuring zeros.
-pub fn is_counting() -> bool {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    let probe = Box::new([0u8; 32]);
-    std::hint::black_box(&probe);
-    ALLOCATIONS.load(Ordering::Relaxed) > before
 }

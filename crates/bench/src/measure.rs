@@ -11,6 +11,7 @@
 
 use crate::alloc_counter;
 use legion_naming::tree::TreeShape;
+use legion_obs::slo::SloConfig;
 use legion_sim::experiments::common::{attach_clients, run_clients};
 use legion_sim::system::{LegionSystem, SystemConfig};
 use legion_sim::workload::WorkloadConfig;
@@ -80,7 +81,27 @@ pub fn build_e12_system(jurisdictions: u32, seed: u64) -> (LegionSystem, usize) 
 /// Run the E12 steady-state inner loop and measure it: warm wave,
 /// `reset_metrics`, then a measured wave bracketed by allocator counts.
 pub fn e12_steady_state(jurisdictions: u32, seed: u64) -> SteadyStats {
+    e12_steady_state_inner(jurisdictions, seed, false)
+}
+
+/// [`e12_steady_state`] with the always-on observability surfaces the
+/// run report uses — kernel profiler and SLO tracker — enabled for the
+/// whole run. The CI gate holds this within the committed
+/// `allocs_per_message` budget (+5%): instrumentation must stay free on
+/// the steady-state hot path.
+pub fn e12_steady_state_instrumented(jurisdictions: u32, seed: u64) -> SteadyStats {
+    e12_steady_state_inner(jurisdictions, seed, true)
+}
+
+fn e12_steady_state_inner(jurisdictions: u32, seed: u64, instrumented: bool) -> SteadyStats {
     let (mut sys, clients) = build_e12_system(jurisdictions, seed);
+    if instrumented {
+        // Enabled *before* the warm wave: the profiler's (endpoint,
+        // method) map keys are populated during warm-up, so the
+        // measured wave only zero-resets and refills them in place.
+        sys.kernel.enable_profiling();
+        sys.kernel.enable_slo(SloConfig::default());
+    }
     let wl = WorkloadConfig {
         lookups_per_client: 30,
         locality: 0.8,

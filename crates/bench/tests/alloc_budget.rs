@@ -6,9 +6,11 @@
 //! polluted by concurrent tests sharing the process-wide counter.
 
 use legion_bench::alloc_counter::{self, CountingAlloc};
-use legion_bench::measure::{e12_steady_state, SNAPSHOT_SEED};
+use legion_bench::measure::{e12_steady_state, e12_steady_state_instrumented, SNAPSHOT_SEED};
 use legion_core::symbol::{self, Sym};
+use legion_core::time::SimTime;
 use legion_net::metrics::{Counters, WindowedCounters};
+use legion_net::sim::{FlightEvent, FlightKind, FlightRecorder};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -53,6 +55,24 @@ fn hot_path_allocation_budgets() {
     });
     assert_eq!(d, 0, "counter hit path allocated {d} times");
 
+    // The flight recorder is *always on*, so recording — both the fill
+    // phase and steady-state ring overwrites — must never allocate. The
+    // only allocation is the ring itself, at construction.
+    let mut flight = FlightRecorder::new(256);
+    let d = alloc_delta(|| {
+        for i in 0..1_000u64 {
+            flight.record(FlightEvent {
+                at: SimTime(i),
+                kind: FlightKind::Deliver,
+                endpoint: i % 7,
+                label: symbol::NET_DELAYED,
+                detail: i,
+            });
+        }
+    });
+    assert_eq!(d, 0, "flight recorder allocated {d} times while recording");
+    assert_eq!(flight.total(), 1_000);
+
     // Disabled windowed counters must not touch the allocator at all.
     let mut windows = WindowedCounters::disabled();
     let d = alloc_delta(|| {
@@ -74,6 +94,37 @@ fn hot_path_allocation_budgets() {
     assert!(
         apm <= 7.0,
         "allocs/message budget blown: {apm:.2} > 7.0 ({stats:?})"
+    );
+
+    // The instrumented run — profiler + SLO tracker enabled, as
+    // `--report-out` configures them — must stay within the *committed*
+    // snapshot budget (+5%): always-on observability may not tax the
+    // steady-state hot path. The committed number comes from
+    // BENCH_CORE.json so the gate tightens automatically with the
+    // snapshot.
+    let bench_core = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_CORE.json"
+    ))
+    .expect("BENCH_CORE.json at the workspace root");
+    let core = serde::json::from_str(&bench_core).expect("BENCH_CORE.json parses");
+    let steady = core
+        .get("post")
+        .and_then(|p| p.get("e12_steady"))
+        .expect("post.e12_steady in BENCH_CORE.json");
+    let committed_j = steady
+        .get("jurisdictions")
+        .and_then(|v| v.as_u64())
+        .expect("jurisdictions") as u32;
+    let committed_apm = steady
+        .get("allocs_per_message")
+        .and_then(|v| v.as_f64())
+        .expect("allocs_per_message");
+    let inst = e12_steady_state_instrumented(committed_j, SNAPSHOT_SEED);
+    let inst_apm = inst.allocs_per_message();
+    assert!(
+        inst_apm <= committed_apm * 1.05,
+        "instrumented allocs/message budget blown: {inst_apm:.2} > {committed_apm:.2} * 1.05 ({inst:?})"
     );
 
     // Determinism of the measurement itself: the same seed must allocate

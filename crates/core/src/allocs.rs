@@ -1,0 +1,47 @@
+//! Process-wide allocation counters (the safe half of the counting
+//! allocator).
+//!
+//! `legion-bench` registers a counting global allocator in its bench and
+//! test binaries; the allocator's `unsafe impl GlobalAlloc` cannot live
+//! here (this crate forbids unsafe code), so the split is: the atomics
+//! and their read/probe API live in core where *any* layer can read them
+//! — the kernel profiler in `legion-net` attributes allocator pressure
+//! per endpoint × method — while the allocator itself stays in
+//! `legion_bench::alloc_counter` and calls [`on_alloc`] from its hooks.
+//!
+//! The counters are monotone (frees are not subtracted): the interesting
+//! quantity is allocator *pressure*, not live bytes. In a binary without
+//! a counting allocator registered they simply stay at zero, so library
+//! code can read them unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Record one allocation of `bytes` bytes. Called by a counting global
+/// allocator on every `alloc`/`realloc`; not meant for ordinary code.
+#[inline]
+pub fn on_alloc(bytes: u64) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    ALLOCATED_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Cumulative `(allocations, bytes)` since process start. Zero unless a
+/// counting global allocator is registered.
+pub fn counts() -> (u64, u64) {
+    (
+        ALLOCATIONS.load(Ordering::Relaxed),
+        ALLOCATED_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Is a counting allocator actually registered? Detected by allocating a
+/// small box and checking that the counter moved — lets tests assert the
+/// harness is wired rather than silently measuring zeros.
+pub fn is_counting() -> bool {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let probe = Box::new([0u8; 32]);
+    std::hint::black_box(&probe);
+    ALLOCATIONS.load(Ordering::Relaxed) > before
+}

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod address;
+pub mod allocs;
 pub mod binding;
 pub mod class;
 pub mod clone;

@@ -157,6 +157,13 @@ well_known! {
     36 => NET_DELAYED = "net.delayed";
     37 => NET_DUPLICATED = "net.duplicated";
     38 => NET_DEDUP_DROPPED = "net.dedup_dropped";
+    // Dispatch deadline sweeps (timeout accounting + flight-recorder label).
+    39 => NET_TIMEOUT_EXPIRED = "net.timeout_expired";
+    // HA verdict labels (flight recorder).
+    40 => HA_SUSPECT = "ha.suspect";
+    41 => HA_HOST_DEAD = "ha.host_dead";
+    42 => HA_FALSE_POSITIVE = "ha.false_positive";
+    43 => HA_RECOVERED = "ha.recovered";
 }
 
 fn global() -> &'static RwLock<Interner> {

@@ -211,12 +211,16 @@ impl BindingAgentEndpoint {
         if !force_fresh && self.cfg.cache_enabled {
             if let Some(b) = self.cache.get(&target, ctx.now()) {
                 ctx.count("ba.cache_hit");
-                ctx.trace_note(&format!("ba.cache_hit:{target}"));
+                if ctx.trace_active() {
+                    ctx.trace_note(&format!("ba.cache_hit:{target}"));
+                }
                 return Outcome::Reply(Ok(LegionValue::from(b)));
             }
         }
         ctx.count("ba.cache_miss");
-        ctx.trace_note(&format!("ba.cache_miss:{target}"));
+        if ctx.trace_active() {
+            ctx.trace_note(&format!("ba.cache_miss:{target}"));
+        }
         self.enqueue(
             ctx,
             target,

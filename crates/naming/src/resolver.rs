@@ -98,12 +98,16 @@ impl ClientResolver {
             if let Some(b) = self.cache.get(&target, ctx.now()) {
                 self.stats.local_hits += 1;
                 ctx.count("client.cache_hit");
-                ctx.trace_note(&format!("client.cache_hit:{target}"));
+                if ctx.trace_active() {
+                    ctx.trace_note(&format!("client.cache_hit:{target}"));
+                }
                 return Lookup::Cached(b);
             }
         }
         ctx.count("client.cache_miss");
-        ctx.trace_note(&format!("client.cache_miss:{target}"));
+        if ctx.trace_active() {
+            ctx.trace_note(&format!("client.cache_miss:{target}"));
+        }
         self.request(ctx, target, LegionValue::Loid(target))
     }
 
@@ -111,7 +115,9 @@ impl ClientResolver {
     /// through the `GetBinding(binding)` overload.
     pub fn report_stale(&mut self, ctx: &mut Ctx<'_>, stale: Binding) -> Lookup {
         ctx.count("client.stale_detected");
-        ctx.trace_note(&format!("client.stale_detected:{}", stale.loid));
+        if ctx.trace_active() {
+            ctx.trace_note(&format!("client.stale_detected:{}", stale.loid));
+        }
         self.stats.refreshes += 1;
         self.cache.invalidate_exact(&stale);
         let target = stale.loid;

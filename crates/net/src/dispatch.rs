@@ -25,7 +25,7 @@
 //! [`serve`] plus a continuation take for replies.
 
 use crate::message::{Body, CallId, Message};
-use crate::sim::Ctx;
+use crate::sim::{Ctx, FlightKind};
 use legion_core::dispatch::{
     self as model, FromArg, FromArgs, InvocationGate, MethodTable as ModelTable, Verdict,
 };
@@ -131,6 +131,13 @@ pub fn insert_pending<E>(
 /// The deadline sweep: resolve every overdue continuation with the
 /// uniform timeout error ([`timeout_error`]). Returns how many expired.
 ///
+/// Each expiry bumps the `net.timeout_expired` counter (surfaced as
+/// [`MetricsSnapshot::timeouts_expired`](crate::metrics::MetricsSnapshot))
+/// and records a `Timeout` flight event carrying the expired call id; a
+/// sweep that fired dumps the recorder tail to stderr unless
+/// [`SimKernel::set_flight_dump_on_sweep`](crate::sim::SimKernel::set_flight_dump_on_sweep)
+/// turned that off — both allocation-free on the no-expiry path.
+///
 /// `conts` is an accessor (not a borrow) so each continuation can receive
 /// `&mut E` without aliasing the store.
 pub fn sweep_expired<E>(
@@ -141,11 +148,21 @@ pub fn sweep_expired<E>(
 ) -> usize {
     let due = conts(endpoint).take_expired(ctx.now());
     let n = due.len();
-    for (_, k) in due {
+    if n > 0 {
+        ctx.count_n_sym(symbol::NET_TIMEOUT_EXPIRED, n as u64);
+    }
+    for (id, k) in due {
+        ctx.flight(FlightKind::Timeout, symbol::NET_TIMEOUT_EXPIRED, id.0);
         k(endpoint, ctx, Err(timeout_error(after_ns)));
+    }
+    if n > 0 && ctx.flight_dump_on_sweep() {
+        ctx.dump_flight("deadline sweep expired continuations", SWEEP_DUMP_TAIL);
     }
     n
 }
+
+/// How many recorder-tail events a fired deadline sweep dumps.
+const SWEEP_DUMP_TAIL: usize = 16;
 
 /// If `msg` is a reply, yield the call-id it answers. Endpoints use this
 /// to route replies into their [`Continuations`] store before serving.

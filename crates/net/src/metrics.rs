@@ -387,6 +387,14 @@ pub struct MetricsSnapshot {
     pub windows: WindowedCounters,
     /// Span events evicted from the trace sink (0 unless tracing).
     pub trace_dropped: u64,
+    /// Calls dead-lettered at the dispatch layer: the sum of the
+    /// per-endpoint `*.dead_letter` counters `dispatch::serve` bumps
+    /// (distinct from `stats.dead_letters`, which counts kernel
+    /// deliveries to dead endpoints).
+    pub dispatch_dead_letters: u64,
+    /// Pending continuations expired by dispatch deadline sweeps
+    /// (the `net.timeout_expired` counter).
+    pub timeouts_expired: u64,
 }
 
 #[cfg(test)]

@@ -29,7 +29,9 @@ use legion_core::symbol::{self, Sym};
 use legion_core::time::SimTime;
 use legion_core::trace::{SpanId, TraceContext};
 use legion_core::value::LegionValue;
+use legion_obs::profile::{KernelProfiler, Profile};
 use legion_obs::sink::TraceSink;
+use legion_obs::slo::{SloConfig, SloReport, SloTracker};
 use legion_obs::span::{SpanEvent, SpanEventKind};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -39,6 +41,10 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
+
+// Re-exported so endpoint crates can record flight events through
+// [`Ctx::flight`] without depending on `legion-obs` directly.
+pub use legion_obs::recorder::{FlightEvent, FlightKind, FlightRecorder};
 
 /// Identifies an endpoint attached to the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -142,6 +148,9 @@ struct Event {
     /// receiver's at-most-once window checks. A duplicated message's two
     /// copies share one key. `None` for starts and timers.
     dedup: Option<(u64, u64)>,
+    /// The hop latency this delivery paid (sim-time the profiler
+    /// attributes to the handling endpoint). Zero for starts and timers.
+    lat_ns: u64,
     kind: EventKind,
 }
 
@@ -201,6 +210,17 @@ struct Inner {
     /// At-most-once delivery on/off (off only to demonstrate what a
     /// duplicating network does to an unprotected endpoint).
     dedup_enabled: bool,
+    /// The always-on flight recorder: last-N kernel events, dumped on
+    /// chaos violations, deadline sweeps, and panics.
+    flight: FlightRecorder,
+    /// Per-endpoint × per-method cost attribution (off by default).
+    profile: KernelProfiler,
+    /// Windowed latency-objective tracking (off by default).
+    slo: SloTracker,
+    /// Dump the recorder tail to stderr when a deadline sweep expires
+    /// continuations (on by default — a fired sweep is a failure
+    /// worth post-mortem context).
+    flight_dump_on_sweep: bool,
 }
 
 /// The outcome of sending through an [`ObjectAddress`].
@@ -247,6 +267,10 @@ impl SimKernel {
                 current: TraceContext::NONE,
                 external_seq: 0,
                 dedup_enabled: true,
+                flight: FlightRecorder::default(),
+                profile: KernelProfiler::disabled(),
+                slo: SloTracker::disabled(),
+                flight_dump_on_sweep: true,
             },
         }
     }
@@ -282,6 +306,7 @@ impl SimKernel {
             to: id,
             trace: TraceContext::NONE,
             dedup: None,
+            lat_ns: 0,
             kind: EventKind::Start,
         }));
         id
@@ -312,12 +337,18 @@ impl SimKernel {
     }
 
     /// Reset named counters and per-endpoint traffic (not the clock).
+    /// Observability state resets too: the flight recorder forgets its
+    /// ring, the profiler zeroes its stats in place (keeping warmed-up
+    /// map keys), and the SLO tracker drops collected windows.
     pub fn reset_metrics(&mut self) {
         self.inner.counters.reset();
         self.inner.latency = Histogram::new();
         self.inner.by_kind.clear();
         self.inner.windows.clear();
         self.inner.stats = KernelStats::default();
+        self.inner.flight.clear();
+        self.inner.profile.reset_values();
+        self.inner.slo.clear();
         for slot in &mut self.slots {
             slot.meta.received = 0;
             slot.meta.sent = 0;
@@ -392,6 +423,65 @@ impl SimKernel {
         &self.inner.windows
     }
 
+    /// The always-on flight recorder (read the tail, render dumps).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
+    }
+
+    /// Replace the flight recorder's ring with one of `capacity` events
+    /// (discards recorded history).
+    pub fn set_flight_capacity(&mut self, capacity: usize) {
+        self.inner.flight = FlightRecorder::new(capacity);
+    }
+
+    /// Should a deadline sweep that expires continuations dump the
+    /// recorder tail to stderr? On by default.
+    pub fn set_flight_dump_on_sweep(&mut self, on: bool) {
+        self.inner.flight_dump_on_sweep = on;
+    }
+
+    /// Turn on per-endpoint × per-method cost attribution.
+    pub fn enable_profiling(&mut self) {
+        self.inner.profile = KernelProfiler::enabled();
+    }
+
+    /// Is the profiler collecting?
+    pub fn profiling_enabled(&self) -> bool {
+        self.inner.profile.is_enabled()
+    }
+
+    /// Snapshot the profiler with endpoint names resolved (empty when
+    /// profiling is off).
+    pub fn profile(&self) -> Profile {
+        self.inner.profile.snapshot(|ep| {
+            self.slots
+                .get(ep as usize)
+                .map(|s| s.meta.name.clone())
+                .unwrap_or_else(|| format!("ep{ep}"))
+        })
+    }
+
+    /// Turn on windowed latency-objective tracking.
+    pub fn enable_slo(&mut self, cfg: SloConfig) {
+        self.inner.slo = SloTracker::new(cfg);
+    }
+
+    /// Is SLO tracking collecting?
+    pub fn slo_enabled(&self) -> bool {
+        self.inner.slo.is_enabled()
+    }
+
+    /// Evaluate the collected SLO windows with endpoint names resolved.
+    /// `None` when tracking is off.
+    pub fn slo_report(&self) -> Option<SloReport> {
+        self.inner.slo.report(|ep| {
+            self.slots
+                .get(ep as usize)
+                .map(|s| s.meta.name.clone())
+                .unwrap_or_else(|| format!("ep{ep}"))
+        })
+    }
+
     /// A JSON-exportable snapshot of everything the kernel measures.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -414,6 +504,14 @@ impl SimKernel {
                 .collect(),
             windows: self.inner.windows.clone(),
             trace_dropped: self.inner.sink.dropped(),
+            dispatch_dead_letters: self
+                .inner
+                .counters
+                .iter()
+                .filter(|(name, _)| name.ends_with(".dead_letter"))
+                .map(|(_, n)| n)
+                .sum(),
+            timeouts_expired: self.inner.counters.get_sym(symbol::NET_TIMEOUT_EXPIRED),
         }
     }
 
@@ -488,6 +586,7 @@ impl SimKernel {
             to,
             trace: TraceContext::NONE,
             dedup: None,
+            lat_ns: 0,
             kind: EventKind::Timer(tag),
         }));
         true
@@ -522,6 +621,13 @@ impl SimKernel {
         if !alive {
             if let EventKind::Deliver(msg) = &ev.kind {
                 self.inner.stats.dead_letters += 1;
+                self.inner.flight.record(FlightEvent {
+                    at: self.inner.now,
+                    kind: FlightKind::DeadLetter,
+                    endpoint: idx as u64,
+                    label: kind_sym(msg),
+                    detail: msg.id.0,
+                });
                 // Recorded even for untraced messages (trace/span NONE):
                 // a crash-eaten delivery must be visible in the span
                 // stream, not just the dead_letters counter.
@@ -543,6 +649,13 @@ impl SimKernel {
             if let (EventKind::Deliver(msg), Some((sender, seq_no))) = (&ev.kind, ev.dedup) {
                 if !self.slots[idx].seen.admit(sender, seq_no) {
                     self.inner.note_count_sym(symbol::NET_DEDUP_DROPPED, 1);
+                    self.inner.flight.record(FlightEvent {
+                        at: self.inner.now,
+                        kind: FlightKind::Dedup,
+                        endpoint: idx as u64,
+                        label: kind_sym(msg),
+                        detail: msg.id.0,
+                    });
                     if self.inner.sink.is_enabled() {
                         self.inner.record_span(
                             ev.trace,
@@ -572,16 +685,45 @@ impl SimKernel {
                 EventKind::Deliver(msg) => {
                     ctx.slots[idx].meta.received += 1;
                     ctx.inner.stats.delivered += 1;
+                    let method = kind_sym(&msg);
+                    ctx.inner.flight.record(FlightEvent {
+                        at: ctx.inner.now,
+                        kind: FlightKind::Deliver,
+                        endpoint: idx as u64,
+                        label: method,
+                        detail: msg.id.0,
+                    });
                     if ev.trace.is_active() && ctx.inner.sink.is_enabled() {
                         ctx.inner.record_span(
                             ev.trace,
                             SpanId::NONE,
                             SpanEventKind::Deliver,
                             idx as u64,
-                            kind_sym(&msg).as_str(),
+                            method.as_str(),
                         );
                     }
-                    ep.on_message(&mut ctx, msg);
+                    if ctx.inner.profile.is_enabled() {
+                        // Bracket the handler with wall-clock and the
+                        // process-wide allocation counters (live when a
+                        // counting allocator is registered, zero
+                        // otherwise). Sim-time is the hop latency the
+                        // delivery paid.
+                        let (a0, b0) = legion_core::allocs::counts();
+                        let t0 = std::time::Instant::now();
+                        ep.on_message(&mut ctx, msg);
+                        let wall_ns = t0.elapsed().as_nanos() as u64;
+                        let (a1, b1) = legion_core::allocs::counts();
+                        ctx.inner.profile.record(
+                            idx as u64,
+                            method,
+                            ev.lat_ns,
+                            wall_ns,
+                            a1 - a0,
+                            b1 - b0,
+                        );
+                    } else {
+                        ep.on_message(&mut ctx, msg);
+                    }
                 }
                 EventKind::Timer(tag) => {
                     if ev.trace.is_active() {
@@ -608,6 +750,7 @@ impl SimKernel {
                     to: id,
                     trace: TraceContext::NONE,
                     dedup: None,
+                    lat_ns: 0,
                     kind: EventKind::Start,
                 }));
             }
@@ -756,6 +899,13 @@ fn send_one(
     // fallout must be observable without having traced the whole flow.
     let refuse = |inner: &mut Inner, msg: &Message, why: &str| {
         inner.stats.refused += 1;
+        inner.flight.record(FlightEvent {
+            at: inner.now,
+            kind: FlightKind::Refuse,
+            endpoint: from_ep,
+            label: kind_sym(msg),
+            detail: msg.id.0,
+        });
         inner.record_span(
             msg.env.trace,
             SpanId::NONE,
@@ -795,6 +945,13 @@ fn send_one(
         .judge(msg.id.0, from_location, dest_location, inner.now);
     if verdict == Verdict::DropSilently {
         inner.stats.lost += 1;
+        inner.flight.record(FlightEvent {
+            at: inner.now,
+            kind: FlightKind::Drop,
+            endpoint: from_ep,
+            label: kind_sym(&msg),
+            detail: msg.id.0,
+        });
         inner.record_span(
             msg.env.trace,
             SpanId::NONE,
@@ -821,6 +978,13 @@ fn send_one(
     };
     if let Verdict::Delay { extra_ns, factor } = verdict {
         inner.note_count_sym(symbol::NET_DELAYED, 1);
+        inner.flight.record(FlightEvent {
+            at: inner.now,
+            kind: FlightKind::Delay,
+            endpoint: from_ep,
+            label: kind_sym(&msg),
+            detail: extra_ns,
+        });
         inner.record_span(
             msg.env.trace,
             SpanId::NONE,
@@ -837,10 +1001,20 @@ fn send_one(
         .record(effective);
     slots[ep as usize].meta.in_latency.record(effective);
     let at = inner.now.saturating_add(effective);
+    // SLO samples are keyed by *arrival* time: the window a latency
+    // counts against is the one the user experienced it in.
+    inner.slo.record(at.as_nanos(), ep, effective);
     let trace = msg.env.trace;
     let dedup = Some((from_ep, seq_no));
     let copy = if let Some(extra_ns) = copy_after {
         inner.note_count_sym(symbol::NET_DUPLICATED, 1);
+        inner.flight.record(FlightEvent {
+            at: inner.now,
+            kind: FlightKind::Duplicate,
+            endpoint: from_ep,
+            label: kind_sym(&msg),
+            detail: extra_ns,
+        });
         inner.record_span(
             trace,
             SpanId::NONE,
@@ -859,6 +1033,7 @@ fn send_one(
         to: EndpointId(ep),
         trace,
         dedup,
+        lat_ns: effective,
         kind: EventKind::Deliver(msg),
     }));
     // The duplicate copy shares the original's dedup key: with the
@@ -871,6 +1046,7 @@ fn send_one(
             to: EndpointId(ep),
             trace,
             dedup,
+            lat_ns: copy_at.as_nanos().saturating_sub(inner.now.as_nanos()),
             kind: EventKind::Deliver(copy_msg),
         }));
     }
@@ -925,6 +1101,16 @@ impl Ctx<'_> {
         self.trace_note(name);
     }
 
+    /// [`Ctx::count_n`] for a pre-interned name — allocation-free, for
+    /// counters bumped on sweep/teardown paths that must stay off the
+    /// allocator even when no trace is active.
+    pub fn count_n_sym(&mut self, sym: Sym, n: u64) {
+        self.inner.note_count_sym(sym, n);
+        if self.inner.current.is_active() {
+            self.trace_note(sym.as_str());
+        }
+    }
+
     /// The trace context this handler is executing under.
     pub fn current_trace(&self) -> TraceContext {
         self.inner.current
@@ -973,6 +1159,47 @@ impl Ctx<'_> {
             self.inner
                 .record_span(tc, SpanId::NONE, SpanEventKind::Note, self.self_id.0, label);
         }
+    }
+
+    /// Is this handler executing under an active trace? Gate `format!`
+    /// label construction on this before calling [`Ctx::trace_note`], so
+    /// untraced runs pay no allocation for notes that would be dropped.
+    pub fn trace_active(&self) -> bool {
+        self.inner.current.is_active()
+    }
+
+    /// Is the span sink enabled at all? Gate label construction for
+    /// *root* spans ([`Ctx::trace_begin`]) on this — a root span records
+    /// whenever the sink is on, even outside any current trace.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.sink.is_enabled()
+    }
+
+    /// Record an event into the always-on flight recorder, attributed to
+    /// this endpoint. Allocation-free (the label is a pre-interned
+    /// [`Sym`]; `detail` is kind-specific).
+    pub fn flight(&mut self, kind: FlightKind, label: Sym, detail: u64) {
+        let at = self.inner.now;
+        self.inner.flight.record(FlightEvent {
+            at,
+            kind,
+            endpoint: self.self_id.0,
+            label,
+            detail,
+        });
+    }
+
+    /// Should a deadline sweep that expired continuations dump the
+    /// recorder tail?
+    pub fn flight_dump_on_sweep(&self) -> bool {
+        self.inner.flight_dump_on_sweep
+    }
+
+    /// Dump the flight-recorder tail (newest `n` events) to stderr with
+    /// a reason line — post-mortem context for sweeps, invariant
+    /// violations, and imminent panics.
+    pub fn dump_flight(&self, reason: &str, n: usize) {
+        eprintln!("{}", self.inner.flight.dump(reason, n));
     }
 
     /// This endpoint's location.
@@ -1090,6 +1317,7 @@ impl Ctx<'_> {
             to: self.self_id,
             trace,
             dedup: None,
+            lat_ns: 0,
             kind: EventKind::Timer(tag),
         }));
     }

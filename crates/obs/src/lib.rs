@@ -15,15 +15,24 @@
 //! | [`sink`] | Bounded ring-buffer sink + deterministic id allocators |
 //! | [`export`] | JSONL rendering of recorded events |
 //! | [`analysis`] | Per-request hop reconstruction and latency breakdown |
+//! | [`recorder`] | Always-on, allocation-free flight recorder (post-mortem tail) |
+//! | [`profile`] | Per-endpoint × per-method cost attribution |
+//! | [`slo`] | Windowed exact p50/p99 vs objectives, error budgets, burn events |
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod analysis;
 pub mod export;
+pub mod profile;
+pub mod recorder;
 pub mod sink;
+pub mod slo;
 pub mod span;
 
 pub use analysis::{HopBreakdown, RequestPath, TraceSummary};
+pub use profile::{KernelProfiler, MethodStat, Profile, ProfileEntry};
+pub use recorder::{FlightEvent, FlightKind, FlightRecorder};
 pub use sink::TraceSink;
+pub use slo::{SloConfig, SloObjective, SloReport, SloTracker};
 pub use span::{SpanEvent, SpanEventKind};

@@ -1,0 +1,122 @@
+//! Property-based tests for the SLO tracker's windowed quantiles.
+//!
+//! Objectives are contracts, so the tracker's per-window p50/p99 must be
+//! *exact* — not the ~2× log-bucket approximation the metrics histograms
+//! use. The properties here check the tracker against an independent
+//! brute-force reference: samples re-bucketed by hand, quantiles taken
+//! by scanning for the smallest value covering the rank.
+
+use legion_obs::slo::{quantile_sorted, SloConfig, SloObjective, SloTracker};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Brute-force nearest-rank quantile: the smallest sample `v` such that
+/// at least `ceil(q * n)` samples are ≤ `v`. Written without sorting so
+/// a shared bug in the sort-based implementation can't hide.
+fn reference_quantile(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let need = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    let mut best: Option<u64> = None;
+    for &candidate in samples {
+        let covered = samples.iter().filter(|&&s| s <= candidate).count();
+        if covered >= need && best.is_none_or(|b| candidate < b) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("non-empty samples always yield a quantile")
+}
+
+fn arb_samples() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    // (arrival time, latency) pairs; times spread across several windows.
+    proptest::collection::vec((0u64..10_000, 0u64..1_000_000), 1..200)
+}
+
+proptest! {
+    /// The sorted nearest-rank quantile matches the brute-force scan for
+    /// every probability, including the degenerate ends.
+    #[test]
+    fn quantile_sorted_matches_reference(
+        mut samples in proptest::collection::vec(0u64..1_000_000, 0..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let reference = reference_quantile(&samples, q);
+        samples.sort_unstable();
+        prop_assert_eq!(quantile_sorted(&samples, q), reference);
+    }
+
+    /// The tracker's per-window p50/p99 equal the reference quantiles of
+    /// exactly the samples that landed in that window, and every sample
+    /// is accounted for in exactly one window.
+    #[test]
+    fn windowed_quantiles_match_reference(
+        samples in arb_samples(),
+        window_ns in 1u64..5_000,
+    ) {
+        let mut t = SloTracker::new(SloConfig {
+            window_ns,
+            objective: SloObjective::default(),
+            per_endpoint: BTreeMap::new(),
+        });
+        let mut by_window: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for &(at, latency) in &samples {
+            t.record(at, 1, latency);
+            by_window.entry((at / window_ns) * window_ns).or_default().push(latency);
+        }
+        let report = t.report(|e| format!("ep{e}")).expect("tracker is enabled");
+        prop_assert_eq!(report.endpoints.len(), 1);
+        let ep = &report.endpoints[0];
+        prop_assert_eq!(ep.windows.len(), by_window.len());
+        let mut total = 0u64;
+        for (verdict, (&start, expected)) in ep.windows.iter().zip(by_window.iter()) {
+            prop_assert_eq!(verdict.start, start);
+            prop_assert_eq!(verdict.count, expected.len() as u64);
+            prop_assert_eq!(verdict.p50_ns, reference_quantile(expected, 0.50));
+            prop_assert_eq!(verdict.p99_ns, reference_quantile(expected, 0.99));
+            total += verdict.count;
+        }
+        prop_assert_eq!(total, samples.len() as u64);
+    }
+
+    /// Windows violate exactly when the reference quantiles exceed the
+    /// objective, and the violating count + budget verdict follow.
+    #[test]
+    fn verdicts_follow_reference_quantiles(
+        samples in arb_samples(),
+        p50_obj in 0u64..1_000_000,
+        p99_obj in 0u64..1_000_000,
+    ) {
+        let window_ns = 1_000;
+        let mut t = SloTracker::new(SloConfig {
+            window_ns,
+            objective: SloObjective {
+                p50_ns: p50_obj,
+                p99_ns: p99_obj,
+                ..SloObjective::default()
+            },
+            per_endpoint: BTreeMap::new(),
+        });
+        let mut by_window: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for &(at, latency) in &samples {
+            t.record(at, 1, latency);
+            by_window.entry((at / window_ns) * window_ns).or_default().push(latency);
+        }
+        let report = t.report(|_| String::new()).expect("tracker is enabled");
+        let ep = &report.endpoints[0];
+        let mut violating = 0u64;
+        for (verdict, expected) in ep.windows.iter().zip(by_window.values()) {
+            let expect_ok = reference_quantile(expected, 0.50) <= p50_obj
+                && reference_quantile(expected, 0.99) <= p99_obj;
+            prop_assert_eq!(verdict.ok, expect_ok);
+            if !expect_ok {
+                violating += 1;
+            }
+        }
+        prop_assert_eq!(ep.violating, violating);
+        let budget_used =
+            (violating as f64 / ep.windows.len() as f64) / ep.objective.error_budget;
+        prop_assert!((ep.budget_used - budget_used).abs() < 1e-12);
+        prop_assert_eq!(ep.ok, budget_used <= 1.0);
+    }
+}

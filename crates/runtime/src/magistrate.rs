@@ -38,7 +38,7 @@ use legion_core::env::InvocationEnv;
 use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::object::methods as obj_methods;
-use legion_core::symbol::Sym;
+use legion_core::symbol::{self, Sym};
 use legion_core::value::LegionValue;
 use legion_ha::detector::FailureDetector;
 use legion_ha::policy::{Health, SuspicionPolicy};
@@ -49,7 +49,7 @@ use legion_net::dispatch::{
     Outcome, TableBuilder, TIMER_DEADLINE_SWEEP,
 };
 use legion_net::message::Message;
-use legion_net::sim::{Ctx, Endpoint};
+use legion_net::sim::{Ctx, Endpoint, FlightKind};
 use legion_persist::opr::Opr;
 use legion_persist::storage::{JurisdictionStorage, PersistentAddress};
 use legion_security::mayi::{AllowAll, MayIPolicy};
@@ -664,6 +664,7 @@ impl MagistrateEndpoint {
             ha.tracker.false_positive();
             ctx.count("magistrate.ha_false_positive");
             ctx.trace_note("ha.false_positive");
+            ctx.flight(FlightKind::HaVerdict, symbol::HA_FALSE_POSITIVE, 0);
         }
         if let Some(h) = self.hosts.iter_mut().find(|h| h.loid == host) {
             h.alive = true;
@@ -684,6 +685,7 @@ impl MagistrateEndpoint {
             match t.to {
                 Health::Suspect => {
                     ctx.count("magistrate.ha_suspect");
+                    ctx.flight(FlightKind::HaVerdict, symbol::HA_SUSPECT, t.silence_ns);
                 }
                 Health::Dead => self.recover_host(ctx, t.host, t.silence_ns),
                 Health::Alive => {}
@@ -698,6 +700,7 @@ impl MagistrateEndpoint {
     /// from the vault OPRs, on surviving hosts.
     fn recover_host(&mut self, ctx: &mut Ctx<'_>, host: Loid, silence_ns: u64) {
         ctx.count("magistrate.ha_host_dead");
+        ctx.flight(FlightKind::HaVerdict, symbol::HA_HOST_DEAD, silence_ns);
         self.mark_host_dead(&host);
         if let Some(ha) = &mut self.ha {
             ha.tracker.host_dead(silence_ns);
@@ -705,8 +708,11 @@ impl MagistrateEndpoint {
         // Root span for this host's recovery: the HostActivate calls made
         // below inherit it, so their replies (and the completion notes in
         // `answer_activate_waiters`) stay causally linked to the verdict.
-        ctx.trace_begin(&format!("ha.recovery:{host}"));
-        ctx.trace_note(&format!("ha.detected:silence={silence_ns}ns"));
+        // The labels are rendered only when a sink is actually attached.
+        if ctx.tracing_enabled() {
+            ctx.trace_begin(&format!("ha.recovery:{host}"));
+            ctx.trace_note(&format!("ha.detected:silence={silence_ns}ns"));
+        }
         let mut lost: Vec<Loid> = self
             .objects
             .iter()
@@ -759,6 +765,11 @@ impl MagistrateEndpoint {
             Vec::new()
         };
         ctx.count("magistrate.ha_recoveries");
+        ctx.flight(
+            FlightKind::HaVerdict,
+            symbol::HA_RECOVERED,
+            loid.class_specific,
+        );
         // The old binding is now stale everywhere: purge agent caches and
         // clear the class's address row until re-activation sets it.
         stale::propagate_invalidation(ctx, me, &agents, loid);

@@ -12,10 +12,14 @@
 //! observability flags export the traced E1 run: `--trace-out` writes one
 //! span event per line (JSONL, deterministic for a given seed) and
 //! `--metrics-out` writes the structured metrics snapshot plus the
-//! trace-analysis tables as a single JSON document.
+//! trace-analysis tables as a single JSON document. `--report-out FILE`
+//! re-runs the E12 steady state with the profiler, SLO tracker, and span
+//! sink enabled and writes the unified run report (JSON to `FILE`, text
+//! digest to `FILE.txt`).
 
 use crate::experiments as exp;
 use crate::obs_run;
+use crate::run_report;
 use serde::Serialize;
 
 struct Opts {
@@ -23,6 +27,7 @@ struct Opts {
     which: Vec<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    report_out: Option<String>,
 }
 
 /// Accept `e01`/`E01` spellings for `e1` etc.
@@ -41,6 +46,7 @@ fn parse_args() -> Opts {
     let mut which = Vec::new();
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut report_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -57,13 +63,21 @@ fn parse_args() -> Opts {
                     std::process::exit(2);
                 }))
             }
+            "--report-out" => {
+                report_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--report-out needs a path");
+                    std::process::exit(2);
+                }))
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: legion-exp [--quick] [--trace-out FILE] [--metrics-out FILE] \
-                     (all | e1 e2 ... e16)\n\
+                     [--report-out FILE] (all | e1 e2 ... e16)\n\
                      Runs the Legion reproduction experiments (see EXPERIMENTS.md).\n\
                      --trace-out   write the traced E1 run's spans as JSONL\n\
-                     --metrics-out write the traced E1 run's metrics snapshot as JSON"
+                     --metrics-out write the traced E1 run's metrics snapshot as JSON\n\
+                     --report-out  write the instrumented E12 run's unified report\n\
+                     \u{20}             (JSON to FILE, text digest to FILE.txt)"
                 );
                 std::process::exit(0);
             }
@@ -78,6 +92,7 @@ fn parse_args() -> Opts {
         which,
         trace_out,
         metrics_out,
+        report_out,
     }
 }
 
@@ -182,6 +197,26 @@ pub fn main() {
         };
         exp::e12_scalability::table(&exp::e12_scalability::run(points, seed)).print();
         println!();
+        if let Some(path) = &opts.report_out {
+            // The instrumented re-run: one sweep point (system doubling
+            // kept modest so the report stays readable) with profiler,
+            // SLO tracker, and span sink all on.
+            let j = 2;
+            let report = run_report::generate(j, seed);
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            let text_path = format!("{path}.txt");
+            if let Err(e) = std::fs::write(&text_path, report.render_text()) {
+                eprintln!("cannot write {text_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote run report to {path} (text digest: {text_path})");
+        }
+    } else if opts.report_out.is_some() {
+        eprintln!("--report-out exports the instrumented E12 run; include e12 (or all)");
+        std::process::exit(2);
     }
     if want("e13") {
         let n = if opts.quick { 100_000 } else { 1_000_000 };

@@ -56,7 +56,15 @@ pub fn run_clients(sys: &mut LegionSystem, clients: &[EndpointId]) -> ClientRepo
             break;
         }
         guard += 1;
-        assert!(guard < 1000, "workload did not converge");
+        if guard >= 1000 {
+            // Post-mortem: the recorder tail shows what the kernel was
+            // doing when the workload stalled.
+            eprintln!(
+                "{}",
+                sys.kernel.flight().dump("workload did not converge", 32)
+            );
+            panic!("workload did not converge");
+        }
     }
     let mut merged = ClientReport::default();
     for c in clients {

@@ -42,7 +42,11 @@ pub struct Row {
     pub legion_class_msgs: u64,
 }
 
-fn build(jurisdictions: u32, seed: u64) -> (LegionSystem, usize) {
+/// Build the E12 legion-configuration system (shared with the
+/// [`run_report`](crate::run_report) generator so `--report-out` profiles
+/// exactly the system the headline experiment measures). Returns the
+/// system and its scaled client count.
+pub fn build(jurisdictions: u32, seed: u64) -> (LegionSystem, usize) {
     // The paper's structure: every component *scales with the system*.
     // One leaf Binding Agent per jurisdiction; instance misses go straight
     // to the (also scaling) class population; class-object lookups combine

@@ -326,6 +326,14 @@ impl ChaosTarget for SimChaosTarget {
                     + sys.kernel.counters().get("ba.timeout"),
             },
         );
+        if !violations.is_empty() {
+            // Post-mortem context for the failed invariant: the last
+            // kernel events leading up to the verdict.
+            eprintln!(
+                "{}",
+                sys.kernel.flight().dump("chaos invariant violated", 64)
+            );
+        }
         RunOutcome { violations, digest }
     }
 }

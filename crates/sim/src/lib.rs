@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod obs_run;
 pub mod parallel;
 pub mod report;
+pub mod run_report;
 pub mod system;
 pub mod workload;
 

@@ -1,0 +1,307 @@
+//! The unified run report: one document tying the kernel's observability
+//! surfaces together for a single experiment run.
+//!
+//! `legion-exp e12 --report-out FILE` routes through [`generate`]: the
+//! E12 steady-state workload (the §5.2 headline) re-run with the
+//! profiler, SLO tracker, span sink, and windowed counters all enabled,
+//! then rendered twice — machine-readable JSON ([`RunReport::to_json`])
+//! and a human-readable text digest ([`RunReport::render_text`]).
+//!
+//! Everything exported here is a pure function of the simulation's
+//! deterministic state: the profile keeps only message counts and
+//! sim-time (wall-time and allocation deltas vary run-to-run — see
+//! [`Profile::to_json_value`]), SLO fractions are integer millionths,
+//! and the flight-recorder tail carries virtual timestamps only. Two
+//! runs with the same seed therefore produce byte-identical reports,
+//! and `tests/goldens.rs` pins one.
+
+use crate::experiments::common::{attach_clients, run_clients};
+use crate::experiments::e12_scalability;
+use crate::obs_run::{TRACE_CAPACITY, WINDOW_NS};
+use crate::report::{ns, Table};
+use crate::workload::WorkloadConfig;
+use legion_net::metrics::MetricsSnapshot;
+use legion_net::sim::FlightEvent;
+use legion_obs::profile::{critical_path_profile, PathWeight, Profile};
+use legion_obs::slo::{SloConfig, SloObjective, SloReport};
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+
+/// Flight-recorder events included in the report (the most recent N).
+pub const REPORT_TAIL: usize = 32;
+
+/// Rows in the hot-method table.
+pub const TOP_N: usize = 12;
+
+/// SLO objectives calibrated to the simulated WAN the E12 topology runs
+/// on, where a hop costs tens of virtual milliseconds (the library
+/// default of 2ms median would mark every window violating and the
+/// verdict table would say nothing): median within 55ms, tail within
+/// 120ms, 10% of windows allowed to violate.
+pub fn report_slo_config() -> SloConfig {
+    SloConfig {
+        window_ns: WINDOW_NS,
+        objective: SloObjective {
+            p50_ns: 55_000_000,
+            p99_ns: 120_000_000,
+            error_budget: 0.1,
+            burn_threshold: 2.0,
+        },
+        per_endpoint: BTreeMap::new(),
+    }
+}
+
+/// Everything one instrumented run yields, ready to render.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which experiment the workload came from.
+    pub experiment: &'static str,
+    /// The seed the run used.
+    pub seed: u64,
+    /// System size (E12's sweep axis).
+    pub jurisdictions: u32,
+    /// The structured metrics snapshot at quiescence.
+    pub metrics: MetricsSnapshot,
+    /// Per-endpoint × per-method attribution of the measured wave.
+    pub profile: Profile,
+    /// Critical-path-weighted label profile from the span stream.
+    pub critical_path: Vec<PathWeight>,
+    /// Windowed p50/p99 verdicts against the default objectives.
+    pub slo: SloReport,
+    /// The flight recorder's most recent events.
+    pub flight_tail: Vec<FlightEvent>,
+    /// Total events the recorder saw (tail + overwritten).
+    pub flight_total: u64,
+}
+
+/// Run the E12 legion configuration at `jurisdictions` with every
+/// observability surface enabled and collect the unified report.
+///
+/// The measurement discipline mirrors
+/// [`e12_scalability::run`](crate::experiments::e12_scalability::run)
+/// exactly: a warm-up wave populates caches (and the profiler's map
+/// keys, so the measured wave allocates nothing for attribution), then
+/// metrics are reset and a fresh client wave of the same size is
+/// measured. Only the observability switches differ, and none of them
+/// perturb virtual time — the report profiles the same system the
+/// headline table reports on.
+pub fn generate(jurisdictions: u32, seed: u64) -> RunReport {
+    let (mut sys, clients) = e12_scalability::build(jurisdictions, seed);
+    sys.kernel.enable_profiling();
+    sys.kernel.enable_slo(report_slo_config());
+    let wl = WorkloadConfig {
+        lookups_per_client: 30,
+        locality: 0.8,
+        ..WorkloadConfig::default()
+    };
+    let warm = attach_clients(&mut sys, clients, &wl, seed, None);
+    run_clients(&mut sys, &warm);
+    sys.kernel.reset_metrics();
+    sys.kernel.enable_tracing(TRACE_CAPACITY);
+    sys.kernel.enable_windows(WINDOW_NS);
+    let eps = attach_clients(&mut sys, clients, &wl, seed ^ 0x5555, None);
+    run_clients(&mut sys, &eps);
+    let events = sys.kernel.drain_trace();
+    RunReport {
+        experiment: "e12",
+        seed,
+        jurisdictions,
+        metrics: sys.kernel.metrics_snapshot(),
+        profile: sys.kernel.profile(),
+        critical_path: critical_path_profile(&events),
+        slo: sys.kernel.slo_report().expect("slo tracking was enabled"),
+        flight_tail: sys.kernel.flight().tail(REPORT_TAIL),
+        flight_total: sys.kernel.flight().total(),
+    }
+}
+
+impl RunReport {
+    /// The report as a JSON document (pretty-printed, trailing newline).
+    /// Deterministic per seed: no wall-times, no allocation deltas, no
+    /// floats.
+    pub fn to_json(&self) -> String {
+        let hot = Value::Array(
+            self.profile
+                .hot_methods(TOP_N)
+                .iter()
+                .map(|h| {
+                    Value::Object(vec![
+                        ("method".to_string(), Value::Str(h.method.clone())),
+                        ("count".to_string(), Value::U64(h.count)),
+                        ("sim_ns".to_string(), Value::U64(h.sim_ns)),
+                        ("endpoints".to_string(), Value::U64(h.endpoints)),
+                    ])
+                })
+                .collect(),
+        );
+        let path = Value::Array(
+            self.critical_path
+                .iter()
+                .map(|(label, hops, time_ns)| {
+                    Value::Object(vec![
+                        ("label".to_string(), Value::Str(label.clone())),
+                        ("hops".to_string(), Value::U64(*hops)),
+                        ("time_ns".to_string(), Value::U64(*time_ns)),
+                    ])
+                })
+                .collect(),
+        );
+        let flight = Value::Object(vec![
+            ("total".to_string(), Value::U64(self.flight_total)),
+            (
+                "tail".to_string(),
+                Value::Array(self.flight_tail.iter().map(|e| e.to_json_value()).collect()),
+            ),
+        ]);
+        let doc = Value::Object(vec![
+            (
+                "experiment".to_string(),
+                Value::Str(self.experiment.to_string()),
+            ),
+            ("seed".to_string(), Value::U64(self.seed)),
+            (
+                "jurisdictions".to_string(),
+                Value::U64(self.jurisdictions as u64),
+            ),
+            ("metrics".to_string(), self.metrics.to_json_value()),
+            ("profile".to_string(), self.profile.to_json_value(false)),
+            ("hot_methods".to_string(), hot),
+            ("critical_path".to_string(), path),
+            ("slo".to_string(), self.slo.to_json_value()),
+            ("flight".to_string(), flight),
+        ]);
+        serde::json::to_string_pretty(&doc) + "\n"
+    }
+
+    /// The report as a human-readable text digest.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run report: {} (seed {}, jurisdictions {})\n\n",
+            self.experiment, self.seed, self.jurisdictions
+        ));
+
+        let s = &self.metrics.stats;
+        let mut kernel = Table::new(
+            "kernel at quiescence",
+            &[
+                "delivered",
+                "lost",
+                "dead-letters",
+                "dispatch-dl",
+                "timeouts-expired",
+                "trace-dropped",
+            ],
+        );
+        kernel.row(vec![
+            s.delivered.to_string(),
+            s.lost.to_string(),
+            s.dead_letters.to_string(),
+            self.metrics.dispatch_dead_letters.to_string(),
+            self.metrics.timeouts_expired.to_string(),
+            self.metrics.trace_dropped.to_string(),
+        ]);
+        out.push_str(&kernel.render());
+        out.push('\n');
+
+        let mut hot = Table::new(
+            format!("hot methods (top {} by sim-time)", TOP_N),
+            &["method", "count", "sim-time", "endpoints"],
+        );
+        for h in self.profile.hot_methods(TOP_N) {
+            hot.row(vec![
+                h.method.clone(),
+                h.count.to_string(),
+                ns(h.sim_ns),
+                h.endpoints.to_string(),
+            ]);
+        }
+        out.push_str(&hot.render());
+        out.push('\n');
+
+        let mut path = Table::new(
+            "critical-path profile (summed over complete requests)",
+            &["label", "hops", "time"],
+        );
+        for (label, hops, time_ns) in &self.critical_path {
+            path.row(vec![label.clone(), hops.to_string(), ns(*time_ns)]);
+        }
+        out.push_str(&path.render());
+        out.push('\n');
+
+        let mut slo = Table::new(
+            format!("SLO verdicts (window {})", ns(self.slo.window_ns)),
+            &[
+                "endpoint",
+                "windows",
+                "violating",
+                "budget-used",
+                "burn-events",
+                "verdict",
+            ],
+        );
+        for e in &self.slo.endpoints {
+            slo.row(vec![
+                e.name.clone(),
+                e.windows.len().to_string(),
+                e.violating.to_string(),
+                format!("{}ppm", (e.budget_used * 1_000_000.0).round() as u64),
+                e.burn_events.len().to_string(),
+                if e.ok { "ok" } else { "BUDGET BLOWN" }.to_string(),
+            ]);
+        }
+        out.push_str(&slo.render());
+        out.push('\n');
+
+        out.push_str(&format!(
+            "flight recorder: last {} of {} events\n",
+            self.flight_tail.len(),
+            self.flight_total
+        ));
+        for ev in &self.flight_tail {
+            out.push_str(&format!("  {ev}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_every_section() {
+        let r = generate(1, 33);
+        assert!(r.profile.total_count() > 0, "profiler attributed nothing");
+        assert!(!r.critical_path.is_empty(), "no critical-path labels");
+        assert!(!r.slo.endpoints.is_empty(), "no SLO endpoints");
+        assert!(r.flight_total > 0, "flight recorder saw nothing");
+        let json = r.to_json();
+        for key in [
+            "\"experiment\"",
+            "\"metrics\"",
+            "\"profile\"",
+            "\"hot_methods\"",
+            "\"critical_path\"",
+            "\"slo\"",
+            "\"flight\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        // Non-deterministic cost fields must not leak into the document.
+        assert!(!json.contains("wall_ns"), "wall-time leaked into report");
+        assert!(!json.contains("alloc"), "alloc deltas leaked into report");
+        let text = r.render_text();
+        assert!(text.contains("hot methods"));
+        assert!(text.contains("SLO verdicts"));
+        assert!(text.contains("flight recorder"));
+    }
+
+    #[test]
+    fn report_is_deterministic_per_seed() {
+        let a = generate(1, 44);
+        let b = generate(1, 44);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.render_text(), b.render_text());
+    }
+}

@@ -106,6 +106,27 @@ fn e01_traced_artifacts_match_goldens() {
     );
 }
 
+/// The unified run report (`legion-exp e12 --report-out`): the
+/// instrumented E12 steady state with profiler, SLO tracker, and span
+/// sink all enabled. Both renderings must be byte-identical per seed —
+/// the JSON document and the text digest — so the report generator runs
+/// twice and the outputs are compared before checking the golden.
+#[test]
+fn e12_run_report_matches_golden() {
+    let report = legion::sim::run_report::generate(2, SEED);
+    let again = legion::sim::run_report::generate(2, SEED);
+    let json = report.to_json();
+    let text = report.render_text();
+    assert_eq!(json, again.to_json(), "report JSON not seed-deterministic");
+    assert_eq!(
+        text,
+        again.render_text(),
+        "report text not seed-deterministic"
+    );
+    check("e12_report.json.golden", &json);
+    check("e12_report.txt.golden", &text);
+}
+
 #[test]
 fn e15_transcript_matches_golden() {
     let table = exp::e15_crash_recovery::table(&exp::e15_crash_recovery::run(SCALE, SEED));

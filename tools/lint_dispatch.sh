@@ -31,8 +31,11 @@ fi
 # allocation. Allowed owners of rendered names: the symbol layer itself,
 # the interface/IDL layer (published signatures), and cold-path
 # diagnostics (error.rs uniform error variants, inherit.rs ambiguity
-# reports) — those render once per failure, never per message.
-sym_allowed_re='^crates/core/src/(symbol|interface|idl|error|inherit)\.rs:'
+# reports) — those render once per failure, never per message. The
+# profiler snapshot rows (obs/profile.rs) are also allowed: the live
+# collector keys on (endpoint, Sym) and names are rendered once per
+# snapshot, never per delivery.
+sym_allowed_re='^crates/core/src/(symbol|interface|idl|error|inherit)\.rs:|^crates/obs/src/profile\.rs:'
 
 sym_hits=$(grep -rnE 'method: String|method_name: String|methods: *BTreeMap<String' \
     crates/ --include='*.rs' | grep -vE "$sym_allowed_re" || true)
