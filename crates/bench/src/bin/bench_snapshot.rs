@@ -128,22 +128,34 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run_measurement(sweep: &[u32]) -> (measure::SteadyStats, Vec<measure::SteadyStats>) {
+fn run_measurement(
+    sweep: &[u32],
+) -> (
+    measure::SteadyStats,
+    measure::SteadyStats,
+    Vec<measure::SteadyStats>,
+) {
     assert!(
         alloc_counter::is_counting(),
         "counting allocator not registered"
     );
     let headline = measure::e12_steady_state(HEADLINE_J, measure::SNAPSHOT_SEED);
+    let journaled = measure::e12_steady_state_journaled(HEADLINE_J, measure::SNAPSHOT_SEED);
     let sweep = sweep
         .iter()
         .map(|&j| measure::e12_steady_state(j, measure::SNAPSHOT_SEED))
         .collect();
-    (headline, sweep)
+    (headline, journaled, sweep)
 }
 
-fn measurement_value(headline: &measure::SteadyStats, sweep: &[measure::SteadyStats]) -> Value {
+fn measurement_value(
+    headline: &measure::SteadyStats,
+    journaled: &measure::SteadyStats,
+    sweep: &[measure::SteadyStats],
+) -> Value {
     Value::Object(vec![
         ("e12_steady".into(), steady_value(headline)),
+        ("e12_steady_journaled".into(), steady_value(journaled)),
         (
             "e12_sweep".into(),
             Value::Array(sweep.iter().map(steady_value).collect()),
@@ -180,16 +192,16 @@ fn main() -> ExitCode {
         .unwrap_or_default();
     match args.cmd.as_str() {
         "measure" => {
-            let (headline, sweep) = run_measurement(&args.sweep);
+            let (headline, journaled, sweep) = run_measurement(&args.sweep);
             println!(
                 "{}",
-                serde::json::to_string_pretty(&measurement_value(&headline, &sweep))
+                serde::json::to_string_pretty(&measurement_value(&headline, &journaled, &sweep))
             );
             ExitCode::SUCCESS
         }
         "emit" => {
             let out = args.out.as_deref().expect("emit needs --out");
-            let (headline, sweep) = run_measurement(&args.sweep);
+            let (headline, journaled, sweep) = run_measurement(&args.sweep);
             let mut doc = vec![
                 ("schema".into(), Value::Str("legion-bench-core/v1".into())),
                 ("mode".into(), Value::Str(args.mode.clone())),
@@ -199,7 +211,10 @@ fn main() -> ExitCode {
                 let pre = load_json(pre).expect("load --pre measurement");
                 doc.push(("pre".into(), pre));
             }
-            doc.push(("post".into(), measurement_value(&headline, &sweep)));
+            doc.push((
+                "post".into(),
+                measurement_value(&headline, &journaled, &sweep),
+            ));
             doc.push(("benches".into(), benches_value(&criterion)));
             let text = serde::json::to_string_pretty(&Value::Object(doc));
             std::fs::write(out, text + "\n").expect("write snapshot");
@@ -213,7 +228,7 @@ fn main() -> ExitCode {
         "check" => {
             let against = args.against.as_deref().expect("check needs --against");
             let committed = load_json(against).expect("load committed snapshot");
-            let (headline, _) = run_measurement(&[]);
+            let (headline, journaled, _) = run_measurement(&[]);
             let mut failed = false;
             // Allocations per message are deterministic per seed: gate at
             // +5%.
@@ -226,6 +241,22 @@ fn main() -> ExitCode {
                 if apm_ok { "(ok)" } else { "REGRESSED >5%" }
             );
             failed |= !apm_ok;
+            // Same +5% discipline for the journaled configuration, once
+            // the committed snapshot records it.
+            if let Some(committed_japm) = f64_at(
+                &committed,
+                &["post", "e12_steady_journaled", "allocs_per_message"],
+            ) {
+                let japm = journaled.allocs_per_message();
+                let japm_ok = japm <= committed_japm * 1.05;
+                println!(
+                    "allocs/msg (journaled): committed {committed_japm:.2}, now {japm:.2} {}",
+                    if japm_ok { "(ok)" } else { "REGRESSED >5%" }
+                );
+                failed |= !japm_ok;
+            } else {
+                println!("allocs/msg (journaled): not in committed snapshot (not gated)");
+            }
             // Criterion medians are wall-clock, and the whole machine
             // drifts between runs (load, throttling) — so gate each
             // tracked bench at +20% *relative to the fleet-wide drift*:

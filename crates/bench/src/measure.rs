@@ -10,6 +10,7 @@
 //! wall-clock throughput is machine-dependent and only sanity-checked.
 
 use crate::alloc_counter;
+use legion_journal::MemSink;
 use legion_naming::tree::TreeShape;
 use legion_obs::slo::SloConfig;
 use legion_sim::experiments::common::{attach_clients, run_clients};
@@ -20,6 +21,11 @@ use std::time::Instant;
 /// The seed `legion-exp --quick` uses; keeps snapshot numbers comparable
 /// with the committed experiment transcripts.
 pub const SNAPSHOT_SEED: u64 = 20260707;
+
+/// Snapshot cadence for the journaled measurement — the same the run
+/// report's `--journal-out` uses, so the gate covers the configuration
+/// users actually record with.
+pub const JOURNAL_SNAP_EVERY: u64 = 256;
 
 /// One steady-state measurement.
 #[derive(Debug, Clone)]
@@ -78,10 +84,25 @@ pub fn build_e12_system(jurisdictions: u32, seed: u64) -> (LegionSystem, usize) 
     (LegionSystem::build(cfg), clients)
 }
 
+/// Which optional kernel surfaces the measured run switches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MeasureMode {
+    /// The default experiment configuration: nothing extra.
+    Plain,
+    /// Profiler + SLO tracker (the `--report-out` configuration).
+    Instrumented,
+    /// Event journal recording with content-addressed snapshots (the
+    /// `--journal-out` configuration).
+    Journaled,
+    /// Event journal recording with snapshots off: the pure per-record
+    /// journaling tax, no periodic state materialization.
+    JournalOnly,
+}
+
 /// Run the E12 steady-state inner loop and measure it: warm wave,
 /// `reset_metrics`, then a measured wave bracketed by allocator counts.
 pub fn e12_steady_state(jurisdictions: u32, seed: u64) -> SteadyStats {
-    e12_steady_state_inner(jurisdictions, seed, false)
+    e12_steady_state_inner(jurisdictions, seed, MeasureMode::Plain)
 }
 
 /// [`e12_steady_state`] with the always-on observability surfaces the
@@ -90,17 +111,48 @@ pub fn e12_steady_state(jurisdictions: u32, seed: u64) -> SteadyStats {
 /// `allocs_per_message` budget (+5%): instrumentation must stay free on
 /// the steady-state hot path.
 pub fn e12_steady_state_instrumented(jurisdictions: u32, seed: u64) -> SteadyStats {
-    e12_steady_state_inner(jurisdictions, seed, true)
+    e12_steady_state_inner(jurisdictions, seed, MeasureMode::Instrumented)
 }
 
-fn e12_steady_state_inner(jurisdictions: u32, seed: u64, instrumented: bool) -> SteadyStats {
+/// [`e12_steady_state`] with the event journal recording — every kernel
+/// ingress appended to an in-memory sink, content-addressed snapshots
+/// every [`JOURNAL_SNAP_EVERY`] events — exactly as `--journal-out`
+/// configures it. The CI gate holds the journaling tax on the hot path
+/// to a fraction of an allocation per message (the writer reuses its
+/// encode buffers; the sink growth is amortized).
+pub fn e12_steady_state_journaled(jurisdictions: u32, seed: u64) -> SteadyStats {
+    e12_steady_state_inner(jurisdictions, seed, MeasureMode::Journaled)
+}
+
+/// [`e12_steady_state_journaled`] with snapshots disabled: measures the
+/// pure per-record journaling tax on the hot path (append + checksum +
+/// sink), without the periodic snapshot's state materialization. This is
+/// the number the tight half-an-allocation-per-message gate holds.
+pub fn e12_steady_state_journal_only(jurisdictions: u32, seed: u64) -> SteadyStats {
+    e12_steady_state_inner(jurisdictions, seed, MeasureMode::JournalOnly)
+}
+
+fn e12_steady_state_inner(jurisdictions: u32, seed: u64, mode: MeasureMode) -> SteadyStats {
     let (mut sys, clients) = build_e12_system(jurisdictions, seed);
-    if instrumented {
-        // Enabled *before* the warm wave: the profiler's (endpoint,
-        // method) map keys are populated during warm-up, so the
-        // measured wave only zero-resets and refills them in place.
-        sys.kernel.enable_profiling();
-        sys.kernel.enable_slo(SloConfig::default());
+    match mode {
+        MeasureMode::Plain => {}
+        MeasureMode::Instrumented => {
+            // Enabled *before* the warm wave: the profiler's (endpoint,
+            // method) map keys are populated during warm-up, so the
+            // measured wave only zero-resets and refills them in place.
+            sys.kernel.enable_profiling();
+            sys.kernel.enable_slo(SloConfig::default());
+        }
+        MeasureMode::Journaled => {
+            // Also before the warm wave, mirroring `--journal-out`: the
+            // journal covers the run from its first ingress.
+            sys.kernel
+                .enable_journal_record(Box::new(MemSink::new()), JOURNAL_SNAP_EVERY);
+        }
+        MeasureMode::JournalOnly => {
+            sys.kernel
+                .enable_journal_record(Box::new(MemSink::new()), 0);
+        }
     }
     let wl = WorkloadConfig {
         lookups_per_client: 30,

@@ -6,7 +6,10 @@
 //! polluted by concurrent tests sharing the process-wide counter.
 
 use legion_bench::alloc_counter::{self, CountingAlloc};
-use legion_bench::measure::{e12_steady_state, e12_steady_state_instrumented, SNAPSHOT_SEED};
+use legion_bench::measure::{
+    e12_steady_state, e12_steady_state_instrumented, e12_steady_state_journal_only,
+    e12_steady_state_journaled, SNAPSHOT_SEED,
+};
 use legion_core::symbol::{self, Sym};
 use legion_core::time::SimTime;
 use legion_net::metrics::{Counters, WindowedCounters};
@@ -22,6 +25,14 @@ fn alloc_delta(f: impl FnOnce()) -> u64 {
     a1 - a0
 }
 
+/// Minimum delta over a few attempts. The counter is process-wide, so a
+/// measurement window can catch an allocation from the libtest harness
+/// threads under load; a *real* cost in `f` shows up on every attempt,
+/// so the minimum keeps the zero-allocation contract noise-free.
+fn alloc_delta_min(mut f: impl FnMut()) -> u64 {
+    (0..3).map(|_| alloc_delta(&mut f)).min().unwrap()
+}
+
 #[test]
 fn hot_path_allocation_budgets() {
     assert!(
@@ -35,7 +46,7 @@ fn hot_path_allocation_budgets() {
 
     // Interning a pre-seeded symbol takes the read-lock fast path: no
     // allocation, ever.
-    let d = alloc_delta(|| {
+    let d = alloc_delta_min(|| {
         for _ in 0..1_000 {
             std::hint::black_box(Sym::intern("GetBinding"));
             std::hint::black_box(symbol::GET_BINDING.as_str());
@@ -48,7 +59,7 @@ fn hot_path_allocation_budgets() {
     // label work" contract the per-delivery metrics ride on.
     let mut counters = Counters::default();
     counters.add_sym(symbol::NET_DELAYED, 1);
-    let d = alloc_delta(|| {
+    let d = alloc_delta_min(|| {
         for _ in 0..1_000 {
             counters.add_sym(symbol::NET_DELAYED, 1);
         }
@@ -59,7 +70,7 @@ fn hot_path_allocation_budgets() {
     // phase and steady-state ring overwrites — must never allocate. The
     // only allocation is the ring itself, at construction.
     let mut flight = FlightRecorder::new(256);
-    let d = alloc_delta(|| {
+    let d = alloc_delta_min(|| {
         for i in 0..1_000u64 {
             flight.record(FlightEvent {
                 at: SimTime(i),
@@ -67,15 +78,16 @@ fn hot_path_allocation_budgets() {
                 endpoint: i % 7,
                 label: symbol::NET_DELAYED,
                 detail: i,
+                seq: 0,
             });
         }
     });
     assert_eq!(d, 0, "flight recorder allocated {d} times while recording");
-    assert_eq!(flight.total(), 1_000);
+    assert_eq!(flight.total(), 3_000);
 
     // Disabled windowed counters must not touch the allocator at all.
     let mut windows = WindowedCounters::disabled();
-    let d = alloc_delta(|| {
+    let d = alloc_delta_min(|| {
         for i in 0..1_000u64 {
             windows.record_sym(legion_core::time::SimTime(i), symbol::NET_DUPLICATED, 1);
         }
@@ -126,6 +138,41 @@ fn hot_path_allocation_budgets() {
         inst_apm <= committed_apm * 1.05,
         "instrumented allocs/message budget blown: {inst_apm:.2} > {committed_apm:.2} * 1.05 ({inst:?})"
     );
+
+    // Pure journaling — every kernel ingress appended, checksummed, and
+    // sunk, snapshots off — may tax the hot path at most half an
+    // allocation per message over the plain run: the writer reuses its
+    // encode buffers and the sink's growth amortizes. And with
+    // journaling *disabled* (the plain run above) the kernel's journal
+    // hooks are a branch on an enum discriminant: the plain measurement
+    // is re-asserted unchanged below, so "off = free" is gated too.
+    let jstats = e12_steady_state_journal_only(committed_j, SNAPSHOT_SEED);
+    let plain_headline = e12_steady_state(committed_j, SNAPSHOT_SEED);
+    let journal_apm = jstats.allocs_per_message();
+    let plain_apm = plain_headline.allocs_per_message();
+    assert!(
+        journal_apm <= plain_apm + 0.5,
+        "journaling tax budget blown: {journal_apm:.2} > {plain_apm:.2} + 0.5 ({jstats:?})"
+    );
+
+    // The full `--journal-out` configuration — journaling plus a
+    // content-addressed snapshot every 256 events — is held to the
+    // committed BENCH_CORE.json number (+5%), same discipline as the
+    // instrumented gate: the periodic materialization is a real cost the
+    // snapshot tracks, and this stops it drifting.
+    let full = e12_steady_state_journaled(committed_j, SNAPSHOT_SEED);
+    let full_apm = full.allocs_per_message();
+    if let Some(committed_japm) = core
+        .get("post")
+        .and_then(|p| p.get("e12_steady_journaled"))
+        .and_then(|s| s.get("allocs_per_message"))
+        .and_then(|v| v.as_f64())
+    {
+        assert!(
+            full_apm <= committed_japm * 1.05,
+            "journaled allocs/message regressed: {full_apm:.2} > {committed_japm:.2} * 1.05"
+        );
+    }
 
     // Determinism of the measurement itself: the same seed must allocate
     // identically, or the CI gate on allocs/message is noise.

@@ -52,6 +52,22 @@ pub trait ChaosTarget {
     /// Build a fresh system, run the workload under `schedule`, drive to
     /// quiescence, audit the global invariants.
     fn run(&mut self, schedule: &ChaosSchedule) -> RunOutcome;
+
+    /// Run once while recording an event journal of every kernel
+    /// ingress. Targets with a journal backend return the journal bytes;
+    /// the default has none and returns `None` (the campaign then falls
+    /// back to a plain double-run determinism check).
+    fn run_recorded(&mut self, schedule: &ChaosSchedule) -> (RunOutcome, Option<Vec<u8>>) {
+        (self.run(schedule), None)
+    }
+
+    /// Re-run `schedule` as a verified re-execution against `journal`
+    /// (recorded by [`ChaosTarget::run_recorded`]). Implementations
+    /// should fail loudly — with the divergence's journal seq and
+    /// context — if the re-execution does not match record for record.
+    fn run_replayed(&mut self, schedule: &ChaosSchedule, _journal: &[u8]) -> RunOutcome {
+        self.run(schedule)
+    }
 }
 
 /// Result of shrinking one violating schedule.
@@ -109,14 +125,17 @@ impl CampaignReport {
 }
 
 /// Run `count` schedules (seeds `base_seed..base_seed+count`) against
-/// `target`. Every run executes twice to assert bit-reproducibility;
-/// violating schedules are shrunk to minimal reproducers.
+/// `target`. Every run executes twice to assert bit-reproducibility:
+/// targets with a journal backend record the first run and replay the
+/// second as a verified re-execution (every kernel ingress compared
+/// record for record); targets without one fall back to comparing the
+/// two outcomes. Violating schedules are shrunk to minimal reproducers.
 ///
 /// # Panics
 ///
-/// Panics if a target is non-deterministic (two runs of the same
-/// schedule disagree) — that is a harness bug no campaign result can be
-/// trusted over.
+/// Panics if a target is non-deterministic (the replay of a schedule
+/// disagrees with its recording) — that is a harness bug no campaign
+/// result can be trusted over.
 pub fn run_campaign<T: ChaosTarget>(
     target: &mut T,
     base_seed: u64,
@@ -126,8 +145,11 @@ pub fn run_campaign<T: ChaosTarget>(
     let mut seeds = Vec::new();
     for seed in base_seed..base_seed.saturating_add(count) {
         let schedule = ChaosSchedule::generate(seed, bounds);
-        let outcome = target.run(&schedule);
-        let replay = target.run(&schedule);
+        let (outcome, journal) = target.run_recorded(&schedule);
+        let replay = match &journal {
+            Some(journal) => target.run_replayed(&schedule, journal),
+            None => target.run(&schedule),
+        };
         assert_eq!(
             outcome, replay,
             "target is non-deterministic for {schedule}"
@@ -202,9 +224,20 @@ pub fn shrink<T: ChaosTarget>(target: &mut T, schedule: &ChaosSchedule) -> Shrin
     );
     'outer: loop {
         for candidate in simplifications(&current) {
-            let outcome = target.run(&candidate);
+            let (outcome, journal) = target.run_recorded(&candidate);
             runs += 1;
             if !outcome.violations.is_empty() {
+                // Before adopting a smaller reproducer, prove it replays:
+                // a shrink step must never keep a candidate whose
+                // violation is not bit-reproducible.
+                if let Some(journal) = &journal {
+                    let replay = target.run_replayed(&candidate, journal);
+                    runs += 1;
+                    assert_eq!(
+                        outcome, replay,
+                        "shrink adopted a non-reproducible candidate for {candidate}"
+                    );
+                }
                 current = candidate;
                 violations = outcome.violations;
                 continue 'outer;

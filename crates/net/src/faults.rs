@@ -384,6 +384,30 @@ impl DedupState {
     pub fn rejected(&self) -> u64 {
         self.rejected
     }
+
+    /// A deterministic digest of the full window state (floors, seen
+    /// sets, reject count), for content-addressed kernel snapshots.
+    pub fn state_digest(&self) -> u64 {
+        // FNV-1a over the ordered state.
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.capacity as u64);
+        mix(self.rejected);
+        for (sender, w) in &self.per_sender {
+            mix(*sender);
+            mix(w.floor);
+            mix(w.seen.len() as u64);
+            for seq in &w.seen {
+                mix(*seq);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 //! has gone stale. Random drops and partitions are *silent*.
 
 use crate::faults::{DedupState, FaultPlan, Verdict};
-use crate::message::{CallId, Message};
+use crate::message::{Body, CallId, Message};
 use crate::metrics::{Counters, EndpointMetrics, Histogram, MetricsSnapshot, WindowedCounters};
 use crate::topology::{Location, Topology};
 use legion_core::address::{AddressSemantics, ObjectAddress, ObjectAddressElement};
@@ -29,10 +29,15 @@ use legion_core::symbol::{self, Sym};
 use legion_core::time::SimTime;
 use legion_core::trace::{SpanId, TraceContext};
 use legion_core::value::LegionValue;
+use legion_journal::{
+    Divergence, JournalError, JournalSink, JournalSummary, KernelJournal, RecordKind, ReplayStart,
+    SnapshotStore,
+};
 use legion_obs::profile::{KernelProfiler, Profile};
 use legion_obs::sink::TraceSink;
 use legion_obs::slo::{SloConfig, SloReport, SloTracker};
 use legion_obs::span::{SpanEvent, SpanEventKind};
+use legion_persist::Writer as StateWriter;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -221,6 +226,9 @@ struct Inner {
     /// continuations (on by default — a fired sweep is a failure
     /// worth post-mortem context).
     flight_dump_on_sweep: bool,
+    /// The event journal: off (default), recording every kernel ingress,
+    /// or verifying a re-execution against a reference journal.
+    journal: KernelJournal,
 }
 
 /// The outcome of sending through an [`ObjectAddress`].
@@ -271,6 +279,7 @@ impl SimKernel {
                 profile: KernelProfiler::disabled(),
                 slo: SloTracker::disabled(),
                 flight_dump_on_sweep: true,
+                journal: KernelJournal::default(),
             },
         }
     }
@@ -288,10 +297,13 @@ impl SimKernel {
         name: impl Into<String>,
     ) -> EndpointId {
         let id = EndpointId(self.slots.len() as u64);
+        let name = name.into();
+        self.inner
+            .journal_note_str(RecordKind::Attach, id.0, 0, 0, &name);
         self.slots.push(Slot::new(
             EndpointMeta {
                 location,
-                name: name.into(),
+                name,
                 received: 0,
                 sent: 0,
                 in_latency: Histogram::new(),
@@ -318,6 +330,8 @@ impl SimKernel {
         if let Some(slot) = self.slots.get_mut(id.0 as usize) {
             slot.meta.alive = false;
             slot.ep = None;
+            self.inner
+                .journal_note_str(RecordKind::Detach, id.0, 0, 0, "");
         }
     }
 
@@ -557,6 +571,13 @@ impl SimKernel {
         msg: Message,
     ) -> bool {
         let inner = &mut self.inner;
+        inner.journal_note(
+            RecordKind::Inject,
+            to.sim_endpoint().unwrap_or(u64::MAX),
+            msg.id.0,
+            0,
+            kind_sym(&msg),
+        );
         send_one(inner, &mut self.slots, from_location, None, to, msg)
     }
 
@@ -604,8 +625,150 @@ impl SimKernel {
         self.inner.dedup_enabled
     }
 
+    /// Start journaling every kernel ingress to `sink`, taking a
+    /// content-addressed state snapshot every `snap_every` events
+    /// (0 = never). Enable right after construction, before attaching
+    /// endpoints, so the journal covers the whole run.
+    pub fn enable_journal_record(&mut self, sink: Box<dyn JournalSink>, snap_every: u64) {
+        self.inner.journal = KernelJournal::record(sink, snap_every);
+    }
+
+    /// Verify this run against a reference journal: every ingress the
+    /// re-execution produces is compared against the recorded one.
+    /// `start` picks the fast path — from a snapshot mark, the prefix is
+    /// skipped with a seq-alignment check and the snapshot's state root
+    /// proves the re-executed state matches the recorded state there.
+    pub fn enable_journal_verify(
+        &mut self,
+        data: Vec<u8>,
+        start: ReplayStart,
+    ) -> Result<(), JournalError> {
+        self.inner.journal = KernelJournal::verify(data, start)?;
+        Ok(())
+    }
+
+    /// Is a journal session (recording or verifying) live?
+    pub fn journal_enabled(&self) -> bool {
+        self.inner.journal.is_on()
+    }
+
+    /// The first divergence found while verifying, if any.
+    pub fn journal_divergence(&self) -> Option<&Divergence> {
+        self.inner.journal.divergence()
+    }
+
+    /// The content-addressed snapshots of a recording session.
+    pub fn journal_snapshots(&self) -> Option<&SnapshotStore> {
+        self.inner.journal.snapshots()
+    }
+
+    /// Finish the journal session: flush the sink (recording) or require
+    /// the whole reference journal to have been consumed (verifying).
+    /// Returns the summary and, in verify mode, the first divergence.
+    pub fn finish_journal(&mut self) -> Result<(JournalSummary, Option<Divergence>), JournalError> {
+        self.inner.journal.finish()
+    }
+
+    /// The flight-recorder dump annotated with journal position and
+    /// nearest snapshot (plain dump when no journal session is live).
+    pub fn flight_dump(&self, reason: &str, n: usize) -> String {
+        self.inner.flight_dump(reason, n)
+    }
+
+    /// Materialize the kernel's replay-relevant state as named sections
+    /// for a content-addressed snapshot. Sections that rarely change
+    /// (idle endpoints) produce identical bytes and dedup across
+    /// snapshots. Pure metrics (histograms, per-endpoint traffic) are
+    /// excluded: they are derived observations, not inputs to execution.
+    fn state_sections(&self) -> Vec<(String, Vec<u8>)> {
+        let inner = &self.inner;
+        let mut sections = Vec::with_capacity(4 + self.slots.len());
+
+        let mut w = StateWriter::new();
+        w.put_u64(inner.now.as_nanos());
+        w.put_u64(inner.seq);
+        w.put_u64(inner.next_call);
+        w.put_u64(inner.external_seq);
+        w.put_u8(inner.dedup_enabled as u8);
+        w.put_u64(inner.stats.sent);
+        w.put_u64(inner.stats.delivered);
+        w.put_u64(inner.stats.lost);
+        w.put_u64(inner.stats.refused);
+        w.put_u64(inner.stats.dead_letters);
+        w.put_u64(inner.stats.events);
+        sections.push(("core".to_string(), w.finish().to_vec()));
+
+        let mut w = StateWriter::new();
+        for word in inner.rng.state() {
+            w.put_u64(word);
+        }
+        sections.push(("rng".to_string(), w.finish().to_vec()));
+
+        let mut w = StateWriter::new();
+        for (name, value) in inner.counters.iter() {
+            w.put_str(name);
+            w.put_u64(value);
+        }
+        sections.push(("counters".to_string(), w.finish().to_vec()));
+
+        // The pending queue, in deterministic (time, seq) order — the
+        // heap's internal layout is not canonical.
+        let mut pending: Vec<&Event> = inner.queue.iter().map(|r| &r.0).collect();
+        pending.sort_unstable_by_key(|e| (e.at, e.seq));
+        let mut w = StateWriter::new();
+        w.put_varint(pending.len() as u64);
+        for e in pending {
+            w.put_u64(e.at.as_nanos());
+            w.put_varint(e.seq);
+            w.put_varint(e.to.0);
+            w.put_u64(e.trace.trace.0);
+            w.put_u64(e.trace.span.0);
+            match e.dedup {
+                Some((sender, n)) => {
+                    w.put_u8(1);
+                    w.put_varint(sender);
+                    w.put_varint(n);
+                }
+                None => w.put_u8(0),
+            }
+            w.put_u64(e.lat_ns);
+            match &e.kind {
+                EventKind::Start => w.put_u8(0),
+                EventKind::Deliver(m) => {
+                    w.put_u8(1);
+                    encode_message(&mut w, m);
+                }
+                EventKind::Timer(tag) => {
+                    w.put_u8(2);
+                    w.put_u64(*tag);
+                }
+            }
+        }
+        sections.push(("queue".to_string(), w.finish().to_vec()));
+
+        for (i, slot) in self.slots.iter().enumerate() {
+            let mut w = StateWriter::new();
+            w.put_u32(slot.meta.location.jurisdiction);
+            w.put_u32(slot.meta.location.host);
+            w.put_str(&slot.meta.name);
+            w.put_u8(slot.meta.alive as u8);
+            w.put_varint(slot.next_seq);
+            w.put_u64(slot.seen.state_digest());
+            sections.push((format!("ep{i}"), w.finish().to_vec()));
+        }
+        sections
+    }
+
     /// Process the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
+        // Snapshots land on the cadence boundary *between* events: after
+        // the Nth event's handler fully ran, before the next pop. Both
+        // the recording and the verifying run hit the same boundaries.
+        if self.inner.journal.snapshot_due(self.inner.stats.events) {
+            let sections = self.state_sections();
+            let (at, events) = (self.inner.now.as_nanos(), self.inner.stats.events);
+            self.inner.journal.on_snapshot(at, events, &sections);
+        }
         let Some(Reverse(ev)) = self.inner.queue.pop() else {
             return false;
         };
@@ -621,12 +784,20 @@ impl SimKernel {
         if !alive {
             if let EventKind::Deliver(msg) = &ev.kind {
                 self.inner.stats.dead_letters += 1;
+                let jseq = self.inner.journal_note(
+                    RecordKind::DeadLetter,
+                    idx as u64,
+                    msg.id.0,
+                    0,
+                    kind_sym(msg),
+                );
                 self.inner.flight.record(FlightEvent {
                     at: self.inner.now,
                     kind: FlightKind::DeadLetter,
                     endpoint: idx as u64,
                     label: kind_sym(msg),
                     detail: msg.id.0,
+                    seq: jseq,
                 });
                 // Recorded even for untraced messages (trace/span NONE):
                 // a crash-eaten delivery must be visible in the span
@@ -649,12 +820,20 @@ impl SimKernel {
             if let (EventKind::Deliver(msg), Some((sender, seq_no))) = (&ev.kind, ev.dedup) {
                 if !self.slots[idx].seen.admit(sender, seq_no) {
                     self.inner.note_count_sym(symbol::NET_DEDUP_DROPPED, 1);
+                    let jseq = self.inner.journal_note(
+                        RecordKind::Dedup,
+                        idx as u64,
+                        msg.id.0,
+                        0,
+                        kind_sym(msg),
+                    );
                     self.inner.flight.record(FlightEvent {
                         at: self.inner.now,
                         kind: FlightKind::Dedup,
                         endpoint: idx as u64,
                         label: kind_sym(msg),
                         detail: msg.id.0,
+                        seq: jseq,
                     });
                     if self.inner.sink.is_enabled() {
                         self.inner.record_span(
@@ -681,17 +860,29 @@ impl SimKernel {
                 spawned: Vec::new(),
             };
             match ev.kind {
-                EventKind::Start => ep.on_start(&mut ctx),
+                EventKind::Start => {
+                    ctx.inner
+                        .journal_note_str(RecordKind::Start, idx as u64, 0, 0, "");
+                    ep.on_start(&mut ctx)
+                }
                 EventKind::Deliver(msg) => {
                     ctx.slots[idx].meta.received += 1;
                     ctx.inner.stats.delivered += 1;
                     let method = kind_sym(&msg);
+                    let jseq = ctx.inner.journal_note(
+                        RecordKind::Deliver,
+                        idx as u64,
+                        msg.id.0,
+                        ev.lat_ns,
+                        method,
+                    );
                     ctx.inner.flight.record(FlightEvent {
                         at: ctx.inner.now,
                         kind: FlightKind::Deliver,
                         endpoint: idx as u64,
                         label: method,
                         detail: msg.id.0,
+                        seq: jseq,
                     });
                     if ev.trace.is_active() && ctx.inner.sink.is_enabled() {
                         ctx.inner.record_span(
@@ -726,6 +917,8 @@ impl SimKernel {
                     }
                 }
                 EventKind::Timer(tag) => {
+                    ctx.inner
+                        .journal_note_str(RecordKind::TimerFire, idx as u64, tag, 0, "");
                     if ev.trace.is_active() {
                         ctx.inner.record_span(
                             ev.trace,
@@ -849,6 +1042,136 @@ impl Inner {
             label: label.to_owned(),
         });
     }
+
+    /// Journal one kernel ingress with a pre-interned label; returns the
+    /// journal seq (0 when off). The `is_on` gate keeps the disabled hot
+    /// path at one enum-tag check and defers the `Sym → &str` resolution.
+    #[inline]
+    fn journal_note(&mut self, kind: RecordKind, endpoint: u64, a: u64, b: u64, label: Sym) -> u64 {
+        if !self.journal.is_on() {
+            return 0;
+        }
+        self.journal
+            .note(self.now.as_nanos(), kind, endpoint, a, b, label.as_str())
+    }
+
+    /// [`Inner::journal_note`] for plain-string labels (attach names,
+    /// empty labels). Labels are journaled as strings, never `Sym` ids —
+    /// intern order is process-local and would not survive replay.
+    #[inline]
+    fn journal_note_str(
+        &mut self,
+        kind: RecordKind,
+        endpoint: u64,
+        a: u64,
+        b: u64,
+        label: &str,
+    ) -> u64 {
+        if !self.journal.is_on() {
+            return 0;
+        }
+        self.journal
+            .note(self.now.as_nanos(), kind, endpoint, a, b, label)
+    }
+
+    /// The flight-recorder dump, annotated with the journal position and
+    /// nearest snapshot when a journal session is live — a post-mortem
+    /// names the exact seq to replay to and the snapshot to start from.
+    fn flight_dump(&self, reason: &str, n: usize) -> String {
+        let mut out = self.flight.dump(reason, n);
+        if self.journal.is_on() {
+            let snap = match self.journal.last_snapshot() {
+                Some((ordinal, seq)) if seq > 0 => {
+                    format!("last snapshot #{ordinal} at journal seq {seq}")
+                }
+                Some((ordinal, _)) => format!("last snapshot #{ordinal}"),
+                None => "no snapshot yet".to_string(),
+            };
+            out.push_str(&format!(
+                "\njournal: next seq {}, {snap}",
+                self.journal.next_seq()
+            ));
+        }
+        out
+    }
+}
+
+/// The journal record kind for a flight-recorder event kind: endpoints
+/// annotate the journal through [`Ctx::flight`] (timeouts, HA verdicts,
+/// notes) with the same vocabulary the kernel uses.
+fn record_kind(kind: FlightKind) -> RecordKind {
+    match kind {
+        FlightKind::Deliver => RecordKind::Deliver,
+        FlightKind::DeadLetter => RecordKind::DeadLetter,
+        FlightKind::Refuse => RecordKind::Refuse,
+        FlightKind::Drop => RecordKind::Drop,
+        FlightKind::Dedup => RecordKind::Dedup,
+        FlightKind::Duplicate => RecordKind::Duplicate,
+        FlightKind::Delay => RecordKind::Delay,
+        FlightKind::Timeout => RecordKind::Timeout,
+        FlightKind::HaVerdict => RecordKind::HaVerdict,
+        FlightKind::Note => RecordKind::Note,
+    }
+}
+
+/// Deterministically encode a queued message for a state snapshot, using
+/// the OPR codec's primitives. Method names and errors are encoded as
+/// strings so the bytes are stable across processes.
+fn encode_message(w: &mut StateWriter, m: &Message) {
+    w.put_varint(m.id.0);
+    match &m.target {
+        Some(l) => {
+            w.put_u8(1);
+            w.put_loid(l);
+        }
+        None => w.put_u8(0),
+    }
+    match &m.reply_to {
+        Some(e) => {
+            w.put_u8(1);
+            w.put_element(e);
+        }
+        None => w.put_u8(0),
+    }
+    match &m.sender {
+        Some(l) => {
+            w.put_u8(1);
+            w.put_loid(l);
+        }
+        None => w.put_u8(0),
+    }
+    w.put_loid(&m.env.responsible);
+    w.put_loid(&m.env.security);
+    w.put_loid(&m.env.calling);
+    w.put_u64(m.env.trace.trace.0);
+    w.put_u64(m.env.trace.span.0);
+    match &m.body {
+        Body::Call { method, args } => {
+            w.put_u8(0);
+            w.put_str(method.as_str());
+            w.put_varint(args.len() as u64);
+            for a in args {
+                w.put_value(a);
+            }
+        }
+        Body::Reply {
+            in_reply_to,
+            result,
+        } => {
+            w.put_u8(1);
+            w.put_varint(in_reply_to.0);
+            match result {
+                Ok(v) => {
+                    w.put_u8(0);
+                    w.put_value(v);
+                }
+                Err(e) => {
+                    w.put_u8(1);
+                    w.put_str(e);
+                }
+            }
+        }
+    }
 }
 
 /// The per-message-kind metrics key: the method symbol for calls,
@@ -899,12 +1222,14 @@ fn send_one(
     // fallout must be observable without having traced the whole flow.
     let refuse = |inner: &mut Inner, msg: &Message, why: &str| {
         inner.stats.refused += 1;
+        let jseq = inner.journal_note(RecordKind::Refuse, from_ep, msg.id.0, 0, kind_sym(msg));
         inner.flight.record(FlightEvent {
             at: inner.now,
             kind: FlightKind::Refuse,
             endpoint: from_ep,
             label: kind_sym(msg),
             detail: msg.id.0,
+            seq: jseq,
         });
         inner.record_span(
             msg.env.trace,
@@ -945,12 +1270,14 @@ fn send_one(
         .judge(msg.id.0, from_location, dest_location, inner.now);
     if verdict == Verdict::DropSilently {
         inner.stats.lost += 1;
+        let jseq = inner.journal_note(RecordKind::Drop, from_ep, msg.id.0, 0, kind_sym(&msg));
         inner.flight.record(FlightEvent {
             at: inner.now,
             kind: FlightKind::Drop,
             endpoint: from_ep,
             label: kind_sym(&msg),
             detail: msg.id.0,
+            seq: jseq,
         });
         inner.record_span(
             msg.env.trace,
@@ -978,12 +1305,20 @@ fn send_one(
     };
     if let Verdict::Delay { extra_ns, factor } = verdict {
         inner.note_count_sym(symbol::NET_DELAYED, 1);
+        let jseq = inner.journal_note(
+            RecordKind::Delay,
+            from_ep,
+            msg.id.0,
+            extra_ns,
+            kind_sym(&msg),
+        );
         inner.flight.record(FlightEvent {
             at: inner.now,
             kind: FlightKind::Delay,
             endpoint: from_ep,
             label: kind_sym(&msg),
             detail: extra_ns,
+            seq: jseq,
         });
         inner.record_span(
             msg.env.trace,
@@ -1008,12 +1343,20 @@ fn send_one(
     let dedup = Some((from_ep, seq_no));
     let copy = if let Some(extra_ns) = copy_after {
         inner.note_count_sym(symbol::NET_DUPLICATED, 1);
+        let jseq = inner.journal_note(
+            RecordKind::Duplicate,
+            from_ep,
+            msg.id.0,
+            extra_ns,
+            kind_sym(&msg),
+        );
         inner.flight.record(FlightEvent {
             at: inner.now,
             kind: FlightKind::Duplicate,
             endpoint: from_ep,
             label: kind_sym(&msg),
             detail: extra_ns,
+            seq: jseq,
         });
         inner.record_span(
             trace,
@@ -1179,6 +1522,9 @@ impl Ctx<'_> {
     /// this endpoint. Allocation-free (the label is a pre-interned
     /// [`Sym`]; `detail` is kind-specific).
     pub fn flight(&mut self, kind: FlightKind, label: Sym, detail: u64) {
+        let jseq = self
+            .inner
+            .journal_note(record_kind(kind), self.self_id.0, detail, 0, label);
         let at = self.inner.now;
         self.inner.flight.record(FlightEvent {
             at,
@@ -1186,6 +1532,7 @@ impl Ctx<'_> {
             endpoint: self.self_id.0,
             label,
             detail,
+            seq: jseq,
         });
     }
 
@@ -1199,7 +1546,7 @@ impl Ctx<'_> {
     /// a reason line — post-mortem context for sweeps, invariant
     /// violations, and imminent panics.
     pub fn dump_flight(&self, reason: &str, n: usize) {
-        eprintln!("{}", self.inner.flight.dump(reason, n));
+        eprintln!("{}", self.inner.flight_dump(reason, n));
     }
 
     /// This endpoint's location.
@@ -1331,10 +1678,13 @@ impl Ctx<'_> {
         name: impl Into<String>,
     ) -> EndpointId {
         let id = EndpointId(self.slots.len() as u64);
+        let name = name.into();
+        self.inner
+            .journal_note_str(RecordKind::Attach, id.0, 0, 0, &name);
         self.slots.push(Slot::new(
             EndpointMeta {
                 location,
-                name: name.into(),
+                name,
                 received: 0,
                 sent: 0,
                 in_latency: Histogram::new(),
@@ -1354,6 +1704,8 @@ impl Ctx<'_> {
             if id != self.self_id {
                 slot.ep = None;
             }
+            self.inner
+                .journal_note_str(RecordKind::Detach, id.0, 0, 0, "");
         }
     }
 
@@ -1556,6 +1908,135 @@ mod tests {
         let addr = ObjectAddress::replicated(eps.iter().map(|e| e.element()).collect(), semantics);
         k.add_endpoint(Box::new(Fanout { addr }), Location::new(0, 99), "fanout");
         (k, eps)
+    }
+
+    /// A small fixed workload: `calls` Pings from the client to the echo,
+    /// with one arg knob to let tests plant a payload divergence.
+    fn journaled_run(cfg: impl FnOnce(&mut SimKernel), calls: u64, arg0: u64) -> SimKernel {
+        let mut k = kernel();
+        cfg(&mut k);
+        let echo = k.add_endpoint(
+            Box::new(Echo::new(Loid::instance(16, 1))),
+            Location::new(0, 0),
+            "echo",
+        );
+        let client = k.add_endpoint(Box::new(Client::default()), Location::new(0, 1), "client");
+        for i in 0..calls {
+            let id = k.fresh_call_id();
+            let arg = if i == 0 { arg0 } else { i };
+            let mut msg = Message::call(
+                id,
+                Loid::instance(16, 1),
+                "Ping",
+                vec![LegionValue::Uint(arg)],
+                InvocationEnv::anonymous(),
+            );
+            msg.reply_to = Some(client.element());
+            k.inject(Location::new(0, 1), echo.element(), msg);
+        }
+        k.run_until_quiescent(1_000);
+        k
+    }
+
+    #[test]
+    fn journal_record_then_replay_is_identical() {
+        use legion_journal::MemSink;
+        let sink = MemSink::new();
+        let mut k = journaled_run(|k| k.enable_journal_record(Box::new(sink.clone()), 4), 6, 0);
+        let (recorded, div) = k.finish_journal().unwrap();
+        assert!(div.is_none());
+        assert!(recorded.records > 0);
+        assert!(recorded.snapshots > 0, "cadence 4 must snapshot");
+        let data = sink.contents();
+
+        // Verified re-execution from the origin: every record byte-checked.
+        let mut k = journaled_run(
+            |k| {
+                k.enable_journal_verify(data.clone(), ReplayStart::Origin)
+                    .unwrap()
+            },
+            6,
+            0,
+        );
+        let (s, div) = k.finish_journal().unwrap();
+        assert!(div.is_none(), "{}", div.map(|d| d.to_string()).unwrap());
+        assert_eq!(s.verified, recorded.records);
+        assert_eq!(s.skipped, 0);
+
+        // Snapshot fast path: the prefix is skipped, roots still checked.
+        let mut k = journaled_run(
+            |k| {
+                k.enable_journal_verify(data.clone(), ReplayStart::LatestSnapshot)
+                    .unwrap()
+            },
+            6,
+            0,
+        );
+        let (s, div) = k.finish_journal().unwrap();
+        assert!(div.is_none(), "{}", div.map(|d| d.to_string()).unwrap());
+        assert!(s.skipped > 0, "snapshot fast path must skip a prefix");
+        assert_eq!(s.skipped + s.verified, recorded.records);
+    }
+
+    #[test]
+    fn journal_replay_catches_payload_divergence_at_snapshot_root() {
+        use legion_journal::MemSink;
+        let sink = MemSink::new();
+        let mut k = journaled_run(|k| k.enable_journal_record(Box::new(sink.clone()), 4), 6, 0);
+        k.finish_journal().unwrap();
+        let data = sink.contents();
+
+        // Same event timeline, different call argument: record bodies are
+        // identical (args never enter the journal), so only the
+        // content-addressed state root can catch it.
+        let mut k = journaled_run(
+            |k| k.enable_journal_verify(data, ReplayStart::Origin).unwrap(),
+            6,
+            999,
+        );
+        let (_, div) = k.finish_journal().unwrap();
+        let div = div.expect("payload divergence must trip the root check");
+        assert!(div.expected.contains("snapshot"), "{div}");
+    }
+
+    #[test]
+    fn journal_replay_catches_missing_workload() {
+        use legion_journal::MemSink;
+        let sink = MemSink::new();
+        let mut k = journaled_run(|k| k.enable_journal_record(Box::new(sink.clone()), 0), 6, 0);
+        k.finish_journal().unwrap();
+        let data = sink.contents();
+
+        let mut k = journaled_run(
+            |k| k.enable_journal_verify(data, ReplayStart::Origin).unwrap(),
+            5,
+            0,
+        );
+        let (_, div) = k.finish_journal().unwrap();
+        let div = div.expect("a shorter run must diverge");
+        assert!(div.got.contains("quiesced") || !div.got.is_empty(), "{div}");
+    }
+
+    #[test]
+    fn flight_events_carry_journal_seq_and_dump_names_position() {
+        use legion_journal::MemSink;
+        let sink = MemSink::new();
+        let k = journaled_run(|k| k.enable_journal_record(Box::new(sink.clone()), 4), 6, 0);
+        assert!(k.flight().iter().all(|e| e.seq > 0));
+        // Seqs are strictly increasing in recording order.
+        let seqs: Vec<u64> = k.flight().iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+        let dump = k.flight_dump("test", 4);
+        assert!(dump.contains("journal: next seq"), "{dump}");
+        assert!(dump.contains("last snapshot #"), "{dump}");
+        assert!(dump.contains("seq="), "{dump}");
+    }
+
+    #[test]
+    fn journal_off_leaves_flight_seq_zero() {
+        let k = journaled_run(|_| {}, 3, 0);
+        assert!(!k.journal_enabled());
+        assert!(k.flight().iter().all(|e| e.seq == 0));
     }
 
     #[test]

@@ -91,6 +91,10 @@ pub struct FlightEvent {
     pub label: Sym,
     /// Kind-specific detail (call id, extra delay in ns, silence ns, …).
     pub detail: u64,
+    /// Journal sequence number of the event, when the kernel journal is
+    /// recording or verifying (0 when journaling is off) — the handle
+    /// that makes a dumped event directly replayable.
+    pub seq: u64,
 }
 
 impl FlightEvent {
@@ -102,6 +106,7 @@ impl FlightEvent {
             ("endpoint".to_string(), Value::U64(self.endpoint)),
             ("label".to_string(), Value::Str(self.label.as_str().into())),
             ("detail".to_string(), Value::U64(self.detail)),
+            ("seq".to_string(), Value::U64(self.seq)),
         ])
     }
 }
@@ -116,7 +121,11 @@ impl fmt::Display for FlightEvent {
             self.endpoint,
             self.label.as_str(),
             self.detail
-        )
+        )?;
+        if self.seq != 0 {
+            write!(f, " seq={}", self.seq)?;
+        }
+        Ok(())
     }
 }
 
@@ -257,6 +266,7 @@ mod tests {
             endpoint: i,
             label: symbol::PING,
             detail: i,
+            seq: 0,
         }
     }
 

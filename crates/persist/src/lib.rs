@@ -9,6 +9,8 @@
 //!
 //! * [`codec`] — the byte format for values, addresses and bindings;
 //! * [`checksum`] — CRC-32 (local implementation);
+//! * [`cas`] — SHA-256 content-addressed chunk stores (the snapshot and
+//!   incremental-checkpoint backend);
 //! * [`opr`] — the OPR container (magic, version, LOID, class, interface
 //!   hash, state payload, checksum);
 //! * [`storage`] — simulated disks and the jurisdiction-scoped visibility
@@ -17,11 +19,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cas;
 pub mod checksum;
 pub mod codec;
 pub mod opr;
 pub mod storage;
 
+pub use cas::{sha256, BlobStore, ChunkId, DirBlobStore, MemBlobStore, Sha256};
 pub use checksum::{crc32, Crc32};
 pub use codec::{decode_value, encode_value, CodecError, CodecResult, Reader, Writer};
 pub use opr::{Opr, OprError};

@@ -14,6 +14,7 @@
 //! a [`PersistentAddress`] names its jurisdiction and the storage refuses
 //! foreign addresses.
 
+use crate::cas::ChunkId;
 use crate::opr::{Opr, OprError};
 use legion_core::loid::Loid;
 use serde::{Deserialize, Serialize};
@@ -155,12 +156,37 @@ impl SimDisk {
     }
 }
 
+/// One content-addressed checkpoint blob: where it lives and how many
+/// Object Persistent Addresses currently reference it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CasRef {
+    disk: u32,
+    path: String,
+    refs: u64,
+    len: u64,
+}
+
 /// The aggregate persistent storage of one jurisdiction.
+///
+/// OPR checkpoints are stored **content-addressed**: [`store_opr`]
+/// hashes the encoded OPR and, when an identical checkpoint is already
+/// on disk, returns the existing address and bumps a reference count
+/// instead of writing a second copy. Repeated checkpoints of an
+/// unchanged object therefore cost zero extra disk — the incremental
+/// half of the journal/snapshot durability story. [`delete`] decrements
+/// the count and only frees the blob when the last reference goes.
+///
+/// [`store_opr`]: JurisdictionStorage::store_opr
+/// [`delete`]: JurisdictionStorage::delete
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JurisdictionStorage {
     jurisdiction: u32,
     disks: Vec<SimDisk>,
     seq: u64,
+    /// hex(ChunkId) → blob location + refcount, for `cas/` paths.
+    cas: BTreeMap<String, CasRef>,
+    dedup_hits: u64,
+    logical_bytes: u64,
 }
 
 impl JurisdictionStorage {
@@ -171,6 +197,9 @@ impl JurisdictionStorage {
             jurisdiction,
             disks: (0..disks).map(|_| SimDisk::new(disk_capacity)).collect(),
             seq: 0,
+            cas: BTreeMap::new(),
+            dedup_hits: 0,
+            logical_bytes: 0,
         }
     }
 
@@ -207,10 +236,23 @@ impl JurisdictionStorage {
         Ok(())
     }
 
-    /// Store an OPR, choosing the emptiest disk; returns the new Object
-    /// Persistent Address.
+    /// Store an OPR content-addressed, choosing the emptiest disk for new
+    /// content; returns the Object Persistent Address. A checkpoint whose
+    /// bytes are already stored returns the existing address (refcounted)
+    /// and writes nothing.
     pub fn store_opr(&mut self, opr: &Opr) -> Result<PersistentAddress, StorageError> {
         let bytes = opr.encode().to_vec();
+        let hex = ChunkId::of(&bytes).to_hex();
+        if let Some(entry) = self.cas.get_mut(&hex) {
+            entry.refs += 1;
+            self.dedup_hits += 1;
+            self.logical_bytes += entry.len;
+            return Ok(PersistentAddress {
+                jurisdiction: self.jurisdiction,
+                disk: entry.disk,
+                path: entry.path.clone(),
+            });
+        }
         let disk = self
             .disks
             .iter()
@@ -222,10 +264,35 @@ impl JurisdictionStorage {
         let addr = PersistentAddress {
             jurisdiction: self.jurisdiction,
             disk,
-            path: format!("opr/{}-{}.lopr", opr.loid, self.seq),
+            path: format!("cas/{hex}.lopr"),
         };
+        let len = bytes.len() as u64;
         self.disks[disk as usize].write(disk, &addr.path, bytes)?;
+        self.logical_bytes += len;
+        self.cas.insert(
+            hex,
+            CasRef {
+                disk,
+                path: addr.path.clone(),
+                refs: 1,
+                len,
+            },
+        );
         Ok(addr)
+    }
+
+    /// Checkpoints deduplicated away (stores that wrote nothing).
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// Bytes the vault would hold without content dedup (every
+    /// `store_opr` counted at full size). Compare with [`used`] for the
+    /// physical footprint.
+    ///
+    /// [`used`]: JurisdictionStorage::used
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes
     }
 
     /// Store raw bytes at an explicit address (used to receive a shipped
@@ -252,9 +319,25 @@ impl JurisdictionStorage {
         Ok(self.disks[addr.disk as usize].read(&addr.path)?.to_vec())
     }
 
-    /// Delete the file at `addr`.
+    /// Delete the file at `addr`. For content-addressed checkpoints this
+    /// drops one reference; the blob is only freed when the last address
+    /// referencing it is deleted.
     pub fn delete(&mut self, addr: &PersistentAddress) -> Result<(), StorageError> {
         self.check(addr)?;
+        let hex = addr
+            .path
+            .strip_prefix("cas/")
+            .and_then(|p| p.strip_suffix(".lopr"));
+        if let Some(hex) = hex {
+            if let Some(entry) = self.cas.get_mut(hex) {
+                entry.refs -= 1;
+                if entry.refs > 0 {
+                    return Ok(());
+                }
+                self.cas.remove(hex);
+                return self.disks[addr.disk as usize].delete(&addr.path);
+            }
+        }
         self.disks[addr.disk as usize].delete(&addr.path)
     }
 
@@ -437,6 +520,39 @@ mod tests {
         let r = s.store_at(&addr, vec![0; 2000]);
         assert!(matches!(r, Err(StorageError::DiskFull { .. })));
         assert_eq!(s.used(), 999);
+    }
+
+    #[test]
+    fn identical_checkpoints_dedup_to_one_blob() {
+        let mut s = storage();
+        let o = opr(1);
+        let a1 = s.store_opr(&o).unwrap();
+        let used_once = s.used();
+        let a2 = s.store_opr(&o).unwrap();
+        assert_eq!(a1, a2, "identical content shares one address");
+        assert_eq!(s.used(), used_once, "second checkpoint wrote nothing");
+        assert_eq!(s.file_count(), 1);
+        assert_eq!(s.dedup_hits(), 1);
+        assert_eq!(s.logical_bytes(), 2 * used_once);
+        // A different checkpoint is a different blob.
+        let a3 = s.store_opr(&opr(2)).unwrap();
+        assert_ne!(a1, a3);
+        assert_eq!(s.file_count(), 2);
+    }
+
+    #[test]
+    fn dedup_refcount_frees_blob_on_last_delete() {
+        let mut s = storage();
+        let o = opr(1);
+        let a1 = s.store_opr(&o).unwrap();
+        let a2 = s.store_opr(&o).unwrap();
+        s.delete(&a1).unwrap();
+        assert!(s.exists(&a2), "blob survives while a reference remains");
+        assert_eq!(s.load_opr(&a2).unwrap(), o);
+        s.delete(&a2).unwrap();
+        assert!(!s.exists(&a2));
+        assert_eq!(s.used(), 0);
+        assert!(matches!(s.delete(&a2), Err(StorageError::NotFound(_))));
     }
 
     #[test]

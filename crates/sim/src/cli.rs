@@ -16,10 +16,21 @@
 //! re-runs the E12 steady state with the profiler, SLO tracker, and span
 //! sink enabled and writes the unified run report (JSON to `FILE`, text
 //! digest to `FILE.txt`).
+//!
+//! The journal flags ride the same instrumented E12 run:
+//! `--journal-out FILE` records every kernel ingress (with
+//! content-addressed snapshots every [`run_report::SNAP_EVERY`] events)
+//! into `FILE`; `--replay-from FILE` re-executes the run as a verified
+//! replay against that journal, exiting 1 with the divergence context if
+//! the re-execution does not match record for record; `--from-snapshot`
+//! starts the verification at the journal's last snapshot waypoint
+//! instead of the origin. `--bisect A B` compares two journals and
+//! prints the first differing record with context.
 
 use crate::experiments as exp;
 use crate::obs_run;
 use crate::run_report;
+use legion_journal::{bisect, FileSink, ReplayStart};
 use serde::Serialize;
 
 struct Opts {
@@ -28,6 +39,10 @@ struct Opts {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     report_out: Option<String>,
+    journal_out: Option<String>,
+    replay_from: Option<String>,
+    from_snapshot: bool,
+    bisect: Option<(String, String)>,
 }
 
 /// Accept `e01`/`E01` spellings for `e1` etc.
@@ -47,6 +62,10 @@ fn parse_args() -> Opts {
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut report_out = None;
+    let mut journal_out = None;
+    let mut replay_from = None;
+    let mut from_snapshot = false;
+    let mut bisect = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -69,15 +88,47 @@ fn parse_args() -> Opts {
                     std::process::exit(2);
                 }))
             }
+            "--journal-out" => {
+                journal_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--journal-out needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            "--replay-from" => {
+                replay_from = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--replay-from needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            "--from-snapshot" => from_snapshot = true,
+            "--bisect" => {
+                let a = args.next();
+                let b = args.next();
+                match (a, b) {
+                    (Some(a), Some(b)) => bisect = Some((a, b)),
+                    _ => {
+                        eprintln!("--bisect needs two journal paths");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: legion-exp [--quick] [--trace-out FILE] [--metrics-out FILE] \
-                     [--report-out FILE] (all | e1 e2 ... e16)\n\
+                     [--report-out FILE] [--journal-out FILE | --replay-from FILE \
+                     [--from-snapshot]] (all | e1 e2 ... e16)\n\
+                     \u{20}      legion-exp --bisect A B\n\
                      Runs the Legion reproduction experiments (see EXPERIMENTS.md).\n\
-                     --trace-out   write the traced E1 run's spans as JSONL\n\
-                     --metrics-out write the traced E1 run's metrics snapshot as JSON\n\
-                     --report-out  write the instrumented E12 run's unified report\n\
-                     \u{20}             (JSON to FILE, text digest to FILE.txt)"
+                     --trace-out     write the traced E1 run's spans as JSONL\n\
+                     --metrics-out   write the traced E1 run's metrics snapshot as JSON\n\
+                     --report-out    write the instrumented E12 run's unified report\n\
+                     \u{20}               (JSON to FILE, text digest to FILE.txt)\n\
+                     --journal-out   record the instrumented E12 run's event journal\n\
+                     --replay-from   re-execute the E12 run verified against a journal\n\
+                     \u{20}               (exits 1 with context if the replay diverges)\n\
+                     --from-snapshot start --replay-from at the last snapshot waypoint\n\
+                     --bisect A B    binary-search two journals to the first\n\
+                     \u{20}               differing record and print its context"
                 );
                 std::process::exit(0);
             }
@@ -87,12 +138,72 @@ fn parse_args() -> Opts {
     if which.is_empty() {
         which.push("all".to_string());
     }
+    if journal_out.is_some() && replay_from.is_some() {
+        eprintln!("--journal-out and --replay-from are mutually exclusive");
+        std::process::exit(2);
+    }
+    if from_snapshot && replay_from.is_none() {
+        eprintln!("--from-snapshot only modifies --replay-from");
+        std::process::exit(2);
+    }
     Opts {
         quick,
         which,
         trace_out,
         metrics_out,
         report_out,
+        journal_out,
+        replay_from,
+        from_snapshot,
+        bisect,
+    }
+}
+
+/// Build the report run's journal mode from the parsed flags.
+fn journal_mode(opts: &Opts) -> run_report::ReportJournal {
+    if let Some(path) = &opts.journal_out {
+        let sink = FileSink::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        run_report::ReportJournal::Record {
+            sink: Box::new(sink),
+            snap_every: run_report::SNAP_EVERY,
+        }
+    } else if let Some(path) = &opts.replay_from {
+        let journal = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let start = if opts.from_snapshot {
+            ReplayStart::LatestSnapshot
+        } else {
+            ReplayStart::Origin
+        };
+        run_report::ReportJournal::Verify { journal, start }
+    } else {
+        run_report::ReportJournal::Off
+    }
+}
+
+/// `--bisect A B`: index both journals, binary-search to the first
+/// differing record, print the verdict with context windows. Exits 1 on
+/// unparseable input; an honest divergence is a successful answer and
+/// exits 0.
+fn run_bisect(path_a: &str, path_b: &str) {
+    let read = |path: &str| {
+        std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let (a, b) = (read(path_a), read(path_b));
+    match bisect(&a, &b) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("bisect failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -101,6 +212,10 @@ fn parse_args() -> Opts {
 /// trace/metrics export flags.
 pub fn main() {
     let opts = parse_args();
+    if let Some((a, b)) = &opts.bisect {
+        run_bisect(a, b);
+        return;
+    }
     let all = opts.which.iter().any(|w| w == "all");
     let want = |name: &str| all || opts.which.iter().any(|w| w == name);
     let scale = if opts.quick { 1 } else { 2 };
@@ -197,25 +312,60 @@ pub fn main() {
         };
         exp::e12_scalability::table(&exp::e12_scalability::run(points, seed)).print();
         println!();
-        if let Some(path) = &opts.report_out {
+        if opts.report_out.is_some() || opts.journal_out.is_some() || opts.replay_from.is_some() {
             // The instrumented re-run: one sweep point (system doubling
             // kept modest so the report stays readable) with profiler,
-            // SLO tracker, and span sink all on.
+            // SLO tracker, and span sink all on. The journal session —
+            // when requested — wraps this same run.
             let j = 2;
-            let report = run_report::generate(j, seed);
-            if let Err(e) = std::fs::write(path, report.to_json()) {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(1);
+            let mode = journal_mode(&opts);
+            let (report, outcome) = match run_report::generate_with_journal(j, seed, mode) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("journal error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if let Some((summary, divergence)) = &outcome {
+                if let Some(div) = divergence {
+                    eprintln!("replay diverged from the reference journal:\n{div}");
+                    std::process::exit(1);
+                }
+                if opts.journal_out.is_some() {
+                    eprintln!(
+                        "recorded {} journal records ({} bytes, {} snapshots) to {}",
+                        summary.records,
+                        summary.bytes,
+                        summary.snapshots,
+                        opts.journal_out.as_deref().unwrap_or("-"),
+                    );
+                } else {
+                    eprintln!(
+                        "replay verified: {} of {} records byte-identical ({} skipped \
+                         via snapshot fast path)",
+                        summary.verified, summary.records, summary.skipped
+                    );
+                }
             }
-            let text_path = format!("{path}.txt");
-            if let Err(e) = std::fs::write(&text_path, report.render_text()) {
-                eprintln!("cannot write {text_path}: {e}");
-                std::process::exit(1);
+            if let Some(path) = &opts.report_out {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                let text_path = format!("{path}.txt");
+                if let Err(e) = std::fs::write(&text_path, report.render_text()) {
+                    eprintln!("cannot write {text_path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote run report to {path} (text digest: {text_path})");
             }
-            eprintln!("wrote run report to {path} (text digest: {text_path})");
         }
-    } else if opts.report_out.is_some() {
-        eprintln!("--report-out exports the instrumented E12 run; include e12 (or all)");
+    } else if opts.report_out.is_some() || opts.journal_out.is_some() || opts.replay_from.is_some()
+    {
+        eprintln!(
+            "--report-out/--journal-out/--replay-from export the instrumented E12 run; \
+             include e12 (or all)"
+        );
         std::process::exit(2);
     }
     if want("e13") {

@@ -58,10 +58,12 @@ pub fn run_clients(sys: &mut LegionSystem, clients: &[EndpointId]) -> ClientRepo
         guard += 1;
         if guard >= 1000 {
             // Post-mortem: the recorder tail shows what the kernel was
-            // doing when the workload stalled.
+            // doing when the workload stalled (plus, when a journal
+            // session is live, the journal position and nearest
+            // snapshot to replay from).
             eprintln!(
                 "{}",
-                sys.kernel.flight().dump("workload did not converge", 32)
+                sys.kernel.flight_dump("workload did not converge", 32)
             );
             panic!("workload did not converge");
         }

@@ -39,6 +39,7 @@ use legion_core::env::InvocationEnv;
 use legion_core::loid::Loid;
 use legion_core::object::methods as obj_m;
 use legion_core::time::SimTime;
+use legion_journal::{MemSink, ReplayStart};
 use legion_naming::protocol::GET_BINDING;
 use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint, SimKernel};
@@ -71,14 +72,31 @@ fn chaos_ha() -> HaConfig {
     }
 }
 
-/// The campaign's schedule envelope.
-fn bounds() -> ScheduleBounds {
+/// The campaign's schedule envelope (public so golden/replay tests can
+/// regenerate the exact schedules the campaign runs).
+pub fn campaign_bounds() -> ScheduleBounds {
     ScheduleBounds {
         jurisdictions: 2,
         hosts: 4,
         horizon_ns: FAULT_HORIZON_NS,
         ..ScheduleBounds::default()
     }
+}
+
+/// Snapshot cadence for journaled chaos runs: frequent enough that a
+/// reproducer replays from deep inside the run, rare enough to stay
+/// cheap against the tens of thousands of events a run processes.
+const CHAOS_SNAP_EVERY: u64 = 1024;
+
+/// How a chaos run interacts with the kernel journal.
+enum JournalMode<'a> {
+    /// No journal session (the classic path).
+    Plain,
+    /// Record every kernel ingress; return the journal bytes.
+    Record,
+    /// Verified re-execution against a recorded journal, fast-forwarded
+    /// through the latest snapshot's root check.
+    Verify(&'a [u8]),
 }
 
 /// Per-run accounting the campaign table aggregates (keyed by the
@@ -156,6 +174,24 @@ impl SimChaosTarget {
 
 impl ChaosTarget for SimChaosTarget {
     fn run(&mut self, schedule: &ChaosSchedule) -> RunOutcome {
+        self.run_mode(schedule, JournalMode::Plain).0
+    }
+
+    fn run_recorded(&mut self, schedule: &ChaosSchedule) -> (RunOutcome, Option<Vec<u8>>) {
+        self.run_mode(schedule, JournalMode::Record)
+    }
+
+    fn run_replayed(&mut self, schedule: &ChaosSchedule, journal: &[u8]) -> RunOutcome {
+        self.run_mode(schedule, JournalMode::Verify(journal)).0
+    }
+}
+
+impl SimChaosTarget {
+    fn run_mode(
+        &mut self,
+        schedule: &ChaosSchedule,
+        mode: JournalMode<'_>,
+    ) -> (RunOutcome, Option<Vec<u8>>) {
         let cfg = SystemConfig {
             jurisdictions: 2,
             hosts_per_jurisdiction: 2,
@@ -169,6 +205,25 @@ impl ChaosTarget for SimChaosTarget {
         };
         let mut sys = LegionSystem::build(cfg);
         sys.kernel.reset_metrics();
+        // The journal session starts here — after the (identical,
+        // fault-free) build and the metrics reset that zeroes the event
+        // counter, so record and replay hit the same snapshot cadence —
+        // and before any fault is armed.
+        let sink = match &mode {
+            JournalMode::Plain => None,
+            JournalMode::Record => {
+                let sink = MemSink::new();
+                sys.kernel
+                    .enable_journal_record(Box::new(sink.clone()), CHAOS_SNAP_EVERY);
+                Some(sink)
+            }
+            JournalMode::Verify(journal) => {
+                sys.kernel
+                    .enable_journal_verify(journal.to_vec(), ReplayStart::LatestSnapshot)
+                    .expect("reference journal must parse");
+                None
+            }
+        };
         let t0 = sys.kernel.now().0;
 
         // The schedule's windows are relative to the workload start:
@@ -328,13 +383,26 @@ impl ChaosTarget for SimChaosTarget {
         );
         if !violations.is_empty() {
             // Post-mortem context for the failed invariant: the last
-            // kernel events leading up to the verdict.
-            eprintln!(
-                "{}",
-                sys.kernel.flight().dump("chaos invariant violated", 64)
-            );
+            // kernel events leading up to the verdict, stamped with the
+            // journal seq and nearest snapshot when a session is live.
+            eprintln!("{}", sys.kernel.flight_dump("chaos invariant violated", 64));
         }
-        RunOutcome { violations, digest }
+        let journal = match mode {
+            JournalMode::Plain => None,
+            JournalMode::Record => {
+                sys.kernel.finish_journal().expect("journal sink failed");
+                sink.map(|s| s.contents())
+            }
+            JournalMode::Verify(_) => {
+                let (_, divergence) = sys.kernel.finish_journal().expect("verify session");
+                if let Some(div) = divergence {
+                    eprintln!("{}", sys.kernel.flight_dump("chaos replay diverged", 64));
+                    panic!("chaos replay diverged from its recording for {schedule}:\n{div}");
+                }
+                None
+            }
+        };
+        (RunOutcome { violations, digest }, journal)
     }
 }
 
@@ -469,7 +537,7 @@ pub struct ShrinkRow {
 pub fn run(scale: u32, base_seed: u64) -> (Vec<Row>, Vec<ShrinkRow>) {
     let seeds = if scale <= 1 { 12 } else { 50 };
     let mut target = SimChaosTarget::new(4);
-    let report = run_campaign(&mut target, base_seed, seeds, &bounds());
+    let report = run_campaign(&mut target, base_seed, seeds, &campaign_bounds());
     let rows = vec![campaign_row("hardened", &report, &target)];
 
     let demo_bounds = ScheduleBounds {
@@ -571,7 +639,7 @@ mod tests {
     #[test]
     fn adversarial_campaign_holds_every_invariant() {
         let mut target = SimChaosTarget::new(4);
-        let report = run_campaign(&mut target, 3, 6, &bounds());
+        let report = run_campaign(&mut target, 3, 6, &campaign_bounds());
         for s in &report.seeds {
             assert!(
                 s.violations.is_empty(),
@@ -587,10 +655,25 @@ mod tests {
         );
     }
 
+    /// The chaos target must actually journal its runs: the campaign's
+    /// reproducibility check is a *verified re-execution* (every kernel
+    /// ingress compared, snapshot roots proving mid-run state identity),
+    /// not just an outcome comparison.
+    #[test]
+    fn recorded_run_replays_from_latest_snapshot() {
+        let mut target = SimChaosTarget::new(2);
+        let schedule = ChaosSchedule::generate(5, &campaign_bounds());
+        let (outcome, journal) = target.run_recorded(&schedule);
+        let journal = journal.expect("SimChaosTarget records a journal");
+        assert!(!journal.is_empty());
+        let replay = target.run_replayed(&schedule, &journal);
+        assert_eq!(outcome, replay);
+    }
+
     #[test]
     fn campaign_is_bit_reproducible() {
-        let a = run_campaign(&mut SimChaosTarget::new(3), 11, 3, &bounds());
-        let b = run_campaign(&mut SimChaosTarget::new(3), 11, 3, &bounds());
+        let a = run_campaign(&mut SimChaosTarget::new(3), 11, 3, &campaign_bounds());
+        let b = run_campaign(&mut SimChaosTarget::new(3), 11, 3, &campaign_bounds());
         assert_eq!(a.campaign_digest(), b.campaign_digest());
         for (x, y) in a.seeds.iter().zip(b.seeds.iter()) {
             assert_eq!(x.digest, y.digest, "seed {} diverged", x.seed);

@@ -20,6 +20,7 @@ use crate::experiments::e12_scalability;
 use crate::obs_run::{TRACE_CAPACITY, WINDOW_NS};
 use crate::report::{ns, Table};
 use crate::workload::WorkloadConfig;
+use legion_journal::{Divergence, JournalError, JournalSink, JournalSummary, ReplayStart};
 use legion_net::metrics::MetricsSnapshot;
 use legion_net::sim::FlightEvent;
 use legion_obs::profile::{critical_path_profile, PathWeight, Profile};
@@ -29,6 +30,12 @@ use std::collections::BTreeMap;
 
 /// Flight-recorder events included in the report (the most recent N).
 pub const REPORT_TAIL: usize = 32;
+
+/// Snapshot cadence (in processed events) for `--journal-out` runs:
+/// frequent enough that `--from-snapshot` skips most of the warm-up,
+/// coarse enough that snapshot overhead stays invisible next to the
+/// workload.
+pub const SNAP_EVERY: u64 = 256;
 
 /// Rows in the hot-method table.
 pub const TOP_N: usize = 12;
@@ -74,6 +81,29 @@ pub struct RunReport {
     pub flight_total: u64,
 }
 
+/// How a report run interacts with the kernel's event journal.
+pub enum ReportJournal {
+    /// No journal session (the plain [`generate`] path).
+    Off,
+    /// Record every kernel ingress into `sink`, snapshotting every
+    /// `snap_every` processed events (`--journal-out`).
+    Record {
+        /// Where the journal bytes go.
+        sink: Box<dyn JournalSink>,
+        /// Snapshot cadence in processed events (0 = never).
+        snap_every: u64,
+    },
+    /// Verified re-execution against a recorded journal
+    /// (`--replay-from`): every kernel ingress is compared against the
+    /// reference record for record.
+    Verify {
+        /// The reference journal bytes.
+        journal: Vec<u8>,
+        /// Where verification begins (origin or a snapshot waypoint).
+        start: ReplayStart,
+    },
+}
+
 /// Run the E12 legion configuration at `jurisdictions` with every
 /// observability surface enabled and collect the unified report.
 ///
@@ -86,7 +116,41 @@ pub struct RunReport {
 /// perturb virtual time — the report profiles the same system the
 /// headline table reports on.
 pub fn generate(jurisdictions: u32, seed: u64) -> RunReport {
+    let (report, _) = generate_with_journal(jurisdictions, seed, ReportJournal::Off)
+        .expect("a journal-less report run cannot hit a journal error");
+    report
+}
+
+/// [`generate`] with a journal session around the whole run (warm-up
+/// included, so a recorded journal replays the run from its very first
+/// ingress).
+///
+/// Returns the report plus, for `Record`/`Verify` sessions, the journal
+/// summary and — in verify mode — the first divergence if the
+/// re-execution did not match the reference. Callers decide how loud to
+/// be about a divergence; the report itself is still returned so the
+/// two documents can be diffed.
+///
+/// # Errors
+///
+/// Propagates [`JournalError`] from an unparseable reference journal or
+/// a failing sink.
+#[allow(clippy::type_complexity)]
+pub fn generate_with_journal(
+    jurisdictions: u32,
+    seed: u64,
+    journal: ReportJournal,
+) -> Result<(RunReport, Option<(JournalSummary, Option<Divergence>)>), JournalError> {
     let (mut sys, clients) = e12_scalability::build(jurisdictions, seed);
+    match journal {
+        ReportJournal::Off => {}
+        ReportJournal::Record { sink, snap_every } => {
+            sys.kernel.enable_journal_record(sink, snap_every);
+        }
+        ReportJournal::Verify { journal, start } => {
+            sys.kernel.enable_journal_verify(journal, start)?;
+        }
+    }
     sys.kernel.enable_profiling();
     sys.kernel.enable_slo(report_slo_config());
     let wl = WorkloadConfig {
@@ -102,7 +166,12 @@ pub fn generate(jurisdictions: u32, seed: u64) -> RunReport {
     let eps = attach_clients(&mut sys, clients, &wl, seed ^ 0x5555, None);
     run_clients(&mut sys, &eps);
     let events = sys.kernel.drain_trace();
-    RunReport {
+    let journal_outcome = if sys.kernel.journal_enabled() {
+        Some(sys.kernel.finish_journal()?)
+    } else {
+        None
+    };
+    let report = RunReport {
         experiment: "e12",
         seed,
         jurisdictions,
@@ -112,7 +181,8 @@ pub fn generate(jurisdictions: u32, seed: u64) -> RunReport {
         slo: sys.kernel.slo_report().expect("slo tracking was enabled"),
         flight_tail: sys.kernel.flight().tail(REPORT_TAIL),
         flight_total: sys.kernel.flight().total(),
-    }
+    };
+    Ok((report, journal_outcome))
 }
 
 impl RunReport {
@@ -303,5 +373,57 @@ mod tests {
         let b = generate(1, 44);
         assert_eq!(a.to_json(), b.to_json());
         assert_eq!(a.render_text(), b.render_text());
+    }
+
+    #[test]
+    fn journaled_report_replays_byte_identical() {
+        use legion_journal::MemSink;
+        let sink = MemSink::new();
+        let (live, outcome) = generate_with_journal(
+            1,
+            55,
+            ReportJournal::Record {
+                sink: Box::new(sink.clone()),
+                snap_every: SNAP_EVERY,
+            },
+        )
+        .expect("record session");
+        let (summary, divergence) = outcome.expect("record mode yields a summary");
+        assert!(divergence.is_none());
+        assert!(summary.records > 0);
+        assert!(summary.snapshots > 0, "run too short to snapshot at 256");
+        let journal = sink.contents();
+
+        // Full verified re-execution from the origin.
+        let (replay, outcome) = generate_with_journal(
+            1,
+            55,
+            ReportJournal::Verify {
+                journal: journal.clone(),
+                start: ReplayStart::Origin,
+            },
+        )
+        .expect("verify session");
+        let (vsum, vdiv) = outcome.expect("verify mode yields a summary");
+        assert!(vdiv.is_none(), "replay diverged: {vdiv:?}");
+        assert_eq!(vsum.verified, vsum.records);
+        assert_eq!(live.to_json(), replay.to_json());
+        assert_eq!(live.render_text(), replay.render_text());
+
+        // Time travel: skip to the last snapshot, verify only the tail —
+        // the report must still come out byte-identical.
+        let (replay, outcome) = generate_with_journal(
+            1,
+            55,
+            ReportJournal::Verify {
+                journal,
+                start: ReplayStart::LatestSnapshot,
+            },
+        )
+        .expect("snapshot verify session");
+        let (ssum, sdiv) = outcome.expect("verify mode yields a summary");
+        assert!(sdiv.is_none(), "snapshot replay diverged: {sdiv:?}");
+        assert!(ssum.skipped > 0, "latest-snapshot start skipped nothing");
+        assert_eq!(live.to_json(), replay.to_json());
     }
 }

@@ -14,8 +14,10 @@
 //! assert_eq!(model.graph().class_of(&instance), Some(my_class));
 //! ```
 
+pub use legion_chaos as chaos;
 pub use legion_core as core;
 pub use legion_ha as ha;
+pub use legion_journal as journal;
 pub use legion_naming as naming;
 pub use legion_net as net;
 pub use legion_obs as obs;

@@ -127,6 +127,77 @@ fn e12_run_report_matches_golden() {
     check("e12_report.txt.golden", &text);
 }
 
+/// The time-travel acceptance criterion, E12 side: the instrumented run
+/// records an event journal (with content-addressed snapshots every
+/// [`run_report::SNAP_EVERY`](legion::sim::run_report::SNAP_EVERY)
+/// events), then replays as a verified re-execution — once from the
+/// origin, once from the last mid-run snapshot waypoint — and both
+/// replays must reproduce the live run's report byte-for-byte.
+#[test]
+fn e12_report_replays_byte_identical_from_journal_and_snapshot() {
+    use legion::journal::{MemSink, ReplayStart};
+    use legion::sim::run_report::{generate_with_journal, ReportJournal, SNAP_EVERY};
+    let sink = MemSink::new();
+    let (live, outcome) = generate_with_journal(
+        2,
+        SEED,
+        ReportJournal::Record {
+            sink: Box::new(sink.clone()),
+            snap_every: SNAP_EVERY,
+        },
+    )
+    .expect("record session");
+    let (summary, _) = outcome.expect("record summary");
+    assert!(summary.snapshots > 0, "run too short to snapshot");
+    let journal = sink.contents();
+    for start in [ReplayStart::Origin, ReplayStart::LatestSnapshot] {
+        let from_snapshot = matches!(start, ReplayStart::LatestSnapshot);
+        let (replay, outcome) = generate_with_journal(
+            2,
+            SEED,
+            ReportJournal::Verify {
+                journal: journal.clone(),
+                start,
+            },
+        )
+        .expect("verify session");
+        let (summary, divergence) = outcome.expect("verify summary");
+        assert!(divergence.is_none(), "replay diverged: {divergence:?}");
+        if from_snapshot {
+            assert!(summary.skipped > 0, "snapshot start skipped nothing");
+        } else {
+            assert_eq!(summary.verified, summary.records);
+        }
+        assert_eq!(
+            live.to_json(),
+            replay.to_json(),
+            "replayed report JSON differs (from_snapshot: {from_snapshot})"
+        );
+        assert_eq!(
+            live.render_text(),
+            replay.render_text(),
+            "replayed report text differs (from_snapshot: {from_snapshot})"
+        );
+    }
+}
+
+/// The time-travel acceptance criterion, E16 side: a chaos run under a
+/// generated fault schedule records its journal, then replays from the
+/// latest snapshot; `run_replayed` panics internally on any divergence,
+/// and the outcome (violations + state digest) must come out identical.
+#[test]
+fn e16_chaos_run_replays_byte_identical() {
+    use legion::chaos::{campaign::ChaosTarget, ChaosSchedule};
+    use legion::sim::experiments::e16_chaos::{campaign_bounds, SimChaosTarget};
+    let mut target = SimChaosTarget::new(2);
+    let schedule = ChaosSchedule::generate(SEED, &campaign_bounds());
+    let (live, journal) = target.run_recorded(&schedule);
+    let journal = journal.expect("SimChaosTarget records a journal");
+    assert!(!journal.is_empty());
+    let replay = target.run_replayed(&schedule, &journal);
+    assert_eq!(live, replay, "chaos replay outcome differs");
+}
+
 #[test]
 fn e15_transcript_matches_golden() {
     let table = exp::e15_crash_recovery::table(&exp::e15_crash_recovery::run(SCALE, SEED));

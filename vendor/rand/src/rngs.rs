@@ -24,6 +24,11 @@ impl Xoshiro256 {
         }
     }
 
+    /// The raw 256-bit generator state (for snapshotting).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     fn next(&mut self) -> u64 {
         let result = self.s[0]
             .wrapping_add(self.s[3])
@@ -55,6 +60,13 @@ macro_rules! wrapper_rng {
         impl RngCore for $name {
             fn next_u64(&mut self) -> u64 {
                 self.0.next()
+            }
+        }
+
+        impl $name {
+            /// The raw 256-bit generator state (for snapshotting).
+            pub fn state(&self) -> [u64; 4] {
+                self.0.state()
             }
         }
     };
