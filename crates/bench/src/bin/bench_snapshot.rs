@@ -57,6 +57,30 @@ fn round2(x: f64) -> f64 {
     (x * 100.0).round() / 100.0
 }
 
+/// The E17 kernel-scale campaign row (full million-LOID point, or the
+/// `LEGION_E17_QUICK` variant — `loids` records which).
+fn e17_value(r: &measure::E17Row) -> Value {
+    Value::Object(vec![
+        ("loids".into(), Value::U64(r.loids)),
+        ("agents".into(), Value::U64(r.agents as u64)),
+        ("clients".into(), Value::U64(r.clients as u64)),
+        ("lookups".into(), Value::U64(r.lookups)),
+        ("messages".into(), Value::U64(r.messages)),
+        ("events".into(), Value::U64(r.events)),
+        ("queue_peak".into(), Value::U64(r.queue_peak as u64)),
+        (
+            "allocs_per_message".into(),
+            Value::F64(round2(r.allocs_per_message)),
+        ),
+        (
+            "messages_per_sec".into(),
+            Value::F64(r.messages_per_sec.round()),
+        ),
+        ("binds_per_sec".into(), Value::F64(r.binds_per_sec.round())),
+        ("ns_per_event".into(), Value::F64(r.ns_per_event.round())),
+    ])
+}
+
 /// Parse `bench <label> <ns> ns/iter` lines from a `cargo bench` log.
 fn parse_criterion_log(text: &str) -> Vec<(String, u64)> {
     let mut out = Vec::new();
@@ -134,6 +158,7 @@ fn run_measurement(
     measure::SteadyStats,
     measure::SteadyStats,
     Vec<measure::SteadyStats>,
+    measure::E17Row,
 ) {
     assert!(
         alloc_counter::is_counting(),
@@ -145,13 +170,15 @@ fn run_measurement(
         .iter()
         .map(|&j| measure::e12_steady_state(j, measure::SNAPSHOT_SEED))
         .collect();
-    (headline, journaled, sweep)
+    let e17 = measure::e17_scale(measure::SNAPSHOT_SEED);
+    (headline, journaled, sweep, e17)
 }
 
 fn measurement_value(
     headline: &measure::SteadyStats,
     journaled: &measure::SteadyStats,
     sweep: &[measure::SteadyStats],
+    e17: &measure::E17Row,
 ) -> Value {
     Value::Object(vec![
         ("e12_steady".into(), steady_value(headline)),
@@ -160,6 +187,7 @@ fn measurement_value(
             "e12_sweep".into(),
             Value::Array(sweep.iter().map(steady_value).collect()),
         ),
+        ("e17_scale".into(), e17_value(e17)),
     ])
 }
 
@@ -192,16 +220,18 @@ fn main() -> ExitCode {
         .unwrap_or_default();
     match args.cmd.as_str() {
         "measure" => {
-            let (headline, journaled, sweep) = run_measurement(&args.sweep);
+            let (headline, journaled, sweep, e17) = run_measurement(&args.sweep);
             println!(
                 "{}",
-                serde::json::to_string_pretty(&measurement_value(&headline, &journaled, &sweep))
+                serde::json::to_string_pretty(&measurement_value(
+                    &headline, &journaled, &sweep, &e17
+                ))
             );
             ExitCode::SUCCESS
         }
         "emit" => {
             let out = args.out.as_deref().expect("emit needs --out");
-            let (headline, journaled, sweep) = run_measurement(&args.sweep);
+            let (headline, journaled, sweep, e17) = run_measurement(&args.sweep);
             let mut doc = vec![
                 ("schema".into(), Value::Str("legion-bench-core/v1".into())),
                 ("mode".into(), Value::Str(args.mode.clone())),
@@ -213,7 +243,7 @@ fn main() -> ExitCode {
             }
             doc.push((
                 "post".into(),
-                measurement_value(&headline, &journaled, &sweep),
+                measurement_value(&headline, &journaled, &sweep, &e17),
             ));
             doc.push(("benches".into(), benches_value(&criterion)));
             let text = serde::json::to_string_pretty(&Value::Object(doc));
@@ -228,7 +258,7 @@ fn main() -> ExitCode {
         "check" => {
             let against = args.against.as_deref().expect("check needs --against");
             let committed = load_json(against).expect("load committed snapshot");
-            let (headline, journaled, _) = run_measurement(&[]);
+            let (headline, journaled, _, e17) = run_measurement(&[]);
             let mut failed = false;
             // Allocations per message are deterministic per seed: gate at
             // +5%.
@@ -256,6 +286,50 @@ fn main() -> ExitCode {
                 failed |= !japm_ok;
             } else {
                 println!("allocs/msg (journaled): not in committed snapshot (not gated)");
+            }
+            // E17: the same +5% allocs/message discipline — but only when
+            // this run's campaign size matches the committed one (the CI
+            // bench-smoke job measures the `LEGION_E17_QUICK` variant
+            // while the snapshot commits the full million-LOID point, and
+            // the two have different per-message profiles).
+            let committed_e17_loids = f64_at(&committed, &["post", "e17_scale", "loids"]);
+            match (
+                committed_e17_loids,
+                f64_at(&committed, &["post", "e17_scale", "allocs_per_message"]),
+            ) {
+                (Some(loids), Some(committed_apm)) if loids == e17.loids as f64 => {
+                    let apm = e17.allocs_per_message;
+                    let ok = apm <= committed_apm * 1.05;
+                    println!(
+                        "allocs/msg (e17, {} loids): committed {committed_apm:.2}, now {apm:.2} {}",
+                        e17.loids,
+                        if ok { "(ok)" } else { "REGRESSED >5%" }
+                    );
+                    failed |= !ok;
+                }
+                (Some(loids), Some(_)) => println!(
+                    "allocs/msg (e17): committed point has {loids:.0} loids, this run {} \
+                     (config mismatch, not gated)",
+                    e17.loids
+                ),
+                _ => println!("allocs/msg (e17): not in committed snapshot (not gated)"),
+            }
+            // The E17 scale bar: the million-LOID campaign must sustain
+            // ≥2x the pre-overhaul e12 steady-state message rate (the
+            // frozen `pre` block). Wall-clock, so reported loudly rather
+            // than hard-gated — but a shortfall on the full campaign is
+            // called out.
+            if e17.loids >= 1_000_000 {
+                if let Some(pre_mps) =
+                    f64_at(&committed, &["pre", "e12_steady", "messages_per_sec"])
+                {
+                    let ratio = e17.messages_per_sec / pre_mps.max(1.0);
+                    println!(
+                        "e17 msgs/sec: {:.0} = {ratio:.2}x the pre-overhaul e12 baseline {pre_mps:.0} {}",
+                        e17.messages_per_sec,
+                        if ratio >= 2.0 { "(>=2x ok)" } else { "BELOW 2x (wall-clock, not gated)" }
+                    );
+                }
             }
             // Criterion medians are wall-clock, and the whole machine
             // drifts between runs (load, throttling) — so gate each

@@ -132,6 +132,23 @@ pub fn e12_steady_state_journal_only(jurisdictions: u32, seed: u64) -> SteadySta
     e12_steady_state_inner(jurisdictions, seed, MeasureMode::JournalOnly)
 }
 
+/// The E17 campaign row, re-exported for the snapshot pipeline.
+pub use legion_sim::experiments::e17_scale::Row as E17Row;
+
+/// Run the E17 kernel-scale campaign: the full million-LOID point, or —
+/// when `LEGION_E17_QUICK` is set (the CI bench-smoke job) — the
+/// scaled-down 10k-LOID variant that walks the same layers. Under this
+/// crate's counting allocator the row's `allocs_per_message` is real
+/// (and deterministic per seed, so the snapshot check gates it).
+pub fn e17_scale(seed: u64) -> E17Row {
+    use legion_sim::experiments::e17_scale as e17;
+    if std::env::var_os("LEGION_E17_QUICK").is_some() {
+        e17::quick_campaign(seed)
+    } else {
+        e17::campaign(1_000_000, TreeShape::new(8, 585), 64, 500, seed)
+    }
+}
+
 fn e12_steady_state_inner(jurisdictions: u32, seed: u64, mode: MeasureMode) -> SteadyStats {
     let (mut sys, clients) = build_e12_system(jurisdictions, seed);
     match mode {

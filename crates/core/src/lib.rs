@@ -38,6 +38,7 @@ pub mod context;
 pub mod dispatch;
 pub mod env;
 pub mod error;
+pub mod fxmap;
 pub mod idl;
 pub mod inherit;
 pub mod interface;

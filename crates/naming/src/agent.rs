@@ -32,18 +32,18 @@ use crate::protocol::{
 use legion_core::address::ObjectAddressElement;
 use legion_core::binding::Binding;
 use legion_core::env::InvocationEnv;
+use legion_core::fxmap::FxHashMap;
 use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::symbol::Sym;
 use legion_core::value::LegionValue;
 use legion_core::wellknown::{is_core_class, LEGION_CLASS};
 use legion_net::dispatch::{
-    cont, insert_pending, is_timeout, reply_id, reply_result, serve, sweep_expired, Continuation,
-    Continuations, MethodTable, Outcome, TableBuilder,
+    cont, insert_pending, is_timeout, reply_id, serve, sweep_expired, take_reply_result,
+    Continuation, Continuations, MethodTable, Outcome, TableBuilder,
 };
 use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint};
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Configuration of one Binding Agent.
@@ -111,8 +111,8 @@ struct Inflight {
 pub struct BindingAgentEndpoint {
     cfg: AgentConfig,
     cache: BindingCache,
-    waiting: HashMap<Loid, Vec<Waiter>>,
-    inflight: HashMap<Loid, Inflight>,
+    waiting: FxHashMap<Loid, Vec<Waiter>>,
+    inflight: FxHashMap<Loid, Inflight>,
     continuations: Continuations<Self>,
     table: Rc<MethodTable<Self>>,
 }
@@ -125,8 +125,8 @@ impl BindingAgentEndpoint {
         BindingAgentEndpoint {
             cfg,
             cache,
-            waiting: HashMap::new(),
-            inflight: HashMap::new(),
+            waiting: FxHashMap::default(),
+            inflight: FxHashMap::default(),
             continuations: Continuations::new(),
             table,
         }
@@ -209,12 +209,15 @@ impl BindingAgentEndpoint {
         stale: Option<Binding>,
     ) -> Outcome {
         if !force_fresh && self.cfg.cache_enabled {
-            if let Some(b) = self.cache.get(&target, ctx.now()) {
+            // `get_ref` + `binding_value`: a cache hit copies the binding
+            // into a recycled shell instead of boxing a fresh clone.
+            if let Some(b) = self.cache.get_ref(&target, ctx.now()) {
                 ctx.count("ba.cache_hit");
                 if ctx.trace_active() {
                     ctx.trace_note(&format!("ba.cache_hit:{target}"));
                 }
-                return Outcome::Reply(Ok(LegionValue::from(b)));
+                let value = ctx.binding_value(b);
+                return Outcome::Reply(Ok(value));
             }
         }
         ctx.count("ba.cache_miss");
@@ -320,12 +323,14 @@ impl BindingAgentEndpoint {
         if !force_fresh && target.is_class() {
             if let Some(parent) = self.cfg.parent {
                 ctx.count("ba.to_parent");
+                let mut args = ctx.take_args();
+                args.push(LegionValue::Loid(target));
                 if self.send_pending(
                     ctx,
                     parent,
                     LEGION_CLASS, // nominal target loid of the call frame
                     GET_BINDING,
-                    vec![LegionValue::Loid(target)],
+                    args,
                     Self::binding_continuation(target),
                 ) {
                     return;
@@ -345,12 +350,14 @@ impl BindingAgentEndpoint {
             // appropriate binding".
             ctx.count("ba.to_legion_class");
             let lc = self.cfg.legion_class;
+            let mut args = ctx.take_args();
+            args.push(LegionValue::Loid(target));
             if !self.send_pending(
                 ctx,
                 lc,
                 LEGION_CLASS,
                 GET_BINDING,
-                vec![LegionValue::Loid(target)],
+                args,
                 Self::binding_continuation(target),
             ) {
                 self.complete(ctx, target, Err("LegionClass unreachable".into()));
@@ -360,12 +367,14 @@ impl BindingAgentEndpoint {
             // that class.
             ctx.count("ba.to_legion_class");
             let lc = self.cfg.legion_class;
+            let mut args = ctx.take_args();
+            args.push(LegionValue::Loid(target));
             if !self.send_pending(
                 ctx,
                 lc,
                 LEGION_CLASS,
                 FIND_RESPONSIBLE,
-                vec![LegionValue::Loid(target)],
+                args,
                 Self::responsible_continuation(target),
             ) {
                 self.complete(ctx, target, Err("LegionClass unreachable".into()));
@@ -424,12 +433,14 @@ impl BindingAgentEndpoint {
             }
             _ => LegionValue::Loid(next_target),
         };
+        let mut args = ctx.take_args();
+        args.push(arg);
         if !self.send_pending(
             ctx,
             primary,
             class_binding.loid,
             GET_BINDING,
-            vec![arg],
+            args,
             Self::binding_continuation(next_target),
         ) {
             // The class endpoint itself is unreachable — its cached
@@ -497,10 +508,10 @@ impl BindingAgentEndpoint {
         for w in waiters {
             match w {
                 Waiter::External(msg) => {
-                    let payload = result
-                        .clone()
-                        .map(LegionValue::from)
-                        .map_err(|e| format!("GetBinding({target}): {e}"));
+                    let payload = match &result {
+                        Ok(b) => Ok(ctx.binding_value(b)),
+                        Err(e) => Err(format!("GetBinding({target}): {e}")),
+                    };
                     ctx.reply(&msg, payload);
                 }
                 Waiter::Chained { next_target } => match &result {
@@ -522,7 +533,7 @@ impl Endpoint for BindingAgentEndpoint {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         if let Some(id) = reply_id(&msg) {
             match self.continuations.take(&id) {
-                Some(resume) => resume(self, ctx, reply_result(&msg)),
+                Some(resume) => resume(self, ctx, take_reply_result(msg)),
                 None => ctx.count("ba.late_reply"),
             }
             return;
@@ -531,7 +542,7 @@ impl Endpoint for BindingAgentEndpoint {
             return;
         }
         let table = Rc::clone(&self.table);
-        serve(&table, self, ctx, &msg);
+        serve(&table, self, ctx, msg);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {

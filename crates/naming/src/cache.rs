@@ -11,9 +11,9 @@
 //! caches in the scalability experiments.
 
 use legion_core::binding::Binding;
+use legion_core::fxmap::FxHashMap;
 use legion_core::loid::Loid;
 use legion_core::time::SimTime;
-use std::collections::HashMap;
 
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -70,7 +70,7 @@ struct Node {
 /// assert_eq!(cache.stats().hits, 1);
 /// ```
 pub struct BindingCache {
-    map: HashMap<Loid, usize>,
+    map: FxHashMap<Loid, usize>,
     nodes: Vec<Node>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -84,7 +84,7 @@ impl BindingCache {
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         BindingCache {
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: FxHashMap::with_capacity_and_hasher(capacity.min(1 << 20), Default::default()),
             nodes: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -177,9 +177,47 @@ impl BindingCache {
         Some(self.nodes[idx].binding.clone())
     }
 
+    /// [`BindingCache::get`] without the clone: same LRU refresh and
+    /// stats, but hands back a borrow. The §5.2 hot path pairs this with
+    /// `Ctx::binding_value` so a cache hit copies into a recycled shell
+    /// instead of allocating a fresh one.
+    pub fn get_ref(&mut self, loid: &Loid, now: SimTime) -> Option<&Binding> {
+        let Some(&idx) = self.map.get(loid) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        if !self.nodes[idx].binding.is_valid_at(now) {
+            self.stats.expired += 1;
+            self.remove_node(idx);
+            return None;
+        }
+        self.stats.hits += 1;
+        self.detach(idx);
+        self.push_front(idx);
+        Some(&self.nodes[idx].binding)
+    }
+
     /// Peek without touching LRU order or stats (for tests/inspection).
     pub fn peek(&self, loid: &Loid) -> Option<&Binding> {
         self.map.get(loid).map(|&idx| &self.nodes[idx].binding)
+    }
+
+    /// [`BindingCache::insert`] from a borrow. Replacing an existing
+    /// entry copies field-wise into the resident node (reusing its
+    /// element buffer — allocation-free on the steady refresh path);
+    /// only a genuinely new entry clones.
+    pub fn insert_ref(&mut self, binding: &Binding) {
+        if let Some(&idx) = self.map.get(&binding.loid) {
+            let node = &mut self.nodes[idx].binding;
+            node.loid = binding.loid;
+            node.expiry = binding.expiry;
+            node.address.semantics = binding.address.semantics;
+            node.address.elements.clone_from(&binding.address.elements);
+            self.detach(idx);
+            self.push_front(idx);
+            return;
+        }
+        self.insert(binding.clone());
     }
 
     /// Insert or replace a binding (`AddBinding`). Evicts the LRU entry

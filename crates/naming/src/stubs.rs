@@ -10,6 +10,7 @@
 
 use crate::protocol::{BindingArg, FIND_RESPONSIBLE, GET_BINDING};
 use legion_core::binding::Binding;
+use legion_core::fxmap::FxHashMap;
 use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::value::LegionValue;
@@ -17,7 +18,6 @@ use legion_core::wellknown::{is_core_class, LEGION_CLASS};
 use legion_net::dispatch::{serve, MethodTable, Outcome, TableBuilder};
 use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint};
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A class endpoint that answers `GetBinding` from a fixed table.
@@ -25,7 +25,7 @@ pub struct StaticClassEndpoint {
     /// The class object's own LOID.
     pub loid: Loid,
     /// The (frozen) logical-table view: object → binding.
-    pub table: HashMap<Loid, Binding>,
+    pub table: FxHashMap<Loid, Binding>,
     /// `GetBinding` requests served (per-component load, §5.2).
     pub requests: u64,
     dispatch: Rc<MethodTable<Self>>,
@@ -36,7 +36,7 @@ impl StaticClassEndpoint {
     pub fn new(loid: Loid) -> Self {
         StaticClassEndpoint {
             loid,
-            table: HashMap::new(),
+            table: FxHashMap::default(),
             requests: 0,
             dispatch: Self::dispatch_table(loid),
         }
@@ -59,7 +59,7 @@ impl StaticClassEndpoint {
                     e.requests += 1;
                     ctx.count("class.get_binding");
                     Outcome::Reply(match e.table.get(&arg.loid()) {
-                        Some(b) => Ok(LegionValue::from(b.clone())),
+                        Some(b) => Ok(ctx.binding_value(b)),
                         None => Err(format!("{}: unknown object {}", e.loid, arg.loid())),
                     })
                 },
@@ -74,7 +74,7 @@ impl Endpoint for StaticClassEndpoint {
             return;
         }
         let table = Rc::clone(&self.dispatch);
-        serve(&table, self, ctx, &msg);
+        serve(&table, self, ctx, msg);
     }
 }
 
@@ -82,10 +82,10 @@ impl Endpoint for StaticClassEndpoint {
 /// (for core classes and chain ends) from fixed tables.
 pub struct StaticLegionClassEndpoint {
     /// created-class → creating-class responsibility pairs (§4.1.3).
-    pub responsible: HashMap<Loid, Loid>,
+    pub responsible: FxHashMap<Loid, Loid>,
     /// Bindings LegionClass itself maintains (core classes, and any class
     /// whose chain ends here).
-    pub class_bindings: HashMap<Loid, Binding>,
+    pub class_bindings: FxHashMap<Loid, Binding>,
     /// `FindResponsible` requests served.
     pub find_requests: u64,
     /// `GetBinding` requests served.
@@ -103,8 +103,8 @@ impl StaticLegionClassEndpoint {
     /// Empty tables.
     pub fn new() -> Self {
         StaticLegionClassEndpoint {
-            responsible: HashMap::new(),
-            class_bindings: HashMap::new(),
+            responsible: FxHashMap::default(),
+            class_bindings: FxHashMap::default(),
             find_requests: 0,
             binding_requests: 0,
             dispatch: Self::dispatch_table(),
@@ -160,7 +160,7 @@ impl StaticLegionClassEndpoint {
                     ctx.count("legion_class.get_binding");
                     let l = arg.loid();
                     Outcome::Reply(match e.class_bindings.get(&l) {
-                        Some(b) => Ok(LegionValue::from(b.clone())),
+                        Some(b) => Ok(ctx.binding_value(b)),
                         None => Err(format!("LegionClass has no binding for {l}")),
                     })
                 },
@@ -175,6 +175,6 @@ impl Endpoint for StaticLegionClassEndpoint {
             return;
         }
         let table = Rc::clone(&self.dispatch);
-        serve(&table, self, ctx, &msg);
+        serve(&table, self, ctx, msg);
     }
 }

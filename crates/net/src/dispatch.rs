@@ -181,6 +181,17 @@ pub fn reply_result(msg: &Message) -> Result<LegionValue, String> {
     }
 }
 
+/// [`reply_result`] without the clone: consumes the message and moves the
+/// payload out. Continuation-resume paths use this so the reply value
+/// changes owners instead of being copied (and so the consumer can
+/// recycle its shell through [`Ctx::recycle_value`] when done).
+pub fn take_reply_result(msg: Message) -> Result<LegionValue, String> {
+    match msg.body {
+        Body::Reply { result, .. } => result,
+        Body::Call { .. } => Err("not a reply".into()),
+    }
+}
+
 /// A sealed per-endpoint method table: the model-layer registry plus the
 /// derived interface (rendered once) and the gate accessor.
 pub struct MethodTable<E> {
@@ -350,7 +361,23 @@ pub enum Served {
 ///
 /// Callers pass a *clone* of the endpoint's `Rc<MethodTable<_>>` so the
 /// handler can borrow the endpoint mutably while the table stays alive.
+///
+/// Takes the message by value: once dispatch is done the body's heap
+/// buffers (the call argument vector, an unclaimed reply's payload) go
+/// back to the kernel pool via [`Ctx::recycle_message`]. Handlers still
+/// see `&Message` — recycling happens strictly after the handler returns.
 pub fn serve<E>(
+    table: &MethodTable<E>,
+    endpoint: &mut E,
+    ctx: &mut Ctx<'_>,
+    msg: Message,
+) -> Served {
+    let served = serve_ref(table, endpoint, ctx, &msg);
+    ctx.recycle_message(msg);
+    served
+}
+
+fn serve_ref<E>(
     table: &MethodTable<E>,
     endpoint: &mut E,
     ctx: &mut Ctx<'_>,

@@ -24,9 +24,11 @@
 #![forbid(unsafe_code)]
 
 pub mod dispatch;
+pub mod equeue;
 pub mod faults;
 pub mod message;
 pub mod metrics;
+pub mod pool;
 pub mod sim;
 pub mod topology;
 

@@ -18,11 +18,14 @@
 //! (connection refused) — this is the §4.1.4 signal that a cached binding
 //! has gone stale. Random drops and partitions are *silent*.
 
+use crate::equeue::EventQueue;
 use crate::faults::{DedupState, FaultPlan, Verdict};
 use crate::message::{Body, CallId, Message};
 use crate::metrics::{Counters, EndpointMetrics, Histogram, MetricsSnapshot, WindowedCounters};
+use crate::pool::MessagePool;
 use crate::topology::{Location, Topology};
 use legion_core::address::{AddressSemantics, ObjectAddress, ObjectAddressElement};
+use legion_core::binding::Binding;
 use legion_core::env::InvocationEnv;
 use legion_core::loid::Loid;
 use legion_core::symbol::{self, Sym};
@@ -43,8 +46,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 // Re-exported so endpoint crates can record flight events through
@@ -159,23 +161,6 @@ struct Event {
     kind: EventKind,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// Global kernel statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelStats {
@@ -197,7 +182,7 @@ struct Inner {
     now: SimTime,
     seq: u64,
     next_call: u64,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue<Event>,
     topology: Topology,
     faults: FaultPlan,
     rng: SmallRng,
@@ -229,6 +214,9 @@ struct Inner {
     /// The event journal: off (default), recording every kernel ingress,
     /// or verifying a re-execution against a reference journal.
     journal: KernelJournal,
+    /// Free lists for recycled message-body buffers (arg vectors,
+    /// binding shells) — see [`crate::pool`].
+    pool: MessagePool,
 }
 
 /// The outcome of sending through an [`ObjectAddress`].
@@ -262,7 +250,7 @@ impl SimKernel {
                 now: SimTime::ZERO,
                 seq: 0,
                 next_call: 1,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(),
                 topology,
                 faults,
                 rng: SmallRng::seed_from_u64(seed),
@@ -280,6 +268,7 @@ impl SimKernel {
                 slo: SloTracker::disabled(),
                 flight_dump_on_sweep: true,
                 journal: KernelJournal::default(),
+                pool: MessagePool::new(),
             },
         }
     }
@@ -312,7 +301,7 @@ impl SimKernel {
             ep,
         ));
         let seq = self.inner.bump_seq();
-        self.inner.queue.push(Reverse(Event {
+        self.inner.enqueue(Event {
             at: self.inner.now,
             seq,
             to: id,
@@ -320,7 +309,7 @@ impl SimKernel {
             dedup: None,
             lat_ns: 0,
             kind: EventKind::Start,
-        }));
+        });
         id
     }
 
@@ -601,7 +590,7 @@ impl SimKernel {
         }
         let at = self.inner.now.saturating_add(delay_ns);
         let seq = self.inner.bump_seq();
-        self.inner.queue.push(Reverse(Event {
+        self.inner.enqueue(Event {
             at,
             seq,
             to,
@@ -609,7 +598,7 @@ impl SimKernel {
             dedup: None,
             lat_ns: 0,
             kind: EventKind::Timer(tag),
-        }));
+        });
         true
     }
 
@@ -712,8 +701,8 @@ impl SimKernel {
         sections.push(("counters".to_string(), w.finish().to_vec()));
 
         // The pending queue, in deterministic (time, seq) order — the
-        // heap's internal layout is not canonical.
-        let mut pending: Vec<&Event> = inner.queue.iter().map(|r| &r.0).collect();
+        // wheel's internal layout is not canonical.
+        let mut pending: Vec<&Event> = inner.queue.iter().collect();
         pending.sort_unstable_by_key(|e| (e.at, e.seq));
         let mut w = StateWriter::new();
         w.put_varint(pending.len() as u64);
@@ -769,7 +758,7 @@ impl SimKernel {
             let (at, events) = (self.inner.now.as_nanos(), self.inner.stats.events);
             self.inner.journal.on_snapshot(at, events, &sections);
         }
-        let Some(Reverse(ev)) = self.inner.queue.pop() else {
+        let Some(ev) = self.inner.queue.pop() else {
             return false;
         };
         debug_assert!(ev.at >= self.inner.now, "time must not run backwards");
@@ -937,7 +926,7 @@ impl SimKernel {
             // Schedule Start events for endpoints spawned by the handler.
             for id in spawned {
                 let seq = self.inner.bump_seq();
-                self.inner.queue.push(Reverse(Event {
+                self.inner.enqueue(Event {
                     at: self.inner.now,
                     seq,
                     to: id,
@@ -945,7 +934,7 @@ impl SimKernel {
                     dedup: None,
                     lat_ns: 0,
                     kind: EventKind::Start,
-                }));
+                });
             }
         }
         // The handler may have killed its own endpoint.
@@ -966,12 +955,13 @@ impl SimKernel {
     }
 
     /// Run until virtual time reaches `deadline` (events after it stay
-    /// queued) or the queue drains.
+    /// queued) or the queue drains. The boundary check is an O(1) peek
+    /// of the wheel's ready lane — no pop/re-push at the deadline.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
         loop {
-            match self.inner.queue.peek() {
-                Some(Reverse(ev)) if ev.at <= deadline => {
+            match self.inner.queue.peek_key() {
+                Some((at, _)) if at <= deadline.as_nanos() => {
                     self.step();
                     n += 1;
                 }
@@ -991,9 +981,30 @@ impl SimKernel {
     pub fn is_quiescent(&self) -> bool {
         self.inner.queue.is_empty()
     }
+
+    /// Pending events in the queue right now.
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// High-water mark of the pending-event queue over the kernel's
+    /// lifetime — the E17 scale campaign's queue-pressure metric.
+    /// Derived observability, deliberately *not* part of the serialized
+    /// kernel state or metrics snapshot.
+    pub fn queue_peak_len(&self) -> usize {
+        self.inner.queue.peak_len()
+    }
 }
 
 impl Inner {
+    /// The single ingress into the event wheel: keys it by the event's
+    /// `(time, insertion seq)`, the kernel's deterministic total order.
+    /// All scheduling goes through here (`tools/lint_hotpath.sh` holds
+    /// future code to it).
+    fn enqueue(&mut self, ev: Event) {
+        self.queue.push(ev.at.as_nanos(), ev.seq, ev);
+    }
+
     fn bump_seq(&mut self) -> u64 {
         let s = self.seq;
         self.seq += 1;
@@ -1370,7 +1381,7 @@ fn send_one(
         None
     };
     let seq = inner.bump_seq();
-    inner.queue.push(Reverse(Event {
+    inner.enqueue(Event {
         at,
         seq,
         to: EndpointId(ep),
@@ -1378,12 +1389,12 @@ fn send_one(
         dedup,
         lat_ns: effective,
         kind: EventKind::Deliver(msg),
-    }));
+    });
     // The duplicate copy shares the original's dedup key: with the
     // at-most-once window on, exactly one of the two reaches the endpoint.
     if let Some((copy_at, copy_msg)) = copy {
         let seq = inner.bump_seq();
-        inner.queue.push(Reverse(Event {
+        inner.enqueue(Event {
             at: copy_at,
             seq,
             to: EndpointId(ep),
@@ -1391,7 +1402,7 @@ fn send_one(
             dedup,
             lat_ns: copy_at.as_nanos().saturating_sub(inner.now.as_nanos()),
             kind: EventKind::Deliver(copy_msg),
-        }));
+        });
     }
     true
 }
@@ -1428,6 +1439,35 @@ impl Ctx<'_> {
     /// A fresh call id.
     pub fn fresh_call_id(&mut self) -> CallId {
         self.inner.fresh_call_id()
+    }
+
+    /// An empty argument buffer from the kernel pool (capacity recycled
+    /// from a spent call when one is available).
+    pub fn take_args(&mut self) -> Vec<LegionValue> {
+        self.inner.pool.take_args()
+    }
+
+    /// Return a spent argument buffer to the kernel pool.
+    pub fn recycle_args(&mut self, args: Vec<LegionValue>) {
+        self.inner.pool.recycle_args(args);
+    }
+
+    /// A `LegionValue::Binding` copy of `src`, built in a recycled shell
+    /// when the pool has one (allocation-free on the steady path).
+    pub fn binding_value(&mut self, src: &Binding) -> LegionValue {
+        self.inner.pool.binding_value(src)
+    }
+
+    /// Recycle the heap shells of a consumed value (binding boxes, list
+    /// vectors) back into the kernel pool.
+    pub fn recycle_value(&mut self, value: LegionValue) {
+        self.inner.pool.recycle_value(value);
+    }
+
+    /// Recycle a fully-handled message's body buffers back into the
+    /// kernel pool (`dispatch::serve` calls this on every served call).
+    pub fn recycle_message(&mut self, msg: Message) {
+        self.inner.pool.recycle_message(msg);
     }
 
     /// Bump a named protocol counter. Inside an active trace, the bump
@@ -1658,7 +1698,7 @@ impl Ctx<'_> {
         let at = self.inner.now.saturating_add(delay_ns);
         let seq = self.inner.bump_seq();
         let trace = self.inner.current;
-        self.inner.queue.push(Reverse(Event {
+        self.inner.enqueue(Event {
             at,
             seq,
             to: self.self_id,
@@ -1666,7 +1706,7 @@ impl Ctx<'_> {
             dedup: None,
             lat_ns: 0,
             kind: EventKind::Timer(tag),
-        }));
+        });
     }
 
     /// Spawn a new endpoint (activation); its `on_start` runs right after

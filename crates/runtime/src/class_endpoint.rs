@@ -46,7 +46,7 @@ use legion_naming::protocol::{
 };
 use legion_naming::resolver::{ClientResolver, Lookup};
 use legion_net::dispatch::{
-    cont, insert_pending, reply_id, reply_result, serve, sweep_expired, Continuation,
+    cont, insert_pending, reply_id, serve, sweep_expired, take_reply_result, Continuation,
     Continuations, MethodTable, Outcome, TableBuilder, TIMER_DEADLINE_SWEEP,
 };
 use legion_net::message::CallId;
@@ -769,13 +769,13 @@ impl Endpoint for ClassEndpoint {
             }
             if let Some(id) = reply_id(&msg) {
                 if let Some(resume) = self.continuations.take(&id) {
-                    resume(self, ctx, reply_result(&msg));
+                    resume(self, ctx, take_reply_result(msg));
                 }
             }
             return;
         }
         let table = Rc::clone(&self.table);
-        serve(&table, self, ctx, &msg);
+        serve(&table, self, ctx, msg);
     }
 }
 
@@ -888,6 +888,6 @@ impl Endpoint for LegionClassEndpoint {
             return;
         }
         let table = Rc::clone(&self.table);
-        serve(&table, self, ctx, &msg);
+        serve(&table, self, ctx, msg);
     }
 }

@@ -134,7 +134,7 @@ impl ContextEndpoint {
 impl Endpoint for ContextEndpoint {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         let table = Rc::clone(&self.table);
-        serve(&table, self, ctx, &msg);
+        serve(&table, self, ctx, msg);
     }
 }
 

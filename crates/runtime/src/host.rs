@@ -295,7 +295,7 @@ impl Endpoint for HostObjectEndpoint {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         let table = Rc::clone(&self.table);
-        serve(&table, self, ctx, &msg);
+        serve(&table, self, ctx, msg);
     }
 }
 

@@ -45,8 +45,8 @@ use legion_ha::policy::{Health, SuspicionPolicy};
 use legion_ha::recovery::RecoveryTracker;
 use legion_naming::stale;
 use legion_net::dispatch::{
-    cont, insert_pending, reply_id, reply_result, serve, sweep_expired, Continuations, MethodTable,
-    Outcome, TableBuilder, TIMER_DEADLINE_SWEEP,
+    cont, insert_pending, reply_id, serve, sweep_expired, take_reply_result, Continuations,
+    MethodTable, Outcome, TableBuilder, TIMER_DEADLINE_SWEEP,
 };
 use legion_net::message::Message;
 use legion_net::sim::{Ctx, Endpoint, FlightKind};
@@ -1356,12 +1356,12 @@ impl Endpoint for MagistrateEndpoint {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         if let Some(id) = reply_id(&msg) {
             if let Some(k) = self.continuations.take(&id) {
-                k(self, ctx, reply_result(&msg));
+                k(self, ctx, take_reply_result(msg));
             }
             return;
         }
         let table = Rc::clone(&self.table);
-        serve(&table, self, ctx, &msg);
+        serve(&table, self, ctx, msg);
     }
 }
 

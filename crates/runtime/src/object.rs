@@ -163,7 +163,7 @@ impl Endpoint for ActiveObjectEndpoint {
             }
         }
         let table = Rc::clone(&self.table);
-        serve(&table, self, ctx, &msg);
+        serve(&table, self, ctx, msg);
     }
 }
 

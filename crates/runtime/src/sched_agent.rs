@@ -24,8 +24,8 @@ use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::value::LegionValue;
 use legion_net::dispatch::{
-    cont_expecting, insert_pending, reply_id, reply_result, serve, sweep_expired, Continuation,
-    Continuations, MethodTable, Outcome, TableBuilder, TIMER_DEADLINE_SWEEP,
+    cont_expecting, insert_pending, reply_id, serve, sweep_expired, take_reply_result,
+    Continuation, Continuations, MethodTable, Outcome, TableBuilder, TIMER_DEADLINE_SWEEP,
 };
 use legion_net::message::{CallId, Message};
 use legion_net::sim::{Ctx, Endpoint};
@@ -215,12 +215,12 @@ impl Endpoint for SchedulingAgentEndpoint {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         if let Some(id) = reply_id(&msg) {
             if let Some(resume) = self.continuations.take(&id) {
-                resume(self, ctx, reply_result(&msg));
+                resume(self, ctx, take_reply_result(msg));
             }
             return;
         }
         let table = Rc::clone(&self.table);
-        serve(&table, self, ctx, &msg);
+        serve(&table, self, ctx, msg);
     }
 }
 

@@ -116,7 +116,7 @@ fn parse_args() -> Opts {
                 eprintln!(
                     "usage: legion-exp [--quick] [--trace-out FILE] [--metrics-out FILE] \
                      [--report-out FILE] [--journal-out FILE | --replay-from FILE \
-                     [--from-snapshot]] (all | e1 e2 ... e16)\n\
+                     [--from-snapshot]] (all | e1 e2 ... e17)\n\
                      \u{20}      legion-exp --bisect A B\n\
                      Runs the Legion reproduction experiments (see EXPERIMENTS.md).\n\
                      --trace-out     write the traced E1 run's spans as JSONL\n\
@@ -391,6 +391,10 @@ pub fn main() {
         let (t1, t2) = exp::e16_chaos::table(&rows, &shrinks);
         t1.print();
         t2.print();
+        println!();
+    }
+    if want("e17") {
+        exp::e17_scale::table(&exp::e17_scale::run(scale, seed)).print();
         println!();
     }
 }

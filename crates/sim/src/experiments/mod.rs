@@ -22,3 +22,4 @@ pub mod e13_security;
 pub mod e14_parallel;
 pub mod e15_crash_recovery;
 pub mod e16_chaos;
+pub mod e17_scale;

@@ -506,29 +506,33 @@ impl Endpoint for LookupClient {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        // Binding replies route through the resolver.
-        if let Some((answered, result)) = self.resolver.handle_reply(&msg) {
-            let Phase::AwaitBinding {
-                started, target, ..
-            } = self.phase
-            else {
-                return;
-            };
-            if answered != target {
-                return; // a late reply from an abandoned attempt
-            }
-            match result {
-                Ok(b) => {
-                    if self.invoke {
-                        self.invoke_binding(ctx, started, b);
-                    } else {
-                        self.complete(ctx, started);
-                    }
+        // Binding replies route through the resolver (owned: the reply's
+        // binding box goes back to the kernel pool).
+        let msg = match self.resolver.handle_reply_owned(ctx, msg) {
+            Ok((answered, result)) => {
+                let Phase::AwaitBinding {
+                    started, target, ..
+                } = self.phase
+                else {
+                    return;
+                };
+                if answered != target {
+                    return; // a late reply from an abandoned attempt
                 }
-                Err(_) => self.op_failed(ctx, started, target),
+                match result {
+                    Ok(b) => {
+                        if self.invoke {
+                            self.invoke_binding(ctx, started, b);
+                        } else {
+                            self.complete(ctx, started);
+                        }
+                    }
+                    Err(_) => self.op_failed(ctx, started, target),
+                }
+                return;
             }
-            return;
-        }
+            Err(msg) => msg,
+        };
         // Invocation replies.
         if let Body::Reply {
             in_reply_to,

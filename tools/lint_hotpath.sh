@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Hot-path scheduler lint: the kernel's event ordering lives in exactly
+# one place — the hierarchical timer wheel (crates/net/src/equeue.rs).
+#
+# Fails the build if:
+#   * `BinaryHeap` appears outside equeue.rs. The wheel replaced the
+#     heap on the hot path; the only remaining heap is the reference
+#     model inside equeue.rs's own property tests. A heap creeping back
+#     in elsewhere silently reintroduces O(log n) comparisons (and
+#     32-byte event moves) per scheduling operation.
+#   * `queue.push(` appears outside equeue.rs in more than the one
+#     blessed call site: the kernel's single enqueue funnel in
+#     crates/net/src/sim.rs (`Inner::enqueue`), which stamps the
+#     deterministic (time, seq) key. Any other direct push would bypass
+#     the sequence stamping that the replay/journal layer depends on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+wheel='crates/net/src/equeue.rs'
+
+heap_hits=$(grep -rn 'BinaryHeap' crates/ --include='*.rs' \
+    | grep -v "^$wheel:" || true)
+
+if [[ -n "$heap_hits" ]]; then
+    echo "error: BinaryHeap outside the timer wheel ($wheel):" >&2
+    echo "$heap_hits" >&2
+    echo >&2
+    echo "Schedule through legion_net::equeue::EventQueue instead; it preserves" >&2
+    echo "the deterministic (time, seq) pop order at amortized O(1)." >&2
+    exit 1
+fi
+
+push_hits=$(grep -rn 'queue\.push(' crates/ --include='*.rs' \
+    | grep -v "^$wheel:" || true)
+push_count=$(printf '%s' "$push_hits" | grep -c . || true)
+
+if [[ "$push_count" -ne 1 ]] || ! grep -q '^crates/net/src/sim\.rs:' <<<"$push_hits"; then
+    echo "error: expected exactly one queue.push call site outside the wheel" >&2
+    echo "(the enqueue funnel in crates/net/src/sim.rs); found:" >&2
+    echo "${push_hits:-<none>}" >&2
+    echo >&2
+    echo "Route all event scheduling through SimKernel's enqueue so every event" >&2
+    echo "gets its deterministic sequence stamp." >&2
+    exit 1
+fi
+echo "lint_hotpath: ok"
