@@ -81,6 +81,23 @@ fn e17_value(r: &measure::E17Row) -> Value {
     ])
 }
 
+/// The E18 overload campaign (full flash crowd, or the
+/// `LEGION_E18_QUICK` variant — `offered` records which).
+fn e18_value(s: &measure::E18Stats) -> Value {
+    Value::Object(vec![
+        ("offered".into(), Value::U64(s.offered)),
+        ("ok".into(), Value::U64(s.ok)),
+        ("shed".into(), Value::U64(s.shed)),
+        ("clones".into(), Value::U64(s.clones)),
+        ("messages".into(), Value::U64(s.messages)),
+        ("allocs".into(), Value::U64(s.allocs)),
+        (
+            "allocs_per_message".into(),
+            Value::F64(round2(s.allocs_per_message())),
+        ),
+    ])
+}
+
 /// Parse `bench <label> <ns> ns/iter` lines from a `cargo bench` log.
 fn parse_criterion_log(text: &str) -> Vec<(String, u64)> {
     let mut out = Vec::new();
@@ -159,6 +176,7 @@ fn run_measurement(
     measure::SteadyStats,
     Vec<measure::SteadyStats>,
     measure::E17Row,
+    measure::E18Stats,
 ) {
     assert!(
         alloc_counter::is_counting(),
@@ -171,7 +189,8 @@ fn run_measurement(
         .map(|&j| measure::e12_steady_state(j, measure::SNAPSHOT_SEED))
         .collect();
     let e17 = measure::e17_scale(measure::SNAPSHOT_SEED);
-    (headline, journaled, sweep, e17)
+    let e18 = measure::e18_overload(measure::SNAPSHOT_SEED);
+    (headline, journaled, sweep, e17, e18)
 }
 
 fn measurement_value(
@@ -179,6 +198,7 @@ fn measurement_value(
     journaled: &measure::SteadyStats,
     sweep: &[measure::SteadyStats],
     e17: &measure::E17Row,
+    e18: &measure::E18Stats,
 ) -> Value {
     Value::Object(vec![
         ("e12_steady".into(), steady_value(headline)),
@@ -188,6 +208,7 @@ fn measurement_value(
             Value::Array(sweep.iter().map(steady_value).collect()),
         ),
         ("e17_scale".into(), e17_value(e17)),
+        ("e18_overload".into(), e18_value(e18)),
     ])
 }
 
@@ -220,18 +241,18 @@ fn main() -> ExitCode {
         .unwrap_or_default();
     match args.cmd.as_str() {
         "measure" => {
-            let (headline, journaled, sweep, e17) = run_measurement(&args.sweep);
+            let (headline, journaled, sweep, e17, e18) = run_measurement(&args.sweep);
             println!(
                 "{}",
                 serde::json::to_string_pretty(&measurement_value(
-                    &headline, &journaled, &sweep, &e17
+                    &headline, &journaled, &sweep, &e17, &e18
                 ))
             );
             ExitCode::SUCCESS
         }
         "emit" => {
             let out = args.out.as_deref().expect("emit needs --out");
-            let (headline, journaled, sweep, e17) = run_measurement(&args.sweep);
+            let (headline, journaled, sweep, e17, e18) = run_measurement(&args.sweep);
             let mut doc = vec![
                 ("schema".into(), Value::Str("legion-bench-core/v1".into())),
                 ("mode".into(), Value::Str(args.mode.clone())),
@@ -243,7 +264,7 @@ fn main() -> ExitCode {
             }
             doc.push((
                 "post".into(),
-                measurement_value(&headline, &journaled, &sweep, &e17),
+                measurement_value(&headline, &journaled, &sweep, &e17, &e18),
             ));
             doc.push(("benches".into(), benches_value(&criterion)));
             let text = serde::json::to_string_pretty(&Value::Object(doc));
@@ -258,7 +279,7 @@ fn main() -> ExitCode {
         "check" => {
             let against = args.against.as_deref().expect("check needs --against");
             let committed = load_json(against).expect("load committed snapshot");
-            let (headline, journaled, _, e17) = run_measurement(&[]);
+            let (headline, journaled, _, e17, e18) = run_measurement(&[]);
             let mut failed = false;
             // Allocations per message are deterministic per seed: gate at
             // +5%.
@@ -313,6 +334,32 @@ fn main() -> ExitCode {
                     e17.loids
                 ),
                 _ => println!("allocs/msg (e17): not in committed snapshot (not gated)"),
+            }
+            // E18: same discipline again — +5% allocs/message over the
+            // flash-crowd campaign, gated only when the offered-ops count
+            // matches the committed point (quick vs full campaigns have
+            // different shed/retry profiles per message).
+            let committed_e18_offered = f64_at(&committed, &["post", "e18_overload", "offered"]);
+            match (
+                committed_e18_offered,
+                f64_at(&committed, &["post", "e18_overload", "allocs_per_message"]),
+            ) {
+                (Some(offered), Some(committed_apm)) if offered == e18.offered as f64 => {
+                    let apm = e18.allocs_per_message();
+                    let ok = apm <= committed_apm * 1.05;
+                    println!(
+                        "allocs/msg (e18, {} offered): committed {committed_apm:.2}, now {apm:.2} {}",
+                        e18.offered,
+                        if ok { "(ok)" } else { "REGRESSED >5%" }
+                    );
+                    failed |= !ok;
+                }
+                (Some(offered), Some(_)) => println!(
+                    "allocs/msg (e18): committed point offered {offered:.0} ops, this run {} \
+                     (config mismatch, not gated)",
+                    e18.offered
+                ),
+                _ => println!("allocs/msg (e18): not in committed snapshot (not gated)"),
             }
             // The E17 scale bar: the million-LOID campaign must sustain
             // ≥2x the pre-overhaul e12 steady-state message rate (the

@@ -149,6 +149,63 @@ pub fn e17_scale(seed: u64) -> E17Row {
     }
 }
 
+/// One E18 overload measurement: the auto-scaled flash-crowd campaign,
+/// bracketed by allocator counts.
+#[derive(Debug, Clone)]
+pub struct E18Stats {
+    /// Operations offered across all phases (identifies the campaign
+    /// size — quick vs full — so the gate only compares like with like).
+    pub offered: u64,
+    /// Operations that completed successfully.
+    pub ok: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Clones the burn-driven policy landed.
+    pub clones: u64,
+    /// Messages delivered by the kernel.
+    pub messages: u64,
+    /// Allocator calls over build + campaign (deterministic per seed).
+    pub allocs: u64,
+}
+
+impl E18Stats {
+    /// Allocator calls per delivered message — the admission path, the
+    /// service-timer defers, the retry machinery, and the policy loop
+    /// all live inside this number, so the +5% snapshot gate holds the
+    /// whole overload path to its committed allocation profile.
+    pub fn allocs_per_message(&self) -> f64 {
+        self.allocs as f64 / self.messages.max(1) as f64
+    }
+}
+
+/// Run the E18 flash-crowd campaign with the auto-scaler in the loop:
+/// the full-scale point, or — when `LEGION_E18_QUICK` is set (the CI
+/// bench-smoke job) — the scaled-down variant that walks the same
+/// layers (admission shed, burn events, `Derive()` clones, the replica
+/// front door).
+pub fn e18_overload(seed: u64) -> E18Stats {
+    use legion_sim::experiments::e18_overload as e18;
+    let quick = std::env::var_os("LEGION_E18_QUICK").is_some();
+    let (a0, _) = alloc_counter::counts();
+    let (row, _) = e18::flash_campaign(quick, seed, true, e18::JournalMode::Plain);
+    let (a1, _) = alloc_counter::counts();
+    assert!(
+        row.violations.is_empty(),
+        "E18 invariants violated under measurement: {:?}",
+        row.violations
+    );
+    let total: u64 = row.phases.iter().map(|p| p.offered).sum();
+    let ok: u64 = row.phases.iter().map(|p| p.ok).sum();
+    E18Stats {
+        offered: total,
+        ok,
+        shed: row.requests_shed,
+        clones: row.clones,
+        messages: row.messages,
+        allocs: a1.saturating_sub(a0),
+    }
+}
+
 fn e12_steady_state_inner(jurisdictions: u32, seed: u64, mode: MeasureMode) -> SteadyStats {
     let (mut sys, clients) = build_e12_system(jurisdictions, seed);
     match mode {

@@ -77,6 +77,14 @@ pub enum CoreError {
         /// How long the caller waited, in virtual nanoseconds.
         after_ns: u64,
     },
+    /// The receiving endpoint's admission budget is full and the call was
+    /// shed (load shedding, not failure). The hint tells a well-behaved
+    /// caller how long to back off before retrying — the server knows
+    /// when a queue slot frees, the client does not.
+    Overloaded {
+        /// Server's retry hint, in virtual nanoseconds.
+        retry_after_ns: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -123,6 +131,9 @@ impl fmt::Display for CoreError {
             CoreError::Timeout { after_ns } => {
                 write!(f, "call timed out after {after_ns}ns")
             }
+            CoreError::Overloaded { retry_after_ns } => {
+                write!(f, "server overloaded, retry after {retry_after_ns}ns")
+            }
         }
     }
 }
@@ -147,6 +158,12 @@ mod tests {
             (
                 CoreError::Timeout { after_ns: 500 },
                 "timed out after 500ns",
+            ),
+            (
+                CoreError::Overloaded {
+                    retry_after_ns: 250,
+                },
+                "overloaded, retry after 250ns",
             ),
         ];
         for (err, needle) in cases {

@@ -164,6 +164,11 @@ well_known! {
     41 => HA_HOST_DEAD = "ha.host_dead";
     42 => HA_FALSE_POSITIVE = "ha.false_positive";
     43 => HA_RECOVERED = "ha.recovered";
+    // Admission control (hot when an endpoint is overloaded).
+    44 => NET_REQUESTS_SHED = "net.requests_shed";
+    45 => NET_OVERLOAD_REPLIES = "net.overload_replies";
+    // Auto-scaling policy (flight-recorder label for clone decisions).
+    46 => POLICY_AUTOSCALE_CLONE = "policy.autoscale_clone";
 }
 
 fn global() -> &'static RwLock<Interner> {

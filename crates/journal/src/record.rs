@@ -148,6 +148,11 @@ pub enum RecordKind {
     Snapshot = 14,
     /// Anything else worth journaling.
     Note = 15,
+    /// Admission control shed a call at an overloaded endpoint.
+    /// (Appended after Note: journals written before this tag existed
+    /// never contain it, and `from_tag` rejects it when replaying *into*
+    /// an older build — append-compatible in the forward direction.)
+    Shed = 16,
 }
 
 impl RecordKind {
@@ -176,6 +181,7 @@ impl RecordKind {
             13 => HaVerdict,
             14 => Snapshot,
             15 => Note,
+            16 => Shed,
             _ => return None,
         })
     }
@@ -199,6 +205,7 @@ impl RecordKind {
             RecordKind::HaVerdict => "ha-verdict",
             RecordKind::Snapshot => "snapshot",
             RecordKind::Note => "note",
+            RecordKind::Shed => "shed",
         }
     }
 }
@@ -336,12 +343,12 @@ mod tests {
 
     #[test]
     fn every_kind_tags_roundtrip() {
-        for tag in 0..=15u8 {
+        for tag in 0..=16u8 {
             let kind = RecordKind::from_tag(tag).unwrap();
             assert_eq!(kind.tag(), tag);
             assert!(!kind.label().is_empty());
         }
-        assert_eq!(RecordKind::from_tag(16), None);
+        assert_eq!(RecordKind::from_tag(17), None);
     }
 
     #[test]

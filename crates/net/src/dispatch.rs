@@ -101,6 +101,22 @@ pub fn is_timeout(err: &str) -> bool {
     err.starts_with("call timed out after ")
 }
 
+/// The uniform load-shed rendering an overloaded endpoint substitutes
+/// for service ([`CoreError::Overloaded`] on the wire). The hint tells
+/// the caller when a queue slot is expected to free.
+pub fn overload_error(retry_after_ns: u64) -> String {
+    CoreError::Overloaded { retry_after_ns }.to_string()
+}
+
+/// Parse the uniform overload rendering back out of a reply error,
+/// returning the server's retry-after hint in virtual ns. Clients that
+/// honor server backpressure (instead of their own backoff schedule)
+/// branch on this — the counterpart of [`is_timeout`].
+pub fn is_overloaded(err: &str) -> Option<u64> {
+    let rest = err.strip_prefix("server overloaded, retry after ")?;
+    rest.strip_suffix("ns")?.parse().ok()
+}
+
 /// Register a continuation under the endpoint's deadline policy.
 ///
 /// With `deadline_ns = None` the endpoint waits forever (the historical
@@ -432,5 +448,26 @@ fn serve_ref<E>(
             ctx.reply(msg, Err(rendered));
             Served::Call(Verdict::BadArgs)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_rendering_round_trips() {
+        assert!(is_timeout(&timeout_error(500)));
+        assert!(!is_timeout("some other error"));
+        assert!(!is_timeout(&overload_error(500)));
+    }
+
+    #[test]
+    fn overload_rendering_round_trips() {
+        assert_eq!(is_overloaded(&overload_error(0)), Some(0));
+        assert_eq!(is_overloaded(&overload_error(1_250_000)), Some(1_250_000));
+        assert_eq!(is_overloaded(&timeout_error(500)), None);
+        assert_eq!(is_overloaded("server overloaded, retry after xns"), None);
+        assert_eq!(is_overloaded("unrelated"), None);
     }
 }

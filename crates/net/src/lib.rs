@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod dispatch;
 pub mod equeue;
 pub mod faults;

@@ -395,6 +395,13 @@ pub struct MetricsSnapshot {
     /// Pending continuations expired by dispatch deadline sweeps
     /// (the `net.timeout_expired` counter).
     pub timeouts_expired: u64,
+    /// Calls refused admission by overloaded endpoints
+    /// (the `net.requests_shed` counter).
+    pub requests_shed: u64,
+    /// `Overloaded` error replies actually sent back to callers
+    /// (the `net.overload_replies` counter; differs from
+    /// `requests_shed` when shed one-way messages have no reply path).
+    pub overload_replies: u64,
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ use legion_journal::{
 };
 use legion_obs::profile::{KernelProfiler, Profile};
 use legion_obs::sink::TraceSink;
-use legion_obs::slo::{SloConfig, SloReport, SloTracker};
+use legion_obs::slo::{BurnEvent, SloConfig, SloReport, SloTracker};
 use legion_obs::span::{SpanEvent, SpanEventKind};
 use legion_persist::Writer as StateWriter;
 use rand::rngs::SmallRng;
@@ -469,6 +469,14 @@ impl SimKernel {
         self.inner.slo = SloTracker::new(cfg);
     }
 
+    /// Turn on SLO tracking *with* the incremental burn monitor, so
+    /// in-sim consumers ([`Ctx::drain_burn_events`]) see burn-rate
+    /// alarms while the run is still executing — the signal an
+    /// auto-scaling policy endpoint closes its control loop on.
+    pub fn enable_slo_online(&mut self, cfg: SloConfig) {
+        self.inner.slo = SloTracker::new_online(cfg);
+    }
+
     /// Is SLO tracking collecting?
     pub fn slo_enabled(&self) -> bool {
         self.inner.slo.is_enabled()
@@ -515,6 +523,8 @@ impl SimKernel {
                 .map(|(_, n)| n)
                 .sum(),
             timeouts_expired: self.inner.counters.get_sym(symbol::NET_TIMEOUT_EXPIRED),
+            requests_shed: self.inner.counters.get_sym(symbol::NET_REQUESTS_SHED),
+            overload_replies: self.inner.counters.get_sym(symbol::NET_OVERLOAD_REPLIES),
         }
     }
 
@@ -1122,6 +1132,7 @@ fn record_kind(kind: FlightKind) -> RecordKind {
         FlightKind::Timeout => RecordKind::Timeout,
         FlightKind::HaVerdict => RecordKind::HaVerdict,
         FlightKind::Note => RecordKind::Note,
+        FlightKind::Shed => RecordKind::Shed,
     }
 }
 
@@ -1580,6 +1591,24 @@ impl Ctx<'_> {
     /// recorder tail?
     pub fn flight_dump_on_sweep(&self) -> bool {
         self.inner.flight_dump_on_sweep
+    }
+
+    /// Record an explicit SLO sample for this endpoint at the current
+    /// virtual time. The kernel samples *hop* latencies automatically;
+    /// endpoints that model service time (admission queues) record their
+    /// end-to-end response time here so objectives judge what a caller
+    /// actually experienced. No-op while SLO tracking is off.
+    pub fn slo_record(&mut self, latency_ns: u64) {
+        let at = self.inner.now.as_nanos();
+        self.inner.slo.record(at, self.self_id.0, latency_ns);
+    }
+
+    /// Drain burn-rate alarms fired by the online SLO monitor since the
+    /// last drain, as `(endpoint id, event)` in firing order. Always
+    /// empty unless the kernel was configured with
+    /// [`SimKernel::enable_slo_online`].
+    pub fn drain_burn_events(&mut self) -> Vec<(u64, BurnEvent)> {
+        self.inner.slo.drain_burn()
     }
 
     /// Dump the flight-recorder tail (newest `n` events) to stderr with

@@ -47,6 +47,8 @@ pub enum FlightKind {
     HaVerdict,
     /// A free-form endpoint annotation.
     Note,
+    /// A call refused admission by an overloaded endpoint (load shed).
+    Shed,
 }
 
 impl FlightKind {
@@ -63,6 +65,7 @@ impl FlightKind {
             FlightKind::Timeout => "timeout",
             FlightKind::HaVerdict => "ha_verdict",
             FlightKind::Note => "note",
+            FlightKind::Shed => "shed",
         }
     }
 }

@@ -104,6 +104,75 @@ pub struct SloTracker {
     cfg: Option<SloConfig>,
     /// `(endpoint, window start ns, latency ns)`, in arrival order.
     samples: Vec<(u64, u64, u64)>,
+    /// Incremental burn monitor (opt-in; see [`SloTracker::new_online`]).
+    online: Option<OnlineMonitor>,
+}
+
+/// Incremental per-endpoint window state for the online burn monitor.
+///
+/// The batch [`report`](SloTracker::report) evaluates windows at the end
+/// of a run — too late for a control loop that must react *during* the
+/// run. The online monitor closes each endpoint's window as soon as a
+/// sample lands in a later one, evaluates it against the objective with
+/// the same exact nearest-rank quantiles and cumulative burn arithmetic
+/// as the batch path, and queues fired [`BurnEvent`]s for a consumer
+/// (the auto-scaling policy) to drain. Storage is bounded by one open
+/// window's samples per endpoint.
+///
+/// One deliberate divergence from the batch report: the kernel records a
+/// delivery's SLO sample at *send* time keyed by its future arrival, so
+/// per-endpoint window starts are not strictly monotone. The batch sort
+/// puts late samples in their true window; the online monitor folds a
+/// sample for an already-closed window into the open one (a window, once
+/// judged, stays judged). The monitor is a control signal — the batch
+/// report remains the contract.
+#[derive(Debug, Clone, Default)]
+struct OnlineMonitor {
+    per_endpoint: BTreeMap<u64, OnlineEndpoint>,
+    fired: Vec<(u64, BurnEvent)>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct OnlineEndpoint {
+    window_start: u64,
+    /// Samples of the open window, unsorted (sorted once at close).
+    pending: Vec<u64>,
+    windows_seen: u64,
+    violating: u64,
+}
+
+impl OnlineMonitor {
+    fn observe(&mut self, cfg: &SloConfig, endpoint: u64, start: u64, latency_ns: u64) {
+        let state = self.per_endpoint.entry(endpoint).or_default();
+        if start > state.window_start && !state.pending.is_empty() {
+            let objective = cfg.objective_for(endpoint);
+            state.pending.sort_unstable();
+            let p50 = quantile_sorted(&state.pending, 0.50);
+            let p99 = quantile_sorted(&state.pending, 0.99);
+            let ok = p50 <= objective.p50_ns && p99 <= objective.p99_ns;
+            let closed_start = state.window_start;
+            state.windows_seen += 1;
+            if !ok {
+                state.violating += 1;
+                if objective.error_budget > 0.0 {
+                    let burn = (state.violating as f64 / state.windows_seen as f64)
+                        / objective.error_budget;
+                    if burn >= objective.burn_threshold {
+                        self.fired.push((
+                            endpoint,
+                            BurnEvent {
+                                window_start: closed_start,
+                                burn_rate: burn,
+                            },
+                        ));
+                    }
+                }
+            }
+            state.pending.clear();
+        }
+        state.window_start = state.window_start.max(start);
+        state.pending.push(latency_ns);
+    }
 }
 
 impl SloTracker {
@@ -119,6 +188,31 @@ impl SloTracker {
         SloTracker {
             cfg: Some(cfg),
             samples: Vec::with_capacity(1024),
+            online: None,
+        }
+    }
+
+    /// A tracker that additionally evaluates windows *incrementally* and
+    /// queues fired [`BurnEvent`]s for [`drain_burn`](Self::drain_burn)
+    /// — the in-run signal an auto-scaling control loop consumes.
+    pub fn new_online(cfg: SloConfig) -> Self {
+        let mut t = Self::new(cfg);
+        t.online = Some(OnlineMonitor::default());
+        t
+    }
+
+    /// Is the incremental burn monitor active?
+    pub fn online_enabled(&self) -> bool {
+        self.online.is_some()
+    }
+
+    /// Take the burn events the online monitor has fired since the last
+    /// drain, as `(endpoint, event)` in firing order. Empty without
+    /// [`new_online`](Self::new_online).
+    pub fn drain_burn(&mut self) -> Vec<(u64, BurnEvent)> {
+        match &mut self.online {
+            Some(m) => std::mem::take(&mut m.fired),
+            None => Vec::new(),
         }
     }
 
@@ -141,11 +235,18 @@ impl SloTracker {
         };
         let start = (at_ns / cfg.window_ns) * cfg.window_ns;
         self.samples.push((endpoint, start, latency_ns));
+        if let Some(online) = &mut self.online {
+            online.observe(cfg, endpoint, start, latency_ns);
+        }
     }
 
-    /// Drop collected samples, keeping the configuration.
+    /// Drop collected samples and online-monitor state, keeping the
+    /// configuration (and the monitor, if one was enabled).
     pub fn clear(&mut self) {
         self.samples.clear();
+        if let Some(online) = &mut self.online {
+            *online = OnlineMonitor::default();
+        }
     }
 
     /// Evaluate every endpoint's windows against its objective,
@@ -479,6 +580,60 @@ mod tests {
         let r = t.report(|e| format!("ep{e}")).unwrap();
         assert!(!r.endpoints[0].ok);
         assert!(r.endpoints[1].ok);
+    }
+
+    #[test]
+    fn online_monitor_matches_batch_burn_events() {
+        // Monotone arrivals: the online monitor must fire the same burn
+        // events as the batch report, one window late (a window closes
+        // when the next one opens).
+        let cfg = SloConfig {
+            window_ns: 100,
+            objective: SloObjective {
+                p50_ns: 10,
+                p99_ns: 10,
+                error_budget: 0.25,
+                burn_threshold: 2.0,
+            },
+            per_endpoint: BTreeMap::new(),
+        };
+        let mut t = SloTracker::new_online(cfg);
+        t.record(10, 1, 100); // window 0: violates
+        t.record(110, 1, 5); // window 1: ok (closes window 0)
+        t.record(210, 1, 100); // window 2: violates (closes window 1)
+        t.record(310, 1, 5); // closes window 2
+        let online = t.drain_burn();
+        let batch = t.report(|_| String::new()).unwrap().endpoints[0]
+            .burn_events
+            .clone();
+        assert_eq!(online.len(), batch.len());
+        for ((ep, o), b) in online.iter().zip(batch.iter()) {
+            assert_eq!(*ep, 1);
+            assert_eq!(o.window_start, b.window_start);
+            assert!((o.burn_rate - b.burn_rate).abs() < 1e-9);
+        }
+        assert!(t.drain_burn().is_empty(), "drain empties the queue");
+    }
+
+    #[test]
+    fn online_monitor_is_bounded_and_resettable() {
+        let mut t = SloTracker::new_online(cfg(100, 1_000, 1_000, 0.5));
+        for i in 0..10_000u64 {
+            t.record(i * 10, 7, 5);
+        }
+        assert!(t.online_enabled());
+        assert!(t.drain_burn().is_empty(), "healthy stream fires nothing");
+        t.clear();
+        assert!(t.report(|_| String::new()).unwrap().endpoints.is_empty());
+    }
+
+    #[test]
+    fn plain_tracker_has_no_online_events() {
+        let mut t = SloTracker::new(cfg(100, 10, 10, 0.1));
+        t.record(10, 1, 500);
+        t.record(110, 1, 500);
+        assert!(!t.online_enabled());
+        assert!(t.drain_burn().is_empty());
     }
 
     #[test]

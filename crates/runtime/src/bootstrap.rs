@@ -54,6 +54,7 @@ impl CoreSystem {
             magistrates: Vec::new(),
             binding_agent: None,
             binding_ttl_ns: None,
+            admission: None,
         };
 
         // Build the Abstract core classes with their paper interfaces.

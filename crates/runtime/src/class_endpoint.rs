@@ -40,18 +40,20 @@ use legion_core::idl;
 use legion_core::interface::ParamType;
 use legion_core::loid::Loid;
 use legion_core::metaclass::LegionClassAuthority;
+use legion_core::symbol;
 use legion_core::value::LegionValue;
 use legion_naming::protocol::{
     self as naming_proto, BindingArg, FIND_RESPONSIBLE, GET_BINDING, ISSUE_CLASS_ID,
 };
 use legion_naming::resolver::{ClientResolver, Lookup};
+use legion_net::admission::{Admission, AdmissionConfig, AdmissionQueue};
 use legion_net::dispatch::{
-    cont, insert_pending, reply_id, serve, sweep_expired, take_reply_result, Continuation,
-    Continuations, MethodTable, Outcome, TableBuilder, TIMER_DEADLINE_SWEEP,
+    cont, insert_pending, overload_error, reply_id, serve, sweep_expired, take_reply_result,
+    Continuation, Continuations, MethodTable, Outcome, TableBuilder, TIMER_DEADLINE_SWEEP,
 };
 use legion_net::message::CallId;
 use legion_net::message::Message;
-use legion_net::sim::{Ctx, Endpoint};
+use legion_net::sim::{Ctx, Endpoint, FlightKind};
 use legion_security::mayi::{AllowAll, MayIPolicy};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -70,6 +72,15 @@ pub struct ClassConfig {
     /// becomes invalid"). `None` serves never-expiring bindings; a TTL
     /// bounds downstream cache staleness at the price of re-resolution.
     pub binding_ttl_ns: Option<u64>,
+    /// Admission control / service model for data-plane calls. `None`
+    /// (the default) serves instantaneously and never sheds — the exact
+    /// historical behavior. `Some` makes the class a deterministic
+    /// single server: admitted calls complete after their modeled queue
+    /// wait + service time, offers past the queue budget are shed with
+    /// `CoreError::Overloaded` + retry-after. Inherited by subclasses
+    /// spawned through `Derive`, so clones of a guarded hot class are
+    /// guarded the same way.
+    pub admission: Option<AdmissionConfig>,
 }
 
 /// Class names may contain characters illegal in IDL identifiers (clones
@@ -98,7 +109,21 @@ pub struct ClassEndpoint {
     /// virtual ns with the uniform timeout error instead of leaking.
     /// `None` (default) keeps the historical wait-forever behavior.
     call_deadline_ns: Option<u64>,
+    /// The admission ledger, when `cfg.admission` is set.
+    admission: Option<AdmissionQueue>,
+    /// Admitted data-plane calls awaiting their modeled service-
+    /// completion timer, keyed by deferral sequence. Size is bounded by
+    /// the admission queue depth — the ledger sheds before this map can
+    /// grow past it.
+    deferred: HashMap<u64, (Message, u64)>,
+    next_deferred: u64,
+    deferred_peak: usize,
 }
+
+/// Timer-tag bit marking a modeled service completion; the low bits
+/// carry the deferral sequence. The top bit keeps the space disjoint
+/// from [`TIMER_DEADLINE_SWEEP`] and protocol timers.
+const SERVICE_TIMER_BIT: u64 = 1 << 63;
 
 impl ClassEndpoint {
     /// Wrap a class object.
@@ -107,6 +132,7 @@ impl ClassEndpoint {
             .binding_agent
             .map(|agent| ClientResolver::new(class.loid, agent, 128));
         let table = Self::table(class.loid, &class.name);
+        let admission = cfg.admission.map(AdmissionQueue::new);
         ClassEndpoint {
             class,
             cfg,
@@ -118,6 +144,84 @@ impl ClassEndpoint {
             inherit_waiters: HashMap::new(),
             next_magistrate: 0,
             call_deadline_ns: None,
+            admission,
+            deferred: HashMap::new(),
+            next_deferred: 0,
+            deferred_peak: 0,
+        }
+    }
+
+    /// Replace the admission model (test/experiment wiring after build;
+    /// resets the ledger). `None` restores instantaneous service.
+    pub fn set_admission(&mut self, cfg: Option<AdmissionConfig>) {
+        self.cfg.admission = cfg;
+        self.admission = cfg.map(AdmissionQueue::new);
+    }
+
+    /// The admission ledger, when admission control is on.
+    pub fn admission(&self) -> Option<&AdmissionQueue> {
+        self.admission.as_ref()
+    }
+
+    /// Admitted calls currently awaiting their service-completion timer.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// High-water mark of the deferred-call map — must stay within the
+    /// admission queue depth (the "no unbounded queue" invariant).
+    pub fn deferred_peak(&self) -> usize {
+        self.deferred_peak
+    }
+
+    /// Is `msg` subject to admission control? Only the data-plane calls
+    /// a flash crowd multiplies (§4.1 binding lookups, instance
+    /// creation, interface discovery) pay the service model. Control-
+    /// plane traffic — `Derive`, table maintenance, liveness probes —
+    /// bypasses the queue: an auto-scaling policy must be able to clone
+    /// an overloaded class *while* it is overloaded.
+    fn admission_gated(msg: &Message) -> bool {
+        matches!(
+            msg.method_sym(),
+            Some(m) if m == symbol::GET_BINDING
+                || m == symbol::CREATE
+                || m == symbol::GET_INSTANCE_INTERFACE
+        )
+    }
+
+    /// Run one call through the admission ledger. Returns `None` when
+    /// the call was consumed here (shed, or deferred to its service-
+    /// completion timer); `Some(msg)` hands it back for immediate serve.
+    fn admit(&mut self, ctx: &mut Ctx<'_>, msg: Message) -> Option<Message> {
+        let Some(queue) = &mut self.admission else {
+            return Some(msg);
+        };
+        if !Self::admission_gated(&msg) {
+            return Some(msg);
+        }
+        let now = ctx.now().as_nanos();
+        match queue.offer(now) {
+            Admission::Shed { retry_after_ns } => {
+                ctx.count_n_sym(symbol::NET_REQUESTS_SHED, 1);
+                ctx.flight(
+                    FlightKind::Shed,
+                    msg.method_sym().unwrap_or(symbol::EMPTY),
+                    retry_after_ns,
+                );
+                if ctx.reply(&msg, Err(overload_error(retry_after_ns))) {
+                    ctx.count_n_sym(symbol::NET_OVERLOAD_REPLIES, 1);
+                }
+                ctx.recycle_message(msg);
+                None
+            }
+            Admission::Admit { delay_ns } => {
+                let seq = self.next_deferred;
+                self.next_deferred += 1;
+                self.deferred.insert(seq, (msg, now));
+                self.deferred_peak = self.deferred_peak.max(self.deferred.len());
+                ctx.set_timer(delay_ns, SERVICE_TIMER_BIT | seq);
+                None
+            }
         }
     }
 
@@ -735,6 +839,19 @@ impl ClassEndpoint {
 
 impl Endpoint for ClassEndpoint {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag & SERVICE_TIMER_BIT != 0 {
+            // Modeled service completion: serve the deferred call now and
+            // record the caller-experienced response time (queue wait +
+            // service) as this endpoint's SLO sample — the signal burn
+            // events, and therefore the auto-scaler, run on.
+            if let Some((msg, enqueued_at)) = self.deferred.remove(&(tag & !SERVICE_TIMER_BIT)) {
+                let response_ns = ctx.now().as_nanos().saturating_sub(enqueued_at);
+                ctx.slo_record(response_ns);
+                let table = Rc::clone(&self.table);
+                serve(&table, self, ctx, msg);
+            }
+            return;
+        }
         if tag == TIMER_DEADLINE_SWEEP {
             fn conts(e: &mut ClassEndpoint) -> &mut Continuations<ClassEndpoint> {
                 &mut e.continuations
@@ -774,6 +891,9 @@ impl Endpoint for ClassEndpoint {
             }
             return;
         }
+        let Some(msg) = self.admit(ctx, msg) else {
+            return;
+        };
         let table = Rc::clone(&self.table);
         serve(&table, self, ctx, msg);
     }

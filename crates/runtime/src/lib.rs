@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod autoscale;
 pub mod bootstrap;
 pub mod class_endpoint;
 pub mod context_endpoint;

@@ -110,6 +110,7 @@ fn world() -> (SimKernel, EndpointId, Vec<Subject>) {
                 magistrates: vec![],
                 binding_agent: None,
                 binding_ttl_ns: None,
+                admission: None,
             },
         )),
         loc,

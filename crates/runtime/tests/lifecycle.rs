@@ -94,6 +94,7 @@ fn build() -> World {
         magistrates: vec![(MAG_A, mag_a.element()), (MAG_B, mag_b.element())],
         binding_agent: None,
         binding_ttl_ns: None,
+        admission: None,
     };
     let file_class = k.add_endpoint(
         Box::new(ClassEndpoint::new(file, cfg)),

@@ -69,6 +69,7 @@ fn build() -> World {
                 magistrates: vec![(MAG, mag.element())],
                 binding_agent: None,
                 binding_ttl_ns: Some(TTL_NS),
+                admission: None,
             },
         )),
         Location::new(0, 3),

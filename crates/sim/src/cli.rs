@@ -116,7 +116,7 @@ fn parse_args() -> Opts {
                 eprintln!(
                     "usage: legion-exp [--quick] [--trace-out FILE] [--metrics-out FILE] \
                      [--report-out FILE] [--journal-out FILE | --replay-from FILE \
-                     [--from-snapshot]] (all | e1 e2 ... e17)\n\
+                     [--from-snapshot]] (all | e1 e2 ... e18)\n\
                      \u{20}      legion-exp --bisect A B\n\
                      Runs the Legion reproduction experiments (see EXPERIMENTS.md).\n\
                      --trace-out     write the traced E1 run's spans as JSONL\n\
@@ -395,6 +395,13 @@ pub fn main() {
     }
     if want("e17") {
         exp::e17_scale::table(&exp::e17_scale::run(scale, seed)).print();
+        println!();
+    }
+    if want("e18") {
+        let (sweep, flash) = exp::e18_overload::run(scale, seed);
+        let (t1, t2) = exp::e18_overload::table(&sweep, &flash);
+        t1.print();
+        t2.print();
         println!();
     }
 }

@@ -23,3 +23,4 @@ pub mod e14_parallel;
 pub mod e15_crash_recovery;
 pub mod e16_chaos;
 pub mod e17_scale;
+pub mod e18_overload;

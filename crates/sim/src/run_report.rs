@@ -260,6 +260,8 @@ impl RunReport {
                 "dead-letters",
                 "dispatch-dl",
                 "timeouts-expired",
+                "requests-shed",
+                "overload-replies",
                 "trace-dropped",
             ],
         );
@@ -269,6 +271,8 @@ impl RunReport {
             s.dead_letters.to_string(),
             self.metrics.dispatch_dead_letters.to_string(),
             self.metrics.timeouts_expired.to_string(),
+            self.metrics.requests_shed.to_string(),
+            self.metrics.overload_replies.to_string(),
             self.metrics.trace_dropped.to_string(),
         ]);
         out.push_str(&kernel.render());

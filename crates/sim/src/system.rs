@@ -20,6 +20,7 @@ use legion_core::wellknown::{LEGION_BINDING_AGENT, LEGION_OBJECT};
 use legion_ha::policy::MissThreshold;
 use legion_naming::agent::{AgentConfig, BindingAgentEndpoint};
 use legion_naming::tree::TreeShape;
+use legion_net::admission::AdmissionConfig;
 use legion_net::message::{Body, Message};
 use legion_net::sim::{Ctx, Endpoint, EndpointId, SimKernel};
 use legion_net::topology::{Location, Topology};
@@ -85,6 +86,11 @@ pub struct SystemConfig {
     /// default — arms no timers and preserves the exact event stream of
     /// earlier experiments.
     pub call_deadline_ns: Option<u64>,
+    /// Admission control / service model for every class endpoint
+    /// (E18). `None` — the default — gates nothing and preserves the
+    /// exact event stream of earlier experiments; `Some` bounds each
+    /// class's data-plane queue and sheds the excess with retry hints.
+    pub class_admission: Option<AdmissionConfig>,
     /// Network model.
     pub topology: Topology,
     /// RNG seed (full determinism per seed).
@@ -105,6 +111,7 @@ impl Default for SystemConfig {
             objects_per_class: 8,
             ha: None,
             call_deadline_ns: None,
+            class_admission: None,
             topology: Topology::default(),
             seed: 42,
         }
@@ -263,6 +270,7 @@ impl LegionSystem {
                 magistrates: mag_list.clone(),
                 binding_agent: agents.last().map(|a| a.element()),
                 binding_ttl_ns: None,
+                admission: config.class_admission,
             };
             let j = c % config.jurisdictions.max(1);
             let ep = kernel.add_endpoint(

@@ -18,10 +18,12 @@
 use legion_core::binding::Binding;
 use legion_core::loid::Loid;
 use legion_core::object::methods as obj_m;
+use legion_core::symbol::Sym;
 use legion_core::time::SimTime;
 use legion_core::{address::ObjectAddressElement, env::InvocationEnv};
 use legion_ha::backoff::Backoff;
 use legion_naming::resolver::{ClientResolver, Lookup};
+use legion_net::dispatch::is_overloaded;
 use legion_net::message::{Body, CallId, Message};
 use legion_net::metrics::Histogram;
 use legion_net::sim::{Ctx, Endpoint};
@@ -139,6 +141,410 @@ impl ZipfSampler {
     }
 }
 
+// ---------------------------------------------------------------------
+// Open-loop traffic (E18)
+// ---------------------------------------------------------------------
+
+/// A flash-crowd window: the offered rate is multiplied by `multiplier`
+/// for `duration_ns` starting at `start_ns` (relative to workload start).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// Window start, ns from workload start.
+    pub start_ns: u64,
+    /// Window length, ns.
+    pub duration_ns: u64,
+    /// Rate multiplier inside the window (≥ 0).
+    pub multiplier: f64,
+}
+
+impl FlashCrowd {
+    /// Is `t_ns` inside the window?
+    pub fn contains(&self, t_ns: u64) -> bool {
+        t_ns >= self.start_ns && t_ns < self.start_ns.saturating_add(self.duration_ns)
+    }
+}
+
+/// Open-loop workload shape: a seeded non-homogeneous Poisson process.
+///
+/// Unlike [`WorkloadConfig`]'s closed loop — where each client issues the
+/// next operation only after the previous one completes, so an overloaded
+/// server automatically throttles its own offered load — an open-loop
+/// generator keeps issuing at the *offered* rate regardless of
+/// completions. That is what real demand does, and it is the only
+/// workload under which overload behaviour (queue growth, shedding,
+/// goodput collapse) is observable at all.
+///
+/// The instantaneous rate is `base × diurnal(t) × flash(t)`:
+/// a sinusoidal diurnal curve with the given amplitude and period, times
+/// a [`FlashCrowd`] multiplier inside its window. Arrivals are drawn by
+/// Lewis–Shedler thinning against the curve's peak, from a dedicated
+/// `StdRng` seeded per generator — never from the kernel RNG, so the
+/// arrival stream is a pure function of `(config, rate_scale, seed)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopConfig {
+    /// Baseline offered rate, operations per virtual second.
+    pub base_rate_per_sec: f64,
+    /// Total generation span, virtual ns from workload start.
+    pub duration_ns: u64,
+    /// Diurnal modulation amplitude in `[0, 1]` (0 = flat).
+    pub diurnal_amplitude: f64,
+    /// Diurnal period, ns (ignored when the amplitude is 0).
+    pub diurnal_period_ns: u64,
+    /// Optional flash-crowd burst window.
+    pub flash: Option<FlashCrowd>,
+    /// Zipf exponent over target popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Per-tenant rate weights: tenant `i` (a Jurisdiction) offers
+    /// `weights[i] / Σweights` of the total rate. Empty = single tenant.
+    pub tenant_weights: Vec<f64>,
+    /// Retries per shed operation, each honoring the server's
+    /// retry-after hint. 0 = fire-and-forget.
+    pub max_retries: u32,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            base_rate_per_sec: 1000.0,
+            duration_ns: 1_000_000_000,
+            diurnal_amplitude: 0.0,
+            diurnal_period_ns: 1_000_000_000,
+            flash: None,
+            zipf_s: 0.9,
+            tenant_weights: Vec::new(),
+            max_retries: 3,
+        }
+    }
+}
+
+impl OpenLoopConfig {
+    /// The instantaneous offered rate at `t_ns` (ops per virtual second).
+    pub fn rate_at(&self, t_ns: u64) -> f64 {
+        let mut r = self.base_rate_per_sec;
+        if self.diurnal_amplitude > 0.0 && self.diurnal_period_ns > 0 {
+            let phase = (t_ns % self.diurnal_period_ns) as f64 / self.diurnal_period_ns as f64;
+            r *= 1.0 + self.diurnal_amplitude.min(1.0) * (std::f64::consts::TAU * phase).sin();
+        }
+        if let Some(f) = &self.flash {
+            if f.contains(t_ns) {
+                r *= f.multiplier.max(0.0);
+            }
+        }
+        r.max(0.0)
+    }
+
+    /// An upper bound on [`rate_at`](Self::rate_at) over the whole span
+    /// (the thinning envelope).
+    pub fn peak_rate_per_sec(&self) -> f64 {
+        let diurnal_peak = 1.0 + self.diurnal_amplitude.clamp(0.0, 1.0);
+        let flash_peak = self
+            .flash
+            .as_ref()
+            .map(|f| f.multiplier.max(1.0))
+            .unwrap_or(1.0);
+        self.base_rate_per_sec * diurnal_peak * flash_peak
+    }
+
+    /// Tenant `i`'s share of the total rate.
+    pub fn tenant_share(&self, tenant: usize) -> f64 {
+        if self.tenant_weights.is_empty() {
+            return 1.0;
+        }
+        let total: f64 = self.tenant_weights.iter().map(|w| w.max(0.0)).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.tenant_weights
+            .get(tenant)
+            .map(|w| w.max(0.0) / total)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Draw one generator's arrival times (ns from workload start, strictly
+/// inside `cfg.duration_ns`) for a rate of `rate_scale × cfg.rate_at(t)`.
+///
+/// Lewis–Shedler thinning: candidate arrivals come from a homogeneous
+/// Poisson process at the peak rate; each survives with probability
+/// `rate(t) / peak`. The stream is bit-deterministic in `(cfg,
+/// rate_scale, seed)` and touches no shared RNG.
+pub fn generate_arrivals(cfg: &OpenLoopConfig, rate_scale: f64, seed: u64) -> Vec<u64> {
+    let peak = cfg.peak_rate_per_sec();
+    let peak_per_ns = peak * rate_scale.max(0.0) / 1e9;
+    if peak_per_ns <= 0.0 || cfg.duration_ns == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    let horizon = cfg.duration_ns as f64;
+    loop {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        t += -u.ln() / peak_per_ns;
+        if t >= horizon {
+            break;
+        }
+        let accept: f64 = rng.gen();
+        if accept * peak <= cfg.rate_at(t as u64) {
+            out.push(t as u64);
+        }
+    }
+    out
+}
+
+/// Per-phase ledger of an open-loop client. Operations are attributed
+/// to the phase of their *first* issue, so spill-over completions and
+/// retries count against the phase that offered them.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStats {
+    /// Operations offered (first issues, not retries).
+    pub offered: u64,
+    /// Operations that eventually completed successfully.
+    pub ok: u64,
+    /// `Overloaded` replies received (one per shed attempt).
+    pub shed_replies: u64,
+    /// Retries issued on the server's retry-after hint.
+    pub retried: u64,
+    /// Operations abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// Operations that failed for any other reason.
+    pub failed: u64,
+    /// First-issue → final-success latency, virtual ns.
+    pub latency: Histogram,
+}
+
+impl PhaseStats {
+    /// Fold another ledger into this one.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.offered += other.offered;
+        self.ok += other.ok;
+        self.shed_replies += other.shed_replies;
+        self.retried += other.retried;
+        self.gave_up += other.gave_up;
+        self.failed += other.failed;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// What a finished open-loop client reports: one [`PhaseStats`] per
+/// configured phase (always at least one).
+#[derive(Debug, Clone, Default)]
+pub struct OpenLoopReport {
+    /// Per-phase ledgers, in phase order.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl OpenLoopReport {
+    /// Sum over all phases.
+    pub fn total(&self) -> PhaseStats {
+        let mut t = PhaseStats::default();
+        for p in &self.phases {
+            t.merge(p);
+        }
+        t
+    }
+
+    /// Fold another report into this one (phase-wise).
+    pub fn merge(&mut self, other: &OpenLoopReport) {
+        if self.phases.len() < other.phases.len() {
+            self.phases
+                .resize_with(other.phases.len(), PhaseStats::default);
+        }
+        for (mine, theirs) in self.phases.iter_mut().zip(&other.phases) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+const TIMER_OL_ARRIVAL: u64 = 1;
+/// Retry timers are `TIMER_OL_RETRY_BASE + seq`.
+const TIMER_OL_RETRY_BASE: u64 = 1_000_000;
+
+/// One in-flight open-loop operation.
+#[derive(Debug, Clone, Copy)]
+struct OpenOp {
+    /// Virtual time of the first issue (latency baseline).
+    first_issued: SimTime,
+    /// Phase index of the first issue.
+    phase: usize,
+    /// Retries consumed so far.
+    retries: u32,
+}
+
+/// An open-loop client endpoint: issues one pre-generated arrival stream
+/// of method calls against a front door at the offered rate, regardless
+/// of completions, and retries shed calls on the server's retry-after
+/// hint (bounded). See [`OpenLoopConfig`] for why open loop.
+pub struct OpenLoopClient {
+    me: Loid,
+    /// Where calls are sent (a replica router or the class itself).
+    front_door: ObjectAddressElement,
+    /// The LOID calls are addressed to (the class object).
+    target: Loid,
+    method: Sym,
+    /// Arrival times, ns from this client's start, ascending.
+    arrivals: Vec<u64>,
+    next: usize,
+    started: Option<SimTime>,
+    /// Phase boundaries, ns from start, ascending: phase `i` spans
+    /// `[bounds[i-1], bounds[i])`. Empty = a single phase.
+    phase_bounds: Vec<u64>,
+    max_retries: u32,
+    outstanding: HashMap<CallId, OpenOp>,
+    pending_retries: HashMap<u64, OpenOp>,
+    retry_seq: u64,
+    /// Public so drivers can collect it when the run ends.
+    pub report: OpenLoopReport,
+}
+
+impl OpenLoopClient {
+    /// A client issuing `arrivals` (ns offsets, ascending) of `method`
+    /// calls for `target` at `front_door`, slicing its ledger at
+    /// `phase_bounds`.
+    pub fn new(
+        me: Loid,
+        front_door: ObjectAddressElement,
+        target: Loid,
+        method: Sym,
+        arrivals: Vec<u64>,
+        phase_bounds: Vec<u64>,
+        max_retries: u32,
+    ) -> Self {
+        let phases = phase_bounds.len() + 1;
+        OpenLoopClient {
+            me,
+            front_door,
+            target,
+            method,
+            arrivals,
+            next: 0,
+            started: None,
+            phase_bounds,
+            max_retries,
+            outstanding: HashMap::new(),
+            pending_retries: HashMap::new(),
+            retry_seq: 0,
+            report: OpenLoopReport {
+                phases: vec![PhaseStats::default(); phases],
+            },
+        }
+    }
+
+    /// Has the client issued its whole stream and settled every op?
+    pub fn is_done(&self) -> bool {
+        self.next >= self.arrivals.len()
+            && self.outstanding.is_empty()
+            && self.pending_retries.is_empty()
+    }
+
+    fn phase_of(&self, rel_ns: u64) -> usize {
+        self.phase_bounds.partition_point(|&b| b <= rel_ns)
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>, op: OpenOp) {
+        match ctx.call(
+            self.front_door,
+            self.target,
+            self.method,
+            vec![],
+            InvocationEnv::solo(self.me),
+            Some(self.me),
+        ) {
+            Some(id) => {
+                self.outstanding.insert(id, op);
+            }
+            None => {
+                self.report.phases[op.phase].failed += 1;
+            }
+        }
+    }
+
+    /// Issue every arrival due by `now`; re-arm for the next one.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let started = self.started.expect("pump after on_start");
+        let rel = ctx.now().saturating_since(started);
+        while self.next < self.arrivals.len() && self.arrivals[self.next] <= rel {
+            let at = self.arrivals[self.next];
+            self.next += 1;
+            let phase = self.phase_of(at);
+            self.report.phases[phase].offered += 1;
+            let op = OpenOp {
+                first_issued: ctx.now(),
+                phase,
+                retries: 0,
+            };
+            self.issue(ctx, op);
+        }
+        if self.next < self.arrivals.len() {
+            ctx.set_timer(self.arrivals[self.next] - rel, TIMER_OL_ARRIVAL);
+        }
+    }
+}
+
+impl Endpoint for OpenLoopClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.started = Some(ctx.now());
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == TIMER_OL_ARRIVAL {
+            self.pump(ctx);
+            return;
+        }
+        if tag >= TIMER_OL_RETRY_BASE {
+            if let Some(op) = self.pending_retries.remove(&(tag - TIMER_OL_RETRY_BASE)) {
+                self.issue(ctx, op);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let Body::Reply {
+            in_reply_to,
+            result,
+        } = &msg.body
+        else {
+            return;
+        };
+        let Some(op) = self.outstanding.remove(in_reply_to) else {
+            return;
+        };
+        let stats = &mut self.report.phases[op.phase];
+        match result {
+            Ok(_) => {
+                stats.ok += 1;
+                stats
+                    .latency
+                    .record(ctx.now().saturating_since(op.first_issued));
+            }
+            Err(e) => match is_overloaded(e) {
+                Some(retry_after_ns) => {
+                    stats.shed_replies += 1;
+                    if op.retries < self.max_retries {
+                        stats.retried += 1;
+                        self.retry_seq += 1;
+                        let seq = self.retry_seq;
+                        self.pending_retries.insert(
+                            seq,
+                            OpenOp {
+                                retries: op.retries + 1,
+                                ..op
+                            },
+                        );
+                        ctx.set_timer(retry_after_ns.max(1), TIMER_OL_RETRY_BASE + seq);
+                    } else {
+                        stats.gave_up += 1;
+                    }
+                }
+                None => {
+                    stats.failed += 1;
+                }
+            },
+        }
+    }
+}
+
 /// What a finished client reports.
 #[derive(Debug, Clone, Default)]
 pub struct ClientReport {
@@ -171,6 +577,12 @@ impl ClientReport {
 const TIMER_NEXT: u64 = 1;
 /// Re-issue a failed operation after a backoff.
 const TIMER_RETRY: u64 = 2;
+/// Re-issue an operation shed by an overloaded server, at its hint.
+const TIMER_OVERLOAD: u64 = 3;
+/// Overloaded replies honored per operation before giving up. Generous:
+/// the server's hints are honest (the queue really does drain by then),
+/// so repeated shedding means sustained overload, not a wedged op.
+const MAX_OVERLOAD_RETRIES: u32 = 16;
 /// Invoke-timeout timers are `TIMER_INVOKE_BASE + generation`.
 const TIMER_INVOKE_BASE: u64 = 1000;
 /// A Ping lost to a deactivation race is declared stale after this long.
@@ -218,6 +630,10 @@ pub struct LookupClient {
     retry: Backoff,
     /// An op waiting for its retry timer: `(started, target)`.
     pending_retry: Option<(SimTime, Loid)>,
+    /// An invoke shed by an overloaded server, waiting out its hint.
+    pending_overload: Option<(SimTime, Binding)>,
+    /// Overloaded replies honored for the current operation.
+    overload_retries: u32,
     /// Public so drivers can collect it when the run ends.
     pub report: ClientReport,
     done: bool,
@@ -253,6 +669,8 @@ impl LookupClient {
                 max_attempts: cfg.op_retry_attempts,
             },
             pending_retry: None,
+            pending_overload: None,
+            overload_retries: 0,
             report: ClientReport::default(),
             done: false,
         }
@@ -276,6 +694,7 @@ impl LookupClient {
             self.next += 1;
             self.stale_attempts = 0;
             self.op_error_retries = 0;
+            self.overload_retries = 0;
             let started = ctx.now();
             // One trace per logical operation: retries and refreshes stay
             // inside it, so the critical path of the *request* is visible.
@@ -347,6 +766,34 @@ impl LookupClient {
             }
             Lookup::AgentUnreachable => self.op_failed(ctx, started, target),
         }
+    }
+
+    /// The server shed this invoke with a retry-after hint
+    /// (`CoreError::Overloaded`): it is alive and will have queue room by
+    /// the hinted time, so honor *its* schedule instead of our blind
+    /// capped-exponential backoff — and leave the stale budget alone.
+    /// Before this path existed, `Overloaded` replies fell through to
+    /// [`handle_stale`], burning the 6-attempt stale budget and spamming
+    /// the Binding Agent with stale-reports for a perfectly live server.
+    fn handle_overloaded(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        started: SimTime,
+        binding: Binding,
+        retry_after_ns: u64,
+    ) {
+        self.overload_retries += 1;
+        ctx.count("client.overload_backoff");
+        if self.overload_retries > MAX_OVERLOAD_RETRIES {
+            let target = binding.loid;
+            self.op_failed(ctx, started, target);
+            return;
+        }
+        // The retried attempt starts fresh: a shed is not a stale hit.
+        self.stale_attempts = 0;
+        self.pending_overload = Some((started, binding));
+        self.phase = Phase::Idle;
+        ctx.set_timer(retry_after_ns.max(1), TIMER_OVERLOAD);
     }
 
     /// Stale binding detected (§4.1.4): refresh and retry, up to a cap —
@@ -450,6 +897,7 @@ impl Endpoint for LookupClient {
         if tag == TIMER_NEXT
             && matches!(self.phase, Phase::Idle)
             && self.pending_retry.is_none()
+            && self.pending_overload.is_none()
             && !self.done
         {
             self.issue_next(ctx);
@@ -458,6 +906,12 @@ impl Endpoint for LookupClient {
         if tag == TIMER_RETRY {
             if let Some((started, target)) = self.pending_retry.take() {
                 self.start_op(ctx, started, target);
+            }
+            return;
+        }
+        if tag == TIMER_OVERLOAD {
+            if let Some((started, binding)) = self.pending_overload.take() {
+                self.invoke_binding(ctx, started, binding);
             }
             return;
         }
@@ -527,7 +981,24 @@ impl Endpoint for LookupClient {
                             self.complete(ctx, started);
                         }
                     }
-                    Err(_) => self.op_failed(ctx, started, target),
+                    Err(e) => {
+                        // A shed `GetBinding` (the class itself is
+                        // admission-gated): retry the whole lookup at the
+                        // server's hint, not on the blind backoff.
+                        if let Some(hint) = is_overloaded(&e) {
+                            self.overload_retries += 1;
+                            ctx.count("client.overload_backoff");
+                            if self.overload_retries > MAX_OVERLOAD_RETRIES {
+                                self.op_failed(ctx, started, target);
+                            } else {
+                                self.pending_retry = Some((started, target));
+                                self.phase = Phase::Idle;
+                                ctx.set_timer(hint.max(1), TIMER_RETRY);
+                            }
+                        } else {
+                            self.op_failed(ctx, started, target);
+                        }
+                    }
                 }
                 return;
             }
@@ -542,11 +1013,16 @@ impl Endpoint for LookupClient {
             if let Some((started, binding)) = self.invoke_calls.remove(in_reply_to) {
                 match result {
                     Ok(_) => self.complete(ctx, started),
-                    Err(_) => {
-                        // The endpoint answered but hosts a different (or
-                        // no) object — stale binding detected in use.
-                        ctx.count("client.stale_reply");
-                        self.handle_stale(ctx, started, binding);
+                    Err(e) => {
+                        if let Some(hint) = is_overloaded(e) {
+                            self.handle_overloaded(ctx, started, binding, hint);
+                        } else {
+                            // The endpoint answered but hosts a different
+                            // (or no) object — stale binding detected in
+                            // use.
+                            ctx.count("client.stale_reply");
+                            self.handle_stale(ctx, started, binding);
+                        }
                     }
                 }
             }
@@ -617,6 +1093,180 @@ mod tests {
         assert_ne!(
             generate_plan(&objects, 0, &cfg, 9),
             generate_plan(&objects, 0, &cfg, 10)
+        );
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_bit_deterministic_per_seed() {
+        let cfg = OpenLoopConfig {
+            base_rate_per_sec: 5_000.0,
+            duration_ns: 500_000_000,
+            diurnal_amplitude: 0.3,
+            diurnal_period_ns: 100_000_000,
+            flash: Some(FlashCrowd {
+                start_ns: 200_000_000,
+                duration_ns: 100_000_000,
+                multiplier: 3.0,
+            }),
+            ..OpenLoopConfig::default()
+        };
+        let a = generate_arrivals(&cfg, 1.0, 77);
+        let b = generate_arrivals(&cfg, 1.0, 77);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same seed, same stream, bit for bit");
+        assert_ne!(a, generate_arrivals(&cfg, 1.0, 78));
+    }
+
+    #[test]
+    fn open_loop_rate_matches_offered() {
+        // Flat curve: the count is Poisson(rate × duration). 6σ bounds.
+        let cfg = OpenLoopConfig {
+            base_rate_per_sec: 10_000.0,
+            duration_ns: 1_000_000_000,
+            ..OpenLoopConfig::default()
+        };
+        let n = generate_arrivals(&cfg, 1.0, 5).len() as f64;
+        let expect = 10_000.0;
+        assert!(
+            (n - expect).abs() < 6.0 * expect.sqrt(),
+            "offered {n} vs expected {expect}"
+        );
+        // Arrivals are sorted and inside the span.
+        let a = generate_arrivals(&cfg, 1.0, 5);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*a.last().unwrap() < cfg.duration_ns);
+    }
+
+    #[test]
+    fn flash_crowd_multiplies_the_window() {
+        let cfg = OpenLoopConfig {
+            base_rate_per_sec: 4_000.0,
+            duration_ns: 900_000_000,
+            flash: Some(FlashCrowd {
+                start_ns: 300_000_000,
+                duration_ns: 300_000_000,
+                multiplier: 2.0,
+            }),
+            ..OpenLoopConfig::default()
+        };
+        let a = generate_arrivals(&cfg, 1.0, 11);
+        let before = a.iter().filter(|&&t| t < 300_000_000).count() as f64;
+        let during = a
+            .iter()
+            .filter(|&&t| (300_000_000..600_000_000).contains(&t))
+            .count() as f64;
+        assert!(
+            during / before > 1.6 && during / before < 2.4,
+            "flash window carries ~2× the arrivals: {before} vs {during}"
+        );
+    }
+
+    #[test]
+    fn diurnal_curve_and_tenant_shares() {
+        let cfg = OpenLoopConfig {
+            base_rate_per_sec: 1_000.0,
+            diurnal_amplitude: 0.5,
+            diurnal_period_ns: 1_000_000_000,
+            tenant_weights: vec![2.0, 1.0, 1.0],
+            ..OpenLoopConfig::default()
+        };
+        // Peak at a quarter period, trough at three quarters.
+        assert!((cfg.rate_at(250_000_000) - 1_500.0).abs() < 1.0);
+        assert!((cfg.rate_at(750_000_000) - 500.0).abs() < 1.0);
+        assert!((cfg.peak_rate_per_sec() - 1_500.0).abs() < 1e-9);
+        assert!((cfg.tenant_share(0) - 0.5).abs() < 1e-12);
+        assert!((cfg.tenant_share(1) - 0.25).abs() < 1e-12);
+        assert_eq!(cfg.tenant_share(9), 0.0, "unknown tenant offers nothing");
+    }
+
+    /// A Ping server that sheds its first `sheds` calls with an
+    /// `Overloaded` reply (honest 50 µs hint), then serves.
+    struct SheddingPinger {
+        sheds: u64,
+        shed_sent: u64,
+        served: u64,
+    }
+
+    impl Endpoint for SheddingPinger {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            if msg.is_reply() {
+                return;
+            }
+            if self.shed_sent < self.sheds {
+                self.shed_sent += 1;
+                ctx.reply(&msg, Err(legion_net::dispatch::overload_error(50_000)));
+            } else {
+                self.served += 1;
+                ctx.reply(&msg, Ok(legion_core::value::LegionValue::Uint(1)));
+            }
+        }
+    }
+
+    /// Regression: an `Overloaded` reply used to fall through to the
+    /// stale-binding path, burning the 6-attempt stale budget (the op
+    /// then failed) and spamming stale-reports for a live server. The
+    /// client must instead retry on the server's hint — here 7 sheds,
+    /// one past the old stale budget — and complete without touching
+    /// the stale machinery.
+    #[test]
+    fn overloaded_reply_retries_on_hint_not_stale_budget() {
+        use legion_core::address::ObjectAddress;
+        use legion_net::sim::SimKernel;
+        use legion_net::topology::Location;
+        use legion_net::{FaultPlan, Topology};
+
+        let mut kernel = SimKernel::new(Topology::zero(), FaultPlan::none(), 1);
+        let pinger = kernel.add_endpoint(
+            Box::new(SheddingPinger {
+                sheds: 7,
+                shed_sent: 0,
+                served: 0,
+            }),
+            Location::new(0, 1),
+            "pinger",
+        );
+        let target = Loid::instance(1000, 1);
+        let agent = legion_naming::stubs::StaticClassEndpoint::new(Loid::class_object(1000)).with(
+            Binding::forever(target, ObjectAddress::single(pinger.element())),
+        );
+        let agent_ep = kernel.add_endpoint(Box::new(agent), Location::new(0, 2), "agent");
+        let wl = WorkloadConfig {
+            invoke_after_resolve: true,
+            ..WorkloadConfig::default()
+        };
+        let client = LookupClient::new(
+            Loid::instance(1000, 99),
+            agent_ep.element(),
+            vec![target],
+            &wl,
+        );
+        let client_ep = kernel.add_endpoint(Box::new(client), Location::new(0, 3), "client");
+        kernel.run_until_quiescent(1_000_000);
+
+        let c = kernel.endpoint::<LookupClient>(client_ep).unwrap();
+        assert!(c.is_done());
+        assert_eq!(c.report.completed, 1, "op completes despite 7 sheds");
+        assert_eq!(c.report.failed, 0);
+        assert_eq!(
+            c.report.stale_refreshes, 0,
+            "sheds are not stale bindings: no refresh traffic"
+        );
+        assert_eq!(kernel.counters().get("client.overload_backoff"), 7);
+        assert_eq!(kernel.counters().get("client.stale_reply"), 0);
+        assert_eq!(kernel.counters().get("client.stale_gave_up"), 0);
+        assert_eq!(
+            kernel.counters().get("client.op_retry"),
+            0,
+            "retries ride the server hint, not the blind backoff schedule"
+        );
+        // Seven 50 µs hints ≈ 350 µs total op latency — far under even
+        // one step of the old capped-exponential schedule (4 ms base).
+        // (The kernel clock itself runs on to drain the no-op guard
+        // timers, so assert on the recorded op latency.)
+        assert!(
+            c.report.latency.max() < 4_000_000,
+            "op took {} ns: hint schedule, not backoff",
+            c.report.latency.max()
         );
     }
 

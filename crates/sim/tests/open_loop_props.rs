@@ -1,0 +1,124 @@
+//! Property-based tests for the E18 open-loop arrival generator.
+//!
+//! The overload experiments lean on three properties of
+//! [`legion_sim::workload::generate_arrivals`]:
+//!
+//! * **bit-determinism** — the stream is a pure function of
+//!   `(config, rate_scale, seed)`, so same-seed campaigns (and journal
+//!   replays) see identical demand;
+//! * **offered-rate fidelity** — over the whole span the realized count
+//!   matches the integral of the configured rate curve within Poisson
+//!   tolerance (the generator offers what it claims to offer);
+//! * **purity** — generation never touches kernel state or the kernel
+//!   RNG: streams are well-formed (sorted, in-horizon) with no kernel in
+//!   sight, and drawing other seeds in between changes nothing.
+
+use legion_sim::workload::{generate_arrivals, FlashCrowd, OpenLoopConfig};
+use proptest::prelude::*;
+
+/// A bounded arbitrary workload shape: rates and spans small enough that
+/// a case generates at most a few thousand arrivals.
+fn arb_config() -> impl Strategy<Value = OpenLoopConfig> {
+    (
+        10.0f64..5_000.0,           // base rate per second
+        10_000_000u64..200_000_000, // duration 10–200 ms
+        0.0f64..=1.0,               // diurnal amplitude
+        1_000_000u64..100_000_000,  // diurnal period
+        proptest::option::of((0.0f64..0.9, 1.0f64..4.0, 0.5f64..4.0)),
+    )
+        .prop_map(|(base, duration, amp, period, flash)| OpenLoopConfig {
+            base_rate_per_sec: base,
+            duration_ns: duration,
+            diurnal_amplitude: amp,
+            diurnal_period_ns: period,
+            flash: flash.map(|(start_frac, mult, len_frac)| FlashCrowd {
+                start_ns: (start_frac * duration as f64) as u64,
+                duration_ns: ((len_frac * duration as f64) as u64).max(1),
+                multiplier: mult,
+            }),
+            ..OpenLoopConfig::default()
+        })
+}
+
+/// The exact expected arrival count: the rate curve integrated over the
+/// span (piecewise, sampled at 1 µs — far finer than any configured
+/// feature, so the quadrature error is negligible against Poisson noise).
+fn expected_count(cfg: &OpenLoopConfig, rate_scale: f64) -> f64 {
+    let step = 1_000u64;
+    let mut acc = 0.0;
+    let mut t = 0u64;
+    while t < cfg.duration_ns {
+        acc += cfg.rate_at(t) * rate_scale * step as f64 / 1e9;
+        t += step;
+    }
+    acc
+}
+
+proptest! {
+    /// Same `(config, rate_scale, seed)` → the identical stream, element
+    /// for element; a different seed perturbs it (when there is anything
+    /// to perturb).
+    #[test]
+    fn arrivals_are_bit_deterministic_per_seed(
+        cfg in arb_config(),
+        scale in 0.1f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let a = generate_arrivals(&cfg, scale, seed);
+        let b = generate_arrivals(&cfg, scale, seed);
+        prop_assert_eq!(&a, &b);
+        if a.len() > 20 {
+            let other = generate_arrivals(&cfg, scale, seed ^ 0x9E37_79B9);
+            prop_assert_ne!(&a, &other, "independent seeds draw independent streams");
+        }
+    }
+
+    /// The stream is well-formed: sorted, strictly inside the horizon.
+    #[test]
+    fn arrivals_are_sorted_and_in_horizon(
+        cfg in arb_config(),
+        scale in 0.1f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let a = generate_arrivals(&cfg, scale, seed);
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals ascend");
+        prop_assert!(a.iter().all(|&t| t < cfg.duration_ns), "arrivals in horizon");
+    }
+
+    /// The realized count matches the offered rate integral within 6σ of
+    /// Poisson noise: the generator neither over- nor under-offers.
+    #[test]
+    fn realized_count_matches_offered_rate(
+        cfg in arb_config(),
+        scale in 0.25f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let expected = expected_count(&cfg, scale);
+        // Statistically meaningful cases only (a handful of arrivals
+        // says nothing about the rate; the vendored harness has no
+        // prop_assume, so thin cases simply pass).
+        if expected >= 50.0 {
+            let got = generate_arrivals(&cfg, scale, seed).len() as f64;
+            let sigma = expected.sqrt();
+            prop_assert!(
+                (got - expected).abs() <= 6.0 * sigma,
+                "got {got}, expected {expected} ± {:.1}", 6.0 * sigma
+            );
+        }
+    }
+
+    /// Generation is pure: interleaving draws for other seeds (the kind
+    /// of sharing a kernel RNG would introduce) cannot change a stream.
+    #[test]
+    fn generation_is_free_of_shared_state(
+        cfg in arb_config(),
+        scale in 0.1f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let clean = generate_arrivals(&cfg, scale, seed);
+        let _noise_a = generate_arrivals(&cfg, scale, seed.wrapping_add(1));
+        let _noise_b = generate_arrivals(&cfg, scale / 2.0, seed.wrapping_mul(3));
+        let interleaved = generate_arrivals(&cfg, scale, seed);
+        prop_assert_eq!(clean, interleaved);
+    }
+}

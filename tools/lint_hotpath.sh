@@ -43,4 +43,24 @@ if [[ "$push_count" -ne 1 ]] || ! grep -q '^crates/net/src/sim\.rs:' <<<"$push_h
     echo "gets its deterministic sequence stamp." >&2
     exit 1
 fi
+
+# Admission path: the per-endpoint admission queue is an O(1) integer
+# ledger (admitted-until horizon + counters), not a buffer. Overload is
+# shed at the door with a retry-after hint; nothing is ever queued in a
+# growable collection, so a flash crowd cannot balloon memory. Any
+# collection type appearing in admission.rs means someone reintroduced
+# an unbounded queue on the overload path.
+admission='crates/net/src/admission.rs'
+queue_hits=$(grep -n 'Vec<\|VecDeque\|HashMap\|BTreeMap\|HashSet\|BTreeSet\|LinkedList' \
+    "$admission" || true)
+
+if [[ -n "$queue_hits" ]]; then
+    echo "error: growable collection type on the admission path ($admission):" >&2
+    echo "$queue_hits" >&2
+    echo >&2
+    echo "Admission control must stay an O(1) bounded ledger: shed with a" >&2
+    echo "retry-after hint instead of buffering. Unbounded queues turn overload" >&2
+    echo "into memory exhaustion." >&2
+    exit 1
+fi
 echo "lint_hotpath: ok"
